@@ -1,0 +1,43 @@
+//! Figure 3: Lighttpd latency vs concurrent clients.
+//!
+//! Paper: "the latency of the Lighttpd server increases with the number
+//! of concurrent accesses by up to 7x while running in SGX and compared
+//! to a Vanilla (non-SGX) execution" (§3.2.2).
+
+use sgxgauge_bench::{banner, emit, fx, paper_runner, scale};
+use sgxgauge_core::report::ReportTable;
+use sgxgauge_core::{ExecMode, InputSetting};
+use sgxgauge_workloads::Lighttpd;
+
+fn main() {
+    banner(
+        "Figure 3 — Lighttpd latency vs concurrency",
+        "SGX latency grows with client threads, up to ~7x over Vanilla",
+    );
+    let runner = paper_runner();
+    // Keep this bench light: the request count is already thread-divided.
+    let divisor = scale().max(4);
+
+    let mut table = ReportTable::new(
+        "Fig 3: mean request latency (cycles), Vanilla vs LibOS(SGX)",
+        &["threads", "vanilla_latency", "sgx_latency", "sgx_over_vanilla"],
+    );
+    let mut max_ratio: f64 = 0.0;
+    for threads in [1usize, 2, 4, 8, 16] {
+        let wl = Lighttpd::scaled(divisor).with_threads(threads);
+        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).expect("vanilla");
+        let s = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).expect("libos");
+        let vl = v.output.metric("mean_latency_cycles").expect("metric");
+        let sl = s.output.metric("mean_latency_cycles").expect("metric");
+        let ratio = sl / vl;
+        max_ratio = max_ratio.max(ratio);
+        table.push_row(vec![
+            threads.to_string(),
+            format!("{vl:.0}"),
+            format!("{sl:.0}"),
+            fx(ratio),
+        ]);
+    }
+    emit("fig03_lighttpd_threads", &table);
+    println!("Shape check: max SGX/Vanilla latency ratio = {max_ratio:.1}x (paper: up to 7x), and it grows with thread count");
+}

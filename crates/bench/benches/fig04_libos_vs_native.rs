@@ -1,0 +1,53 @@
+//! Figure 4: a library OS can help or hurt, depending on the workload.
+//!
+//! Paper: "a library operating system may affect the performance of an
+//! application in a positive or negative manner, depending on the
+//! characteristics of the application" (§3.2.3); overall LibOS ≈ Native
+//! within ±10% (abstract).
+
+use sgxgauge_bench::{banner, emit, fx, paper_runner, scale};
+use sgxgauge_core::report::ReportTable;
+use sgxgauge_core::{ExecMode, InputSetting};
+use sgxgauge_workloads::native_suite;
+
+fn main() {
+    banner(
+        "Figure 4 — LibOS vs Native per workload",
+        "LibOS impact is workload-dependent, overall within ~±10% of Native",
+    );
+    let runner = paper_runner();
+    let divisor = scale();
+    let suite = if divisor == 1 {
+        native_suite()
+    } else {
+        sgxgauge_workloads::suite_scaled(divisor)
+            .into_iter()
+            .filter(|w| w.supports(ExecMode::Native))
+            .collect()
+    };
+
+    let mut table = ReportTable::new(
+        "Fig 4: LibOS/Native runtime ratio (High setting)",
+        &["workload", "native_cycles", "libos_cycles", "libos_over_native"],
+    );
+    let mut ratios = Vec::new();
+    for wl in &suite {
+        let n = runner.run_once(wl.as_ref(), ExecMode::Native, InputSetting::High).expect("native");
+        let l = runner.run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::High).expect("libos");
+        let ratio = l.runtime_cycles as f64 / n.runtime_cycles as f64;
+        ratios.push(ratio);
+        table.push_row(vec![
+            wl.name().to_string(),
+            n.runtime_cycles.to_string(),
+            l.runtime_cycles.to_string(),
+            fx(ratio),
+        ]);
+    }
+    emit("fig04_libos_vs_native", &table);
+
+    let gm = gauge_stats::geomean(&ratios);
+    println!("Shape check: geomean LibOS/Native = {gm:.2}x (paper: ~1.0 +- 0.1)");
+    let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+        - ratios.iter().cloned().fold(f64::MAX, f64::min);
+    println!("Per-workload spread = {spread:.2} (paper: both positive and negative impacts occur)");
+}

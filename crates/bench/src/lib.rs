@@ -1,0 +1,117 @@
+//! Shared plumbing for the figure/table reproduction benches.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of
+//! the SGXGauge paper: it runs the relevant workloads through the
+//! [`sgxgauge_core::Runner`], prints the paper-style rows, and writes a
+//! CSV under `target/gauge-results/`. Absolute cycle counts are from the
+//! simulator, not the authors' Xeon — the claims under reproduction are
+//! the *shapes* (who wins, where the EPC cliff falls, how LibOS compares
+//! to Native).
+//!
+//! Scale: set `SGXGAUGE_SCALE=<divisor>` to shrink every input by that
+//! factor for a smoke run. The default (`1`) is paper scale. The
+//! quick-test EPC is only used by unit tests, never here: benches always
+//! run against the 92 MB EPC platform of Table 3.
+
+use sgxgauge_core::report::ReportTable;
+use sgxgauge_core::{EnvConfig, ExecMode, Runner, RunnerConfig};
+use std::path::PathBuf;
+
+/// The input-scale divisor, from `SGXGAUGE_SCALE` (default 1).
+pub fn scale() -> u64 {
+    std::env::var("SGXGAUGE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&d| d >= 1)
+        .unwrap_or(1)
+}
+
+/// Directory the CSV artifacts land in: `<target>/gauge-results` of the
+/// workspace (bench binaries run with their package as CWD, so the
+/// workspace root is resolved relative to this crate's manifest).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("gauge-results");
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("gauge-results")
+}
+
+/// A paper-faithful runner (92 MB EPC, 4 GB LibOS enclaves, 1 rep —
+/// the simulator is deterministic, so repetitions only matter when a
+/// bench wants run-to-run structure).
+///
+/// Under `SGXGAUGE_SCALE=d` (smoke runs) the *platform* shrinks by the
+/// same divisor as the workloads — EPC and LibOS enclave size — so the
+/// Low/Medium/High settings keep their position relative to the EPC
+/// boundary and every figure keeps its shape.
+pub fn paper_runner() -> Runner {
+    Runner::new(RunnerConfig { env: paper_env(ExecMode::Vanilla), repetitions: 1 })
+}
+
+/// The environment template behind [`paper_runner`], for benches that
+/// need mode-specific variants (switchless, protected files).
+pub fn paper_env(mode: ExecMode) -> EnvConfig {
+    let d = scale();
+    let mut env = EnvConfig::paper(mode, 0);
+    if d > 1 {
+        env.sgx.epc_bytes = (env.sgx.epc_bytes / d).max(1 << 20);
+        let enclave = ((4u64 << 30) / d).max(libos_sim::manifest::MIN_ENCLAVE_BYTES.max(128 << 20));
+        let internal = ((64u64 << 20) / d).max(1 << 20);
+        env.manifest = Some(
+            libos_sim::Manifest::builder("workload")
+                .enclave_size(enclave)
+                .internal_memory(internal)
+                .build(),
+        );
+    }
+    env
+}
+
+/// Prints the bench banner.
+pub fn banner(id: &str, paper_claim: &str) {
+    println!();
+    println!("================================================================");
+    println!("SGXGauge reproduction :: {id}");
+    println!("Paper claim: {paper_claim}");
+    println!("Scale divisor: {} (SGXGAUGE_SCALE)", scale());
+    println!("================================================================");
+}
+
+/// Prints a table and writes its CSV; the file name is `<id>.csv`.
+pub fn emit(id: &str, table: &ReportTable) {
+    println!("{table}");
+    let path = results_dir().join(format!("{id}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a ratio like the paper ("2.0x").
+pub fn fx(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a count like the paper ("21.5 K").
+pub fn fk(v: u64) -> String {
+    sgxgauge_core::report::humanize(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        std::env::remove_var("SGXGAUGE_SCALE");
+        assert_eq!(scale(), 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fx(2.0), "2.00x");
+        assert_eq!(fk(21_500), "21.5 K");
+    }
+}

@@ -1,0 +1,967 @@
+//! The workload execution environment.
+//!
+//! [`Env`] is what every SGXGauge workload programs against. It owns the
+//! simulated platform and routes each primitive through the right
+//! substrate for the configured [`ExecMode`]:
+//!
+//! | primitive            | Vanilla        | Native                    | LibOS                        |
+//! |-----------------------|----------------|---------------------------|------------------------------|
+//! | `alloc(Protected)`    | plain memory   | enclave heap              | enclave heap                 |
+//! | memory access         | plain          | EPC + MEE + EPCM          | EPC + MEE + EPCM             |
+//! | `secure_call`         | function call  | ECALL round trip          | plain (already inside)       |
+//! | `host_syscall`        | syscall        | OCALL                     | shim dispatch + OCALL        |
+//! | file I/O              | syscall + copy | OCALL per batch + copy    | shim batches (+ PF crypto)   |
+//! | `spawn_app_thread`    | thread         | thread (enters per call)  | thread + persistent ECALL    |
+//!
+//! Regions hold *real bytes*: reads and writes move data and
+//! simultaneously drive the TLB/cache/EPC models, so the performance
+//! counters come from the workload's organic access pattern.
+
+use crate::modes::ExecMode;
+use crate::workload::WorkloadError;
+use libos_sim::{LibosProcess, Manifest};
+use mem_sim::{AccessKind, ThreadId, PAGE_SIZE};
+use sgx_sim::{EnclaveId, SgxConfig, SgxMachine};
+use std::collections::HashMap;
+
+/// Where a region lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Inside the enclave (EPC-backed) in Native/LibOS modes; ordinary
+    /// memory in Vanilla mode.
+    Protected,
+    /// Always ordinary, untrusted memory.
+    Untrusted,
+}
+
+/// Handle to an allocated memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region(usize);
+
+/// Handle to a simulated logical thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimThread {
+    pub(crate) id: ThreadId,
+    idx: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadKind {
+    /// Application thread: lives inside the enclave in LibOS mode.
+    App,
+    /// Driver thread (load generator): always untrusted.
+    Driver,
+}
+
+#[derive(Debug)]
+struct ThreadMeta {
+    id: ThreadId,
+    kind: ThreadKind,
+}
+
+#[derive(Debug)]
+struct RegionData {
+    base: u64,
+    data: Vec<u8>,
+    protected: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FileEntry {
+    data: Vec<u8>,
+    /// True when the bytes are PF-sealed blocks rather than plaintext.
+    sealed: bool,
+}
+
+/// Configuration of an [`Env`].
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Platform model parameters.
+    pub sgx: SgxConfig,
+    /// Estimated protected bytes (sizes Native enclaves; checked against
+    /// the LibOS enclave size).
+    pub protected_hint: u64,
+    /// Bytes of measured binary content for Native enclaves.
+    pub native_content: u64,
+    /// LibOS manifest; `None` uses the Table 3 defaults with the binary
+    /// named "workload".
+    pub manifest: Option<Manifest>,
+    /// Protected-files mode for LibOS file I/O (Appendix E).
+    pub protected_files: bool,
+    /// Cycles of a host syscall outside any enclave.
+    pub syscall_cycles: u64,
+    /// Copy throughput for I/O staging, cycles per KiB.
+    pub copy_cycles_per_kib: u64,
+    /// I/O batch size (bytes per OCALL in Native mode).
+    pub io_batch: u64,
+}
+
+impl EnvConfig {
+    /// Paper-faithful configuration for `mode` (92 MB EPC, 4 GB LibOS
+    /// enclaves).
+    pub fn paper(mode: ExecMode, protected_hint: u64) -> Self {
+        EnvConfig {
+            mode,
+            sgx: SgxConfig::default(),
+            protected_hint,
+            native_content: 4 << 20,
+            manifest: None,
+            protected_files: false,
+            syscall_cycles: 1_800,
+            copy_cycles_per_kib: 70,
+            io_batch: 64 << 10,
+        }
+    }
+
+    /// A configuration for fast unit tests: small EPC (1024 pages) and a
+    /// small LibOS enclave, so launches take microseconds.
+    pub fn quick_test(mode: ExecMode) -> Self {
+        let mut cfg = EnvConfig::paper(mode, 1 << 20);
+        cfg.sgx = SgxConfig::with_tiny_epc(1024, 16);
+        cfg.manifest = Some(
+            Manifest::builder("workload")
+                .enclave_size(128 << 20)
+                .internal_memory(8 << 20)
+                .build(),
+        );
+        cfg
+    }
+
+    /// Enables switchless OCALLs with `workers` proxy threads (§5.6).
+    pub fn with_switchless(mut self, workers: usize) -> Self {
+        self.sgx.switchless_workers = workers;
+        self
+    }
+
+    /// Enables LibOS protected-files mode (Appendix E).
+    pub fn with_protected_files(mut self) -> Self {
+        self.protected_files = true;
+        self
+    }
+}
+
+/// The execution environment. See the module docs for the mode table and
+/// the crate docs for an example.
+#[derive(Debug)]
+pub struct Env {
+    mode: ExecMode,
+    machine: SgxMachine,
+    regions: Vec<RegionData>,
+    files: HashMap<String, FileEntry>,
+    native_enclave: Option<EnclaveId>,
+    libos: Option<LibosProcess>,
+    threads: Vec<ThreadMeta>,
+    cur: usize,
+    syscall_cycles: u64,
+    copy_cycles_per_kib: u64,
+    io_batch: u64,
+    app_started: bool,
+}
+
+impl Env {
+    /// Builds the platform for `cfg`: creates the machine and main
+    /// thread, and — depending on the mode — the Native enclave or the
+    /// LibOS process (whose expensive launch happens here, so it can be
+    /// excluded from measurement with [`Env::reset_measurement`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave-creation failures.
+    pub fn new(cfg: EnvConfig) -> Result<Env, WorkloadError> {
+        // Resolve the LibOS manifest first: its thread count sets the
+        // enclave's TCS budget (main thread + app threads + slack for
+        // the runtime's own helpers).
+        let manifest = match cfg.mode {
+            ExecMode::LibOs => {
+                let m = cfg
+                    .manifest
+                    .clone()
+                    .unwrap_or_else(|| Manifest::builder("workload").protected_files(cfg.protected_files).build());
+                let m = if cfg.protected_files && !m.protected_files() {
+                    Manifest::builder(m.binary())
+                        .enclave_size(m.enclave_size())
+                        .threads(m.threads())
+                        .internal_memory(m.internal_memory())
+                        .protected_files(true)
+                        .build()
+                } else {
+                    m
+                };
+                Some(m)
+            }
+            _ => None,
+        };
+        let mut sgx = cfg.sgx.clone();
+        if let Some(m) = &manifest {
+            sgx.tcs_per_enclave = m.threads() + 2;
+        }
+        let mut machine = SgxMachine::new(sgx);
+        let main = machine.add_thread();
+        let mut native_enclave = None;
+        let mut libos = None;
+        match cfg.mode {
+            ExecMode::Vanilla => {}
+            ExecMode::Native => {
+                // Size the enclave to the workload: content + heap with
+                // slack, as a porting developer would.
+                let size = cfg.native_content + cfg.protected_hint + cfg.protected_hint / 2 + (16 << 20);
+                native_enclave = Some(machine.create_enclave(size, cfg.native_content)?);
+            }
+            ExecMode::LibOs => {
+                let m = manifest.as_ref().expect("manifest resolved above");
+                libos = Some(LibosProcess::launch(&mut machine, main, m)?);
+            }
+        }
+        Ok(Env {
+            mode: cfg.mode,
+            machine,
+            regions: Vec::new(),
+            files: HashMap::new(),
+            native_enclave,
+            libos,
+            threads: vec![ThreadMeta { id: main, kind: ThreadKind::App }],
+            cur: 0,
+            syscall_cycles: cfg.syscall_cycles,
+            copy_cycles_per_kib: cfg.copy_cycles_per_kib,
+            io_batch: cfg.io_batch,
+            app_started: false,
+        })
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The underlying SGX machine (counters, driver stats, EPC).
+    pub fn machine(&self) -> &SgxMachine {
+        &self.machine
+    }
+
+    /// Mutable machine access, for harness-level plumbing.
+    pub fn machine_mut(&mut self) -> &mut SgxMachine {
+        &mut self.machine
+    }
+
+    /// LibOS start-up statistics, when running in LibOS mode.
+    pub fn libos_startup(&self) -> Option<libos_sim::StartupStats> {
+        self.libos.as_ref().map(|p| p.startup())
+    }
+
+    // ----- lifecycle -------------------------------------------------
+
+    /// Marks the beginning of application execution: in LibOS mode the
+    /// main thread enters the enclave and stays there. Call after
+    /// [`Workload::setup`](crate::Workload::setup), before measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SGX transition failures.
+    pub fn start_app(&mut self) -> Result<(), WorkloadError> {
+        if self.app_started {
+            return Ok(());
+        }
+        self.app_started = true;
+        if let Some(p) = &self.libos {
+            p.enter(&mut self.machine, self.threads[0].id)?;
+        }
+        Ok(())
+    }
+
+    /// Resets all measurement state (counters, clocks, driver samples)
+    /// while keeping caches, TLBs, EPC residency and page tables warm.
+    pub fn reset_measurement(&mut self) {
+        self.machine.reset_measurement();
+    }
+
+    /// Elapsed cycles: the maximum clock over all logical threads.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.machine.mem().elapsed_cycles()
+    }
+
+    // ----- threads ---------------------------------------------------
+
+    /// The main thread.
+    pub fn main_thread(&self) -> SimThread {
+        SimThread { id: self.threads[0].id, idx: 0 }
+    }
+
+    /// The thread operations currently charge to.
+    pub fn current_thread(&self) -> SimThread {
+        SimThread { id: self.threads[self.cur].id, idx: self.cur }
+    }
+
+    /// Spawns an application thread. In LibOS mode the thread enters the
+    /// enclave immediately and stays inside (Graphene assigns it a TCS).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCS exhaustion in LibOS mode.
+    pub fn spawn_app_thread(&mut self) -> Result<SimThread, WorkloadError> {
+        let id = self.machine.add_thread();
+        if let Some(p) = &self.libos {
+            p.enter(&mut self.machine, id)?;
+        }
+        self.threads.push(ThreadMeta { id, kind: ThreadKind::App });
+        Ok(SimThread { id, idx: self.threads.len() - 1 })
+    }
+
+    /// Spawns a driver (load-generator) thread: always untrusted, never
+    /// inside an enclave, in any mode.
+    pub fn spawn_driver_thread(&mut self) -> SimThread {
+        let id = self.machine.add_thread();
+        self.threads.push(ThreadMeta { id, kind: ThreadKind::Driver });
+        SimThread { id, idx: self.threads.len() - 1 }
+    }
+
+    /// Runs `f` with operations charged to `th`, then restores the
+    /// previous thread.
+    pub fn with_thread<T>(&mut self, th: SimThread, f: impl FnOnce(&mut Env) -> T) -> T {
+        let prev = self.cur;
+        self.cur = th.idx;
+        let out = f(self);
+        self.cur = prev;
+        out
+    }
+
+    /// Clock of `th` in cycles.
+    pub fn now_of(&self, th: SimThread) -> u64 {
+        self.machine.mem().cycles_of(th.id)
+    }
+
+    /// Clock of the current thread.
+    pub fn now(&self) -> u64 {
+        self.machine.mem().cycles_of(self.threads[self.cur].id)
+    }
+
+    /// Advances `th`'s clock to at least `cycles` (synchronization).
+    pub fn sync_to(&mut self, th: SimThread, cycles: u64) {
+        self.machine.mem_mut().sync_to(th.id, cycles);
+    }
+
+    /// Fork/join: runs `f(env, i)` once per thread in `workers`, each
+    /// starting no earlier than the current thread's clock; afterwards
+    /// the current thread joins (advances to) the slowest worker.
+    pub fn parallel(&mut self, workers: &[SimThread], mut f: impl FnMut(&mut Env, usize)) {
+        let fork = self.now();
+        for (i, &w) in workers.iter().enumerate() {
+            self.sync_to(w, fork);
+            self.with_thread(w, |env| f(env, i));
+        }
+        let join = workers.iter().map(|&w| self.now_of(w)).max().unwrap_or(fork);
+        let cur = self.current_thread();
+        self.sync_to(cur, join);
+    }
+
+    // ----- memory ----------------------------------------------------
+
+    /// Allocates a region of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a protected allocation exhausts the enclave.
+    pub fn alloc(&mut self, bytes: u64, placement: Placement) -> Result<Region, WorkloadError> {
+        let protected = placement == Placement::Protected && self.mode != ExecMode::Vanilla;
+        let base = match (protected, self.mode) {
+            (true, ExecMode::Native) => {
+                let e = self.native_enclave.expect("native mode has an enclave");
+                self.machine.alloc_enclave_heap(e, bytes)?
+            }
+            (true, ExecMode::LibOs) => {
+                let p = self.libos.as_ref().expect("libos mode has a process");
+                p.alloc(&mut self.machine, bytes)?
+            }
+            _ => self.machine.alloc_untrusted(bytes),
+        };
+        self.regions.push(RegionData { base, data: vec![0u8; bytes as usize], protected });
+        Ok(Region(self.regions.len() - 1))
+    }
+
+    /// Size of `region` in bytes.
+    pub fn region_len(&self, region: Region) -> u64 {
+        self.regions[region.0].data.len() as u64
+    }
+
+    /// Whether `region` is EPC-backed in this mode.
+    pub fn region_protected(&self, region: Region) -> bool {
+        self.regions[region.0].protected
+    }
+
+    #[inline]
+    fn charge_access(&mut self, region: Region, off: u64, len: u64, kind: AccessKind) {
+        let r = &self.regions[region.0];
+        debug_assert!(off + len <= r.data.len() as u64, "region access out of bounds");
+        let addr = r.base + off;
+        let tid = self.threads[self.cur].id;
+        self.machine.access(tid, addr, len, kind);
+    }
+
+    /// Reads a `u64` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    #[inline]
+    pub fn read_u64(&mut self, region: Region, off: u64) -> u64 {
+        self.charge_access(region, off, 8, AccessKind::Read);
+        let d = &self.regions[region.0].data;
+        u64::from_le_bytes(d[off as usize..off as usize + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a `u64` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    #[inline]
+    pub fn write_u64(&mut self, region: Region, off: u64, v: u64) {
+        self.charge_access(region, off, 8, AccessKind::Write);
+        let d = &mut self.regions[region.0].data;
+        d[off as usize..off as usize + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    #[inline]
+    pub fn read_u32(&mut self, region: Region, off: u64) -> u32 {
+        self.charge_access(region, off, 4, AccessKind::Read);
+        let d = &self.regions[region.0].data;
+        u32::from_le_bytes(d[off as usize..off as usize + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a `u32` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    #[inline]
+    pub fn write_u32(&mut self, region: Region, off: u64, v: u32) {
+        self.charge_access(region, off, 4, AccessKind::Write);
+        let d = &mut self.regions[region.0].data;
+        d[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads an `f64` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    #[inline]
+    pub fn read_f64(&mut self, region: Region, off: u64) -> f64 {
+        f64::from_bits(self.read_u64(region, off))
+    }
+
+    /// Writes an `f64` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    #[inline]
+    pub fn write_f64(&mut self, region: Region, off: u64, v: f64) {
+        self.write_u64(region, off, v.to_bits());
+    }
+
+    /// Copies `buf.len()` bytes out of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    pub fn read_bytes(&mut self, region: Region, off: u64, buf: &mut [u8]) {
+        self.charge_access(region, off, buf.len() as u64, AccessKind::Read);
+        let d = &self.regions[region.0].data;
+        buf.copy_from_slice(&d[off as usize..off as usize + buf.len()]);
+    }
+
+    /// Copies `buf` into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the access is out of bounds.
+    pub fn write_bytes(&mut self, region: Region, off: u64, buf: &[u8]) {
+        self.charge_access(region, off, buf.len() as u64, AccessKind::Write);
+        let d = &mut self.regions[region.0].data;
+        d[off as usize..off as usize + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Accounting-only touch of `[off, off+len)` — drives the TLB, cache
+    /// and EPC models without moving bytes. For streaming passes whose
+    /// byte values are irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn touch(&mut self, region: Region, off: u64, len: u64, write: bool) {
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        self.charge_access(region, off, len, kind);
+    }
+
+    /// Charges `cycles` of pure computation to the current thread.
+    pub fn compute(&mut self, cycles: u64) {
+        let tid = self.threads[self.cur].id;
+        self.machine.compute(tid, cycles);
+    }
+
+    // ----- secure calls and syscalls ----------------------------------
+
+    /// Executes `f` in the secure world: an ECALL round trip in Native
+    /// mode, a plain call otherwise (Vanilla has no enclave; LibOS is
+    /// already inside).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition failures (e.g. TCS exhaustion).
+    pub fn secure_call<T>(&mut self, f: impl FnOnce(&mut Env) -> T) -> Result<T, WorkloadError> {
+        let tid = self.threads[self.cur].id;
+        match self.mode {
+            ExecMode::Native => {
+                let e = self.native_enclave.expect("native mode has an enclave");
+                if self.machine.current_enclave(tid).is_some() {
+                    return Ok(f(self)); // nested secure section
+                }
+                self.machine.ecall_enter(tid, e)?;
+                let out = f(self);
+                self.machine.ecall_exit(tid, e)?;
+                Ok(out)
+            }
+            _ => Ok(f(self)),
+        }
+    }
+
+    /// One host syscall with no payload (e.g. `accept`, `futex`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition failures.
+    pub fn host_syscall(&mut self) -> Result<(), WorkloadError> {
+        let tid = self.threads[self.cur].id;
+        let kind = self.threads[self.cur].kind;
+        match self.mode {
+            ExecMode::Vanilla => {
+                self.machine.compute(tid, self.syscall_cycles);
+            }
+            ExecMode::Native => {
+                if self.machine.current_enclave(tid).is_some() {
+                    self.machine.ocall(tid, self.syscall_cycles)?;
+                } else {
+                    self.machine.compute(tid, self.syscall_cycles);
+                }
+            }
+            ExecMode::LibOs => {
+                if kind == ThreadKind::App {
+                    let p = self.libos.as_mut().expect("libos process");
+                    p.shim_mut().syscall_host(&mut self.machine, tid)?;
+                } else {
+                    self.machine.compute(tid, self.syscall_cycles);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfers `bytes` across the trust boundary (socket send/recv,
+    /// pipe): syscalls + staging copies, batched per mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition failures.
+    pub fn io_transfer(&mut self, bytes: u64, _write: bool) -> Result<(), WorkloadError> {
+        let tid = self.threads[self.cur].id;
+        let kind = self.threads[self.cur].kind;
+        let copy = bytes.div_ceil(1024) * self.copy_cycles_per_kib;
+        match self.mode {
+            ExecMode::Vanilla => {
+                self.machine.compute(tid, self.syscall_cycles + copy);
+            }
+            ExecMode::Native => {
+                if self.machine.current_enclave(tid).is_some() {
+                    let chunks = bytes.div_ceil(self.io_batch).max(1);
+                    for _ in 0..chunks {
+                        self.machine.ocall(tid, self.syscall_cycles + copy / chunks)?;
+                    }
+                } else {
+                    self.machine.compute(tid, self.syscall_cycles + copy);
+                }
+            }
+            ExecMode::LibOs => {
+                if kind == ThreadKind::App {
+                    let p = self.libos.as_mut().expect("libos process");
+                    p.shim_mut().file_transfer(&mut self.machine, tid, bytes, _write)?;
+                } else {
+                    self.machine.compute(tid, self.syscall_cycles + copy);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- files -------------------------------------------------------
+
+    /// Installs an input file directly (setup phase, unmeasured).
+    pub fn put_file(&mut self, name: &str, data: Vec<u8>) {
+        self.files.insert(name.to_owned(), FileEntry { data, sealed: false });
+    }
+
+    /// Size of a file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::FileNotFound`] when absent.
+    pub fn file_len(&self, name: &str) -> Result<u64, WorkloadError> {
+        self.files
+            .get(name)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))
+    }
+
+    /// Raw stored bytes of a file (host view — sealed blocks in PF mode).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::FileNotFound`] when absent.
+    pub fn file_raw(&self, name: &str) -> Result<&[u8], WorkloadError> {
+        self.files
+            .get(name)
+            .map(|f| f.data.as_slice())
+            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))
+    }
+
+    fn pf_active(&self) -> bool {
+        self.mode == ExecMode::LibOs
+            && self.libos.as_ref().is_some_and(|p| p.shim().protected_files())
+            && self.threads[self.cur].kind == ThreadKind::App
+    }
+
+    /// Reads a whole file through the mode's I/O path into `region` at
+    /// `off`; returns the plaintext byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::FileNotFound`] when absent;
+    /// [`WorkloadError::Validation`] when a PF block fails verification.
+    pub fn read_file_into(&mut self, name: &str, region: Region, off: u64) -> Result<u64, WorkloadError> {
+        let entry = self
+            .files
+            .get(name)
+            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))?
+            .clone();
+        let plain = if entry.sealed && self.pf_active() {
+            self.pf_unseal_file(&entry.data)?
+        } else {
+            entry.data
+        };
+        self.charge_file_io(plain.len() as u64, false)?;
+        self.write_bytes(region, off, &plain);
+        Ok(plain.len() as u64)
+    }
+
+    /// Reads a whole file into a fresh byte vector (small files; the
+    /// bytes land in unmodeled scratch space, only I/O costs are
+    /// charged).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Env::read_file_into`].
+    pub fn read_file(&mut self, name: &str) -> Result<Vec<u8>, WorkloadError> {
+        let entry = self
+            .files
+            .get(name)
+            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))?
+            .clone();
+        let plain = if entry.sealed && self.pf_active() {
+            self.pf_unseal_file(&entry.data)?
+        } else {
+            entry.data
+        };
+        self.charge_file_io(plain.len() as u64, false)?;
+        Ok(plain)
+    }
+
+    /// Writes `len` bytes of `region` (from `off`) to a file through the
+    /// mode's I/O path; PF mode seals each 4 KiB block with real crypto.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition failures.
+    pub fn write_file_from(&mut self, name: &str, region: Region, off: u64, len: u64) -> Result<(), WorkloadError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(region, off, &mut buf);
+        self.write_file(name, &buf)
+    }
+
+    /// Writes `data` to a file through the mode's I/O path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition failures.
+    pub fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), WorkloadError> {
+        self.charge_file_io(data.len() as u64, true)?;
+        let entry = if self.pf_active() {
+            FileEntry { data: self.pf_seal_file(data), sealed: true }
+        } else {
+            FileEntry { data: data.to_vec(), sealed: false }
+        };
+        self.files.insert(name.to_owned(), entry);
+        Ok(())
+    }
+
+    fn charge_file_io(&mut self, bytes: u64, write: bool) -> Result<(), WorkloadError> {
+        let tid = self.threads[self.cur].id;
+        let kind = self.threads[self.cur].kind;
+        let copy = bytes.div_ceil(1024) * self.copy_cycles_per_kib;
+        match self.mode {
+            ExecMode::Vanilla => {
+                let chunks = bytes.div_ceil(self.io_batch).max(1);
+                self.machine.compute(tid, self.syscall_cycles * chunks + copy);
+            }
+            ExecMode::Native => {
+                if self.machine.current_enclave(tid).is_some() {
+                    let chunks = bytes.div_ceil(self.io_batch).max(1);
+                    for _ in 0..chunks {
+                        self.machine.ocall(tid, self.syscall_cycles + copy / chunks)?;
+                    }
+                } else {
+                    let chunks = bytes.div_ceil(self.io_batch).max(1);
+                    self.machine.compute(tid, self.syscall_cycles * chunks + copy);
+                }
+            }
+            ExecMode::LibOs => {
+                if kind == ThreadKind::App {
+                    let p = self.libos.as_mut().expect("libos process");
+                    p.shim_mut().file_transfer(&mut self.machine, tid, bytes, write)?;
+                } else {
+                    let chunks = bytes.div_ceil(self.io_batch).max(1);
+                    self.machine.compute(tid, self.syscall_cycles * chunks + copy);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn pf_seal_file(&mut self, data: &[u8]) -> Vec<u8> {
+        let p = self.libos.as_mut().expect("pf requires libos");
+        let mut out = Vec::with_capacity(data.len() + data.len() / 64);
+        for block in data.chunks(PAGE_SIZE as usize) {
+            let blob = p.shim_mut().pf_seal(block);
+            let bytes = blob.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    fn pf_unseal_file(&mut self, data: &[u8]) -> Result<Vec<u8>, WorkloadError> {
+        let p = self.libos.as_mut().expect("pf requires libos");
+        let mut out = Vec::with_capacity(data.len());
+        let mut pos = 0usize;
+        while pos < data.len() {
+            if pos + 4 > data.len() {
+                return Err(WorkloadError::Validation("truncated PF block header".into()));
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + len > data.len() {
+                return Err(WorkloadError::Validation("truncated PF block".into()));
+            }
+            let blob = sgx_crypto::SealedBlob::from_bytes(&data[pos..pos + len])
+                .map_err(|e| WorkloadError::Validation(format!("PF block parse: {e}")))?;
+            let plain = p
+                .shim()
+                .pf_open(&blob)
+                .map_err(|e| WorkloadError::Validation(format!("PF block MAC: {e}")))?;
+            out.extend_from_slice(&plain);
+            pos += len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ExecMode;
+
+    fn env(mode: ExecMode) -> Env {
+        Env::new(EnvConfig::quick_test(mode)).unwrap()
+    }
+
+    #[test]
+    fn region_roundtrip_all_modes() {
+        for mode in ExecMode::ALL {
+            let mut e = env(mode);
+            e.start_app().unwrap();
+            let r = e.alloc(4096, Placement::Protected).unwrap();
+            // Protected memory must be touched from the secure world in
+            // Native mode; secure_call is a plain call elsewhere.
+            e.secure_call(|e| {
+                e.write_u64(r, 8, 0xdead_beef);
+                assert_eq!(e.read_u64(r, 8), 0xdead_beef, "{mode}");
+                e.write_u32(r, 100, 7);
+                assert_eq!(e.read_u32(r, 100), 7);
+                e.write_f64(r, 200, 2.5);
+                assert_eq!(e.read_f64(r, 200), 2.5);
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn protected_region_hits_epc_only_in_sgx_modes() {
+        let mut v = env(ExecMode::Vanilla);
+        v.start_app().unwrap();
+        let r = v.alloc(4096, Placement::Protected).unwrap();
+        v.write_u64(r, 0, 1);
+        assert_eq!(v.machine().sgx_counters().epc_faults, 0);
+        assert!(!v.region_protected(r));
+
+        let mut n = env(ExecMode::Native);
+        n.start_app().unwrap();
+        let r = n.alloc(4096, Placement::Protected).unwrap();
+        assert!(n.region_protected(r));
+        n.secure_call(|env| env.write_u64(r, 0, 1)).unwrap();
+        assert!(n.machine().sgx_counters().epc_faults > 0);
+    }
+
+    #[test]
+    fn secure_call_is_ecall_only_in_native() {
+        let mut n = env(ExecMode::Native);
+        n.start_app().unwrap();
+        n.secure_call(|_| ()).unwrap();
+        assert_eq!(n.machine().sgx_counters().ecalls, 1);
+
+        let mut l = env(ExecMode::LibOs);
+        l.start_app().unwrap();
+        l.reset_measurement();
+        l.secure_call(|_| ()).unwrap();
+        assert_eq!(l.machine().sgx_counters().ecalls, 0, "LibOS is already inside");
+
+        let mut v = env(ExecMode::Vanilla);
+        v.start_app().unwrap();
+        v.secure_call(|_| ()).unwrap();
+        assert_eq!(v.machine().sgx_counters().ecalls, 0);
+    }
+
+    #[test]
+    fn nested_secure_call_single_transition() {
+        let mut n = env(ExecMode::Native);
+        n.start_app().unwrap();
+        n.secure_call(|env| env.secure_call(|_| ()).unwrap()).unwrap();
+        assert_eq!(n.machine().sgx_counters().ecalls, 1);
+    }
+
+    #[test]
+    fn file_roundtrip_all_modes() {
+        for mode in ExecMode::ALL {
+            let mut e = env(mode);
+            e.put_file("input", vec![1, 2, 3, 4]);
+            e.start_app().unwrap();
+            let data = e.read_file("input").unwrap();
+            assert_eq!(data, vec![1, 2, 3, 4], "{mode}");
+            e.write_file("output", &[9, 8, 7]).unwrap();
+            assert_eq!(e.read_file("output").unwrap(), vec![9, 8, 7], "{mode}");
+        }
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut e = env(ExecMode::Vanilla);
+        assert!(matches!(e.read_file("nope"), Err(WorkloadError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn pf_mode_seals_on_disk_but_roundtrips() {
+        let mut e = Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files()).unwrap();
+        e.start_app().unwrap();
+        e.write_file("secret", b"plaintext payload").unwrap();
+        // Host view must not contain the plaintext.
+        let raw = e.file_raw("secret").unwrap().to_vec();
+        assert!(!raw.windows(9).any(|w| w == b"plaintext"), "PF leaked plaintext");
+        // App view round-trips.
+        assert_eq!(e.read_file("secret").unwrap(), b"plaintext payload");
+    }
+
+    #[test]
+    fn libos_file_io_goes_through_shim_ocalls() {
+        let mut e = env(ExecMode::LibOs);
+        e.put_file("big", vec![0u8; 1 << 20]);
+        e.start_app().unwrap();
+        e.reset_measurement();
+        let r = e.alloc(1 << 20, Placement::Protected).unwrap();
+        e.read_file_into("big", r, 0).unwrap();
+        assert!(e.machine().sgx_counters().ocalls >= 4, "batched file OCALLs expected");
+    }
+
+    #[test]
+    fn native_file_io_uses_ocalls_only_inside_enclave() {
+        let mut e = env(ExecMode::Native);
+        e.put_file("f", vec![0u8; 128 << 10]);
+        e.start_app().unwrap();
+        e.reset_measurement();
+        let r = e.alloc(128 << 10, Placement::Untrusted).unwrap();
+        e.read_file_into("f", r, 0).unwrap(); // outside enclave
+        assert_eq!(e.machine().sgx_counters().ocalls, 0);
+        e.secure_call(|env| env.read_file_into("f", r, 0).map(|_| ())).unwrap().unwrap();
+        assert!(e.machine().sgx_counters().ocalls >= 2);
+    }
+
+    #[test]
+    fn parallel_forks_and_joins_clocks() {
+        let mut e = env(ExecMode::Vanilla);
+        e.start_app().unwrap();
+        let a = e.spawn_app_thread().unwrap();
+        let b = e.spawn_app_thread().unwrap();
+        e.compute(1_000); // main is at 1000 at fork
+        e.parallel(&[a, b], |env, i| {
+            env.compute((i as u64 + 1) * 500);
+        });
+        assert!(e.now_of(a) >= 1_500);
+        assert!(e.now_of(b) >= 2_000);
+        assert_eq!(e.now(), e.now_of(b), "main joined to slowest worker");
+    }
+
+    #[test]
+    fn libos_app_threads_enter_enclave() {
+        let mut e = env(ExecMode::LibOs);
+        e.start_app().unwrap();
+        e.reset_measurement();
+        let t = e.spawn_app_thread().unwrap();
+        assert_eq!(e.machine().sgx_counters().ecalls, 1);
+        // App thread accesses protected memory without further ECALLs.
+        let r = e.alloc(4096, Placement::Protected).unwrap();
+        e.with_thread(t, |env| env.write_u64(r, 0, 5));
+        assert_eq!(e.machine().sgx_counters().ecalls, 1);
+    }
+
+    #[test]
+    fn driver_threads_stay_untrusted() {
+        let mut e = env(ExecMode::LibOs);
+        e.start_app().unwrap();
+        e.reset_measurement();
+        let d = e.spawn_driver_thread();
+        e.with_thread(d, |env| env.host_syscall().unwrap());
+        assert_eq!(e.machine().sgx_counters().ecalls, 0);
+        assert_eq!(e.machine().sgx_counters().ocalls, 0);
+    }
+
+    #[test]
+    fn touch_drives_counters_without_data() {
+        let mut e = env(ExecMode::Vanilla);
+        let r = e.alloc(1 << 20, Placement::Untrusted).unwrap();
+        let before = e.machine().mem().counters().mem_reads;
+        e.touch(r, 0, 1 << 20, false);
+        let delta = e.machine().mem().counters().mem_reads - before;
+        assert_eq!(delta, (1 << 20) / 64, "one read per line");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut e = env(ExecMode::Vanilla);
+        let r = e.alloc(8, Placement::Untrusted).unwrap();
+        let _ = e.read_u64(r, 4);
+    }
+}

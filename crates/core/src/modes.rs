@@ -1,0 +1,76 @@
+//! Execution modes and input settings (Table 1 of the paper).
+
+use std::fmt;
+
+/// How a workload is executed with respect to SGX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecMode {
+    /// Without Intel SGX support.
+    Vanilla,
+    /// Ported to SGX: the sensitive kernel runs in an enclave, reached
+    /// via ECALLs; I/O leaves via OCALLs.
+    Native,
+    /// Shimmed: the unmodified application runs under a library OS
+    /// (GrapheneSGX analogue) inside one big enclave.
+    LibOs,
+}
+
+impl ExecMode {
+    /// All modes, in the paper's presentation order.
+    pub const ALL: [ExecMode; 3] = [ExecMode::Vanilla, ExecMode::Native, ExecMode::LibOs];
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Vanilla => write!(f, "Vanilla"),
+            ExecMode::Native => write!(f, "Native"),
+            ExecMode::LibOs => write!(f, "LibOS"),
+        }
+    }
+}
+
+/// Input sizing relative to the EPC (Table 1): Low (< EPC), Medium
+/// (≈ EPC), High (> EPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputSetting {
+    /// Memory footprint below the EPC size.
+    Low,
+    /// Memory footprint around the EPC size.
+    Medium,
+    /// Memory footprint above the EPC size.
+    High,
+}
+
+impl InputSetting {
+    /// All settings, smallest first.
+    pub const ALL: [InputSetting; 3] = [InputSetting::Low, InputSetting::Medium, InputSetting::High];
+}
+
+impl fmt::Display for InputSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputSetting::Low => write!(f, "Low"),
+            InputSetting::Medium => write!(f, "Medium"),
+            InputSetting::High => write!(f, "High"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(ExecMode::LibOs.to_string(), "LibOS");
+        assert_eq!(InputSetting::Medium.to_string(), "Medium");
+    }
+
+    #[test]
+    fn orderings() {
+        assert!(InputSetting::Low < InputSetting::High);
+        assert_eq!(ExecMode::ALL.len(), 3);
+        assert_eq!(InputSetting::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Executing (workload × mode × setting) combinations.
+
+use crate::env::{Env, EnvConfig};
+use crate::modes::{ExecMode, InputSetting};
+use crate::workload::{Workload, WorkloadError, WorkloadOutput};
+use libos_sim::StartupStats;
+use mem_sim::Counters;
+use sgx_sim::{DriverStats, SgxCounters};
+
+/// Configuration of a [`Runner`].
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Base environment template (the mode field is overridden per run).
+    pub env: EnvConfig,
+    /// Repetitions per combination; the paper uses ≥10 and reports the
+    /// geometric mean, which [`crate::report`] computes from the reports.
+    pub repetitions: usize,
+}
+
+impl RunnerConfig {
+    /// Paper-faithful platform with `reps` repetitions.
+    pub fn paper(reps: usize) -> Self {
+        RunnerConfig { env: EnvConfig::paper(ExecMode::Vanilla, 0), repetitions: reps }
+    }
+
+    /// Fast configuration for tests.
+    pub fn quick_test() -> Self {
+        RunnerConfig { env: EnvConfig::quick_test(ExecMode::Vanilla), repetitions: 1 }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Mode the run executed in.
+    pub mode: ExecMode,
+    /// Input setting.
+    pub setting: InputSetting,
+    /// Measured wall-clock in cycles (max over thread clocks).
+    pub runtime_cycles: u64,
+    /// Hardware counters of the measured region.
+    pub counters: Counters,
+    /// SGX event counters of the measured region.
+    pub sgx: SgxCounters,
+    /// Driver latency samples of the measured region.
+    pub driver: DriverStats,
+    /// LibOS start-up statistics (LibOS mode only; excluded from
+    /// `runtime_cycles` per Appendix D).
+    pub libos_startup: Option<StartupStats>,
+    /// The workload's output (ops, checksum, metrics).
+    pub output: WorkloadOutput,
+}
+
+impl RunReport {
+    /// Runtime in seconds at the modeled 3.8 GHz clock.
+    pub fn runtime_seconds(&self) -> f64 {
+        self.runtime_cycles as f64 / 3.8e9
+    }
+}
+
+/// Runs workloads and produces [`RunReport`]s.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cfg: RunnerConfig,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(cfg: RunnerConfig) -> Self {
+        Runner { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.cfg
+    }
+
+    /// Runs one (workload, mode, setting) combination once and reports.
+    ///
+    /// The sequence mirrors the paper's methodology: build the platform
+    /// (enclave creation / LibOS launch), run `setup` unmeasured, enter
+    /// the application, reset all counters, execute, snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Other`] when the workload does not support
+    /// `mode`; otherwise whatever the workload surfaces.
+    pub fn run_once(
+        &self,
+        workload: &dyn Workload,
+        mode: ExecMode,
+        setting: InputSetting,
+    ) -> Result<RunReport, WorkloadError> {
+        if !workload.supports(mode) {
+            return Err(WorkloadError::Other(format!(
+                "{} does not support {mode} mode",
+                workload.name()
+            )));
+        }
+        let spec = workload.spec(setting);
+        let mut env_cfg = self.cfg.env.clone();
+        env_cfg.mode = mode;
+        env_cfg.protected_hint = spec.protected_bytes;
+        let mut env = Env::new(env_cfg)?;
+        workload.setup(&mut env, setting)?;
+        env.start_app()?;
+        let libos_startup = env.libos_startup();
+        env.reset_measurement();
+        let output = workload.execute(&mut env, setting)?;
+        Ok(RunReport {
+            workload: workload.name(),
+            mode,
+            setting,
+            runtime_cycles: env.elapsed_cycles(),
+            counters: *env.machine().mem().counters(),
+            sgx: *env.machine().sgx_counters(),
+            driver: env.machine().driver_stats().clone(),
+            libos_startup,
+            output,
+        })
+    }
+
+    /// Runs the configured number of repetitions and returns all reports.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first failing repetition.
+    pub fn run(
+        &self,
+        workload: &dyn Workload,
+        mode: ExecMode,
+        setting: InputSetting,
+    ) -> Result<Vec<RunReport>, WorkloadError> {
+        (0..self.cfg.repetitions.max(1))
+            .map(|_| self.run_once(workload, mode, setting))
+            .collect()
+    }
+
+    /// Runs every supported mode at `setting`, returning reports in
+    /// [`ExecMode::ALL`] order (one per mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first failing run.
+    pub fn run_modes(
+        &self,
+        workload: &dyn Workload,
+        setting: InputSetting,
+    ) -> Result<Vec<RunReport>, WorkloadError> {
+        ExecMode::ALL
+            .iter()
+            .filter(|m| workload.supports(**m))
+            .map(|&m| self.run_once(workload, m, setting))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Placement;
+    use crate::workload::WorkloadSpec;
+
+    /// A minimal workload touching protected memory.
+    struct Toy;
+
+    impl Workload for Toy {
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla, ExecMode::Native, ExecMode::LibOs]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(1 << 20, "toy")
+        }
+
+        fn setup(&self, env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            env.put_file("in", vec![7u8; 4096]);
+            Ok(())
+        }
+
+        fn execute(&self, env: &mut Env, _setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+            let r = env.alloc(64 << 10, Placement::Protected)?;
+            env.secure_call(|env| {
+                let n = env.read_file_into("in", r, 0)?;
+                let mut sum = 0u64;
+                for i in 0..n / 8 {
+                    sum = sum.wrapping_add(env.read_u64(r, i * 8));
+                }
+                Ok::<u64, WorkloadError>(sum)
+            })??;
+            Ok(WorkloadOutput { ops: 1, checksum: 42, metrics: vec![] })
+        }
+    }
+
+    #[test]
+    fn run_once_all_modes() {
+        let runner = Runner::new(RunnerConfig::quick_test());
+        for mode in ExecMode::ALL {
+            let r = runner.run_once(&Toy, mode, InputSetting::Low).unwrap();
+            assert_eq!(r.workload, "Toy");
+            assert!(r.runtime_cycles > 0, "{mode}");
+            assert_eq!(r.output.checksum, 42);
+            match mode {
+                ExecMode::Vanilla => {
+                    assert_eq!(r.sgx.ecalls, 0);
+                    assert!(r.libos_startup.is_none());
+                }
+                ExecMode::Native => assert_eq!(r.sgx.ecalls, 1),
+                ExecMode::LibOs => {
+                    assert!(r.libos_startup.is_some());
+                    assert_eq!(r.sgx.ecalls, 0, "startup excluded from measurement");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sgx_modes_slower_than_vanilla() {
+        let runner = Runner::new(RunnerConfig::quick_test());
+        let v = runner.run_once(&Toy, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let n = runner.run_once(&Toy, ExecMode::Native, InputSetting::Low).unwrap();
+        assert!(n.runtime_cycles > v.runtime_cycles);
+    }
+
+    #[test]
+    fn repetitions_respected() {
+        let mut cfg = RunnerConfig::quick_test();
+        cfg.repetitions = 3;
+        let runner = Runner::new(cfg);
+        let reports = runner.run(&Toy, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        assert_eq!(reports.len(), 3);
+    }
+
+    #[test]
+    fn run_modes_covers_supported() {
+        let runner = Runner::new(RunnerConfig::quick_test());
+        let reports = runner.run_modes(&Toy, InputSetting::Low).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].mode, ExecMode::Vanilla);
+    }
+}

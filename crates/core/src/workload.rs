@@ -1,0 +1,149 @@
+//! The [`Workload`] trait and its supporting types.
+
+use crate::env::Env;
+use crate::modes::{ExecMode, InputSetting};
+use sgx_sim::SgxError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by workloads and the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// An SGX-level failure (TCS exhaustion, enclave memory, …).
+    Sgx(SgxError),
+    /// A missing input file.
+    FileNotFound(String),
+    /// The workload's self-validation failed (wrong result).
+    Validation(String),
+    /// Anything else, described.
+    Other(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Sgx(e) => write!(f, "sgx error: {e}"),
+            WorkloadError::FileNotFound(n) => write!(f, "file not found: {n}"),
+            WorkloadError::Validation(m) => write!(f, "validation failed: {m}"),
+            WorkloadError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgxError> for WorkloadError {
+    fn from(e: SgxError) -> Self {
+        WorkloadError::Sgx(e)
+    }
+}
+
+/// Static description of one (workload, setting) combination, the analog
+/// of a row slice of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Estimated bytes of protected (in-enclave) memory the run needs;
+    /// the runner sizes Native-mode enclaves from this.
+    pub protected_bytes: u64,
+    /// Human-readable parameter summary (e.g. "Elements 1 M").
+    pub params: String,
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor.
+    pub fn new(protected_bytes: u64, params: impl Into<String>) -> Self {
+        WorkloadSpec { protected_bytes, params: params.into() }
+    }
+}
+
+/// What a workload produced: a validation checksum plus metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadOutput {
+    /// Number of application-level operations completed (requests,
+    /// lookups, hashes …) for throughput/latency derivations.
+    pub ops: u64,
+    /// A deterministic checksum of the computed result, so every mode can
+    /// be cross-checked against Vanilla.
+    pub checksum: u64,
+    /// Named metrics specific to the workload (e.g. mean request latency
+    /// in cycles for Lighttpd).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl WorkloadOutput {
+    /// Looks up a named metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// A benchmark in the SGXGauge suite.
+///
+/// Implementations are stateless descriptions; all mutable state lives in
+/// the [`Env`]. `setup` prepares inputs (unmeasured), `execute` is the
+/// measured region.
+pub trait Workload {
+    /// Workload name as the paper spells it (e.g. "BTree").
+    fn name(&self) -> &'static str;
+
+    /// The property column of Table 2 (e.g. "Data/CPU-intensive").
+    fn property(&self) -> &'static str;
+
+    /// Modes this workload supports (Table 2: four of the ten run only
+    /// under Vanilla + LibOS).
+    fn supported_modes(&self) -> &'static [ExecMode];
+
+    /// Sizing for `setting`.
+    fn spec(&self, setting: InputSetting) -> WorkloadSpec;
+
+    /// Prepares inputs (writes input files, etc.). Runs unmeasured,
+    /// outside the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] when preparation fails.
+    fn setup(&self, env: &mut Env, setting: InputSetting) -> Result<(), WorkloadError>;
+
+    /// The measured execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] when the run fails or self-validation
+    /// does not pass.
+    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError>;
+
+    /// Whether `mode` is supported.
+    fn supports(&self, mode: ExecMode) -> bool {
+        self.supported_modes().contains(&mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_metric_lookup() {
+        let out = WorkloadOutput {
+            ops: 1,
+            checksum: 2,
+            metrics: vec![("lat".into(), 3.5)],
+        };
+        assert_eq!(out.metric("lat"), Some(3.5));
+        assert_eq!(out.metric("nope"), None);
+    }
+
+    #[test]
+    fn error_display_and_from() {
+        let e: WorkloadError = SgxError::NotInEnclave.into();
+        assert!(e.to_string().contains("sgx error"));
+        assert!(WorkloadError::FileNotFound("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,114 @@
+//! Terminal bar charts, for rendering the paper's figures as text.
+//!
+//! The bench targets emit tables and CSV; the CLI's `compare` command
+//! additionally renders a horizontal bar chart so the figure shapes (the
+//! EPC cliff, the mode gaps) are visible at a glance without plotting
+//! tools.
+
+use std::fmt;
+
+/// A horizontal bar chart.
+///
+/// ```
+/// use gauge_stats::chart::BarChart;
+/// let mut c = BarChart::new("overhead (x)", 20);
+/// c.push("Vanilla", 1.0);
+/// c.push("Native", 3.4);
+/// let s = c.to_string();
+/// assert!(s.contains("Native"));
+/// assert!(s.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart whose longest bar spans `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(title: &str, width: usize) -> Self {
+        assert!(width > 0, "chart width must be positive");
+        BarChart { title: title.to_owned(), width, bars: Vec::new() }
+    }
+
+    /// Appends a labeled value. Negative values are clamped to zero.
+    pub fn push(&mut self, label: &str, value: f64) {
+        self.bars.push((label.to_owned(), value.max(0.0)));
+    }
+
+    /// Number of bars so far.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- {} --", self.title)?;
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, v) in &self.bars {
+            let n = if max > 0.0 {
+                ((v / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            writeln!(f, "{label:>label_w$} | {:<width$} {v:.2}", "#".repeat(n), width = self.width)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new("t", 10);
+        c.push("a", 5.0);
+        c.push("b", 10.0);
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].matches('#').count(), 5);
+        assert_eq!(lines[2].matches('#').count(), 10);
+    }
+
+    #[test]
+    fn zero_and_negative_safe() {
+        let mut c = BarChart::new("t", 10);
+        c.push("zero", 0.0);
+        c.push("neg", -3.0);
+        let s = c.to_string();
+        assert!(!s.contains('#'));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn labels_aligned() {
+        let mut c = BarChart::new("t", 4);
+        c.push("short", 1.0);
+        c.push("a-much-longer-label", 2.0);
+        let s = c.to_string();
+        for line in s.lines().skip(1) {
+            assert!(line.contains(" | "));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let _ = BarChart::new("t", 0);
+    }
+}

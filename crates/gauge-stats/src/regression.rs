@@ -1,0 +1,281 @@
+//! Ordinary-least-squares linear regression (Appendix C / Table 5).
+//!
+//! The paper fits execution time as a linear function of the hardware
+//! counters, standardizes the features, and ranks counters by coefficient
+//! magnitude. We solve the normal equations with Gaussian elimination
+//! (partial pivoting); a tiny ridge term keeps collinear counter columns
+//! (common: walk cycles track dTLB misses) from blowing up.
+
+use std::error::Error;
+use std::fmt;
+
+/// Regression failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer observations than features + intercept.
+    TooFewSamples,
+    /// Rows have inconsistent numbers of features.
+    RaggedRows,
+    /// The normal-equation matrix was singular even after ridging.
+    Singular,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::TooFewSamples => write!(f, "not enough samples for the feature count"),
+            RegressionError::RaggedRows => write!(f, "feature rows have inconsistent lengths"),
+            RegressionError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl Error for RegressionError {}
+
+/// A fitted linear model `y = intercept + coefficients . x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Intercept term.
+    pub intercept: f64,
+    /// One coefficient per feature column.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearRegression {
+    /// Fits OLS on raw (unstandardized) features.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegressionError`].
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearRegression, RegressionError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(RegressionError::TooFewSamples);
+        }
+        let k = xs[0].len();
+        if xs.iter().any(|r| r.len() != k) {
+            return Err(RegressionError::RaggedRows);
+        }
+        if xs.len() < k + 1 {
+            return Err(RegressionError::TooFewSamples);
+        }
+        let n = xs.len();
+        let dim = k + 1; // intercept column first
+        // Build X^T X and X^T y.
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for (row, &y) in xs.iter().zip(ys) {
+            let mut full = Vec::with_capacity(dim);
+            full.push(1.0);
+            full.extend_from_slice(row);
+            for i in 0..dim {
+                xty[i] += full[i] * y;
+                for j in 0..dim {
+                    xtx[i][j] += full[i] * full[j];
+                }
+            }
+        }
+        // Ridge for numerical stability on (near-)collinear counters.
+        let trace: f64 = (0..dim).map(|i| xtx[i][i]).sum();
+        let lambda = 1e-9 * trace.max(1.0) / dim as f64;
+        for (i, row) in xtx.iter_mut().enumerate().skip(1) {
+            row[i] += lambda;
+        }
+        let beta = solve(xtx, xty)?;
+        // R^2.
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (row, &y) in xs.iter().zip(ys) {
+            let pred = beta[0] + row.iter().zip(&beta[1..]).map(|(x, b)| x * b).sum::<f64>();
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - y_mean) * (y - y_mean);
+        }
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Ok(LinearRegression { intercept: beta[0], coefficients: beta[1..].to_vec(), r_squared })
+    }
+
+    /// Predicts `y` for a feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "feature count mismatch");
+        self.intercept + x.iter().zip(&self.coefficients).map(|(x, b)| x * b).sum::<f64>()
+    }
+}
+
+/// Fits on z-scored features and a normalized target, returning the
+/// standardized coefficients the paper tabulates (Table 5): comparable
+/// magnitudes, sign preserved. Constant columns get coefficient 0.
+///
+/// # Errors
+///
+/// See [`RegressionError`].
+pub fn standardized_coefficients(xs: &[Vec<f64>], ys: &[f64]) -> Result<Vec<f64>, RegressionError> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return Err(RegressionError::TooFewSamples);
+    }
+    let k = xs[0].len();
+    if xs.iter().any(|r| r.len() != k) {
+        return Err(RegressionError::RaggedRows);
+    }
+    let n = xs.len() as f64;
+    let mut mu = vec![0.0; k];
+    let mut sd = vec![0.0; k];
+    for row in xs {
+        for (j, &v) in row.iter().enumerate() {
+            mu[j] += v;
+        }
+    }
+    for m in &mut mu {
+        *m /= n;
+    }
+    for row in xs {
+        for (j, &v) in row.iter().enumerate() {
+            sd[j] += (v - mu[j]) * (v - mu[j]);
+        }
+    }
+    for s in &mut sd {
+        *s = (*s / n).sqrt();
+    }
+    let y_mu = ys.iter().sum::<f64>() / n;
+    let y_sd = (ys.iter().map(|y| (y - y_mu) * (y - y_mu)).sum::<f64>() / n).sqrt();
+    let keep: Vec<usize> = (0..k).filter(|&j| sd[j] > 0.0).collect();
+    let zx: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|row| keep.iter().map(|&j| (row[j] - mu[j]) / sd[j]).collect())
+        .collect();
+    let zy: Vec<f64> = if y_sd > 0.0 {
+        ys.iter().map(|y| (y - y_mu) / y_sd).collect()
+    } else {
+        vec![0.0; ys.len()]
+    };
+    let fit = LinearRegression::fit(&zx, &zy)?;
+    let mut out = vec![0.0; k];
+    for (slot, &j) in keep.iter().enumerate() {
+        out[j] = fit.coefficients[slot];
+    }
+    Ok(out)
+}
+
+/// Solves `a x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressionError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("NaN in solver"))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(RegressionError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (c, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 3 + 2a - b
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-6, "intercept {}", fit.intercept);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-6);
+        assert!((fit.coefficients[1] + 1.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn predict_matches_fit() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let ys = vec![2.0, 4.0, 6.0, 8.0];
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.predict(&[5.0]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standardized_ranks_dominant_feature_first() {
+        // y driven overwhelmingly by feature 0.
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64, ((i * 13) % 17) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 100.0 * r[0] + 0.5 * r[1]).collect();
+        let coefs = standardized_coefficients(&xs, &ys).unwrap();
+        assert!(coefs[0].abs() > coefs[1].abs());
+        assert!(coefs[0] > 0.9, "dominant standardized coef {}", coefs[0]);
+    }
+
+    #[test]
+    fn constant_column_gets_zero_coefficient() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 7.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0).collect();
+        let coefs = standardized_coefficients(&xs, &ys).unwrap();
+        assert_eq!(coefs[1], 0.0);
+        assert!(coefs[0] > 0.99);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let xs = vec![vec![1.0, 2.0]];
+        let ys = vec![1.0];
+        assert_eq!(LinearRegression::fit(&xs, &ys), Err(RegressionError::TooFewSamples));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let xs = vec![vec![1.0], vec![1.0, 2.0], vec![3.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert_eq!(LinearRegression::fit(&xs, &ys), Err(RegressionError::RaggedRows));
+    }
+
+    #[test]
+    fn collinear_columns_survive_via_ridge() {
+        // Second column is exactly 2x the first.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 5.0 * i as f64).collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        // Prediction still works even if individual coefs are not unique.
+        assert!((fit.predict(&[10.0, 20.0]) - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| 3.0 * i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.99);
+    }
+}

@@ -1,0 +1,144 @@
+//! Summary statistics: means, geometric means, percentiles.
+
+/// Arithmetic mean of `xs` (zero for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of `xs`, the aggregation the paper uses across runs.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (a ratio of zero time makes no
+/// sense and would silently poison the mean).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Ratio `num / den` guarding against a zero denominator (returns 0).
+pub fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// The `p`-th percentile (0–100) using nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `0..=100` or `xs` is empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Geometric mean.
+    pub geomean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains non-positive values (the
+    /// geometric mean requires positivity).
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            geomean: geomean(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            median: percentile(xs, 50.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_below_arithmetic_mean() {
+        let xs = [1.0, 10.0, 100.0];
+        assert!(geomean(&xs) < mean(&xs));
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 4.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.geomean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(4.0, 2.0), 2.0);
+        assert_eq!(ratio(4.0, 0.0), 0.0);
+    }
+}

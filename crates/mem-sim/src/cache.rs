@@ -1,0 +1,222 @@
+//! Cache-hierarchy model: per-thread L1 front-ends and a shared,
+//! set-associative last-level cache (LLC).
+//!
+//! Only the LLC is fully timed per the paper's counters ("LLC misses");
+//! the L1 exists so that hot lines do not reach the LLC at all, which is
+//! what makes LLC-miss counts meaningful for cache-friendly workloads.
+
+use crate::LINE_SHIFT;
+
+/// Outcome of a cache access, naming the level that supplied the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the per-thread L1.
+    L1Hit,
+    /// Served from the shared LLC.
+    LlcHit,
+    /// Missed the entire hierarchy; DRAM supplies the line.
+    Miss,
+}
+
+/// A direct-mapped per-thread L1 data cache (tag array only).
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    tags: Vec<u64>,
+}
+
+impl L1Cache {
+    /// Creates an L1 with `lines` cache lines (rounded up to a power of
+    /// two).
+    pub fn new(lines: usize) -> Self {
+        let n = lines.next_power_of_two().max(1);
+        L1Cache { tags: vec![u64::MAX; n] }
+    }
+
+    #[inline]
+    fn slot(&self, line: u64) -> usize {
+        (line as usize) & (self.tags.len() - 1)
+    }
+
+    /// Probes and fills in one step; returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, line: u64) -> bool {
+        let s = self.slot(line);
+        if self.tags[s] == line {
+            true
+        } else {
+            self.tags[s] = line;
+            false
+        }
+    }
+
+    /// Invalidates every line (used when modeling cache pollution on
+    /// enclave transitions is desired).
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+    }
+}
+
+impl Default for L1Cache {
+    /// 32 KiB of 64-byte lines (512 lines), the usual L1D size.
+    fn default() -> Self {
+        L1Cache::new(512)
+    }
+}
+
+/// The shared set-associative last-level cache.
+///
+/// Defaults model the 12 MB, 16-way LLC of the paper's Xeon E-2186G
+/// (Table 3).
+///
+/// ```
+/// use mem_sim::cache::Llc;
+/// let mut llc = Llc::default();
+/// assert!(!llc.access(0));  // cold miss
+/// assert!(llc.access(0));   // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Llc {
+    tags: Vec<u64>,
+    stamps: Vec<u32>,
+    sets: usize,
+    ways: usize,
+    clock: u32,
+}
+
+impl Llc {
+    /// Creates an LLC with capacity `bytes`, associativity `ways` and
+    /// 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` does not describe at least one full set.
+    pub fn new(bytes: usize, ways: usize) -> Self {
+        let lines = bytes >> LINE_SHIFT;
+        assert!(ways > 0 && lines >= ways, "LLC must hold at least one set");
+        let sets = lines / ways;
+        Llc {
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            sets,
+            ways,
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.sets
+    }
+
+    /// Probes for `line`, filling it on a miss; returns `true` on hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        self.clock = self.clock.wrapping_add(1);
+        let mut victim = 0;
+        let mut oldest_age = 0;
+        for w in 0..self.ways {
+            let t = self.tags[base + w];
+            if t == line {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+            if t == u64::MAX {
+                // Prefer an invalid way; give it an unbeatable age.
+                victim = w;
+                oldest_age = u32::MAX;
+                continue;
+            }
+            let age = self.clock.wrapping_sub(self.stamps[base + w]);
+            if age >= oldest_age && oldest_age != u32::MAX {
+                victim = w;
+                oldest_age = age;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Reports residency without touching replacement state.
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Number of sets (exposed for tests and sizing diagnostics).
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+impl Default for Llc {
+    fn default() -> Self {
+        Llc::new(12 << 20, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_direct_mapped_conflicts() {
+        let mut l1 = L1Cache::new(2);
+        assert!(!l1.access(0));
+        assert!(l1.access(0));
+        assert!(!l1.access(2)); // same slot as 0
+        assert!(!l1.access(0)); // evicted by 2
+    }
+
+    #[test]
+    fn llc_lru_within_set() {
+        // 2 sets x 2 ways, 64B lines => 256 bytes.
+        let mut llc = Llc::new(256, 2);
+        assert_eq!(llc.sets(), 2);
+        // Lines 0,2,4 all land in set 0.
+        llc.access(0);
+        llc.access(2);
+        llc.access(0); // refresh 0
+        llc.access(4); // evict 2 (LRU)
+        assert!(llc.contains(0));
+        assert!(!llc.contains(2));
+        assert!(llc.contains(4));
+    }
+
+    #[test]
+    fn llc_hit_after_fill() {
+        let mut llc = Llc::default();
+        assert!(!llc.access(1234));
+        assert!(llc.access(1234));
+    }
+
+    #[test]
+    fn default_llc_geometry_matches_xeon() {
+        let llc = Llc::default();
+        assert_eq!(llc.ways(), 16);
+        assert_eq!(llc.sets() * llc.ways() * 64, 12 << 20);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_thrashes() {
+        let mut llc = Llc::new(1 << 10, 4); // 1 KiB: 16 lines
+        for line in 0..64 {
+            llc.access(line);
+        }
+        // Re-touch the first lines: all must miss again.
+        let mut misses = 0;
+        for line in 0..16 {
+            if !llc.access(line) {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 16);
+    }
+}

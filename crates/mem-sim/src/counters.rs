@@ -1,0 +1,169 @@
+//! Hardware-performance-counter model.
+//!
+//! [`Counters`] is the simulated analogue of the `perf` counter set the
+//! paper samples: dTLB misses, page-walk cycles, stall cycles, LLC misses
+//! and page faults, plus bookkeeping totals used by the reports.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+macro_rules! define_counters {
+    ($(#[$meta:meta])* pub struct $name:ident { $($(#[$fmeta:meta])* pub $field:ident: u64,)+ }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name {
+            $($(#[$fmeta])* pub $field: u64,)+
+        }
+
+        impl $name {
+            /// Returns a zeroed counter set; identical to `default()`.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Returns `(name, value)` pairs for every counter, in
+            /// declaration order. Useful for CSV emission and generic
+            /// reports.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field)),+]
+            }
+
+            /// Saturating per-field subtraction; convenient when intervals
+            /// may be measured across a counter reset.
+            pub fn saturating_sub(&self, rhs: &$name) -> $name {
+                $name { $($field: self.$field.saturating_sub(rhs.$field)),+ }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+
+            fn add(self, rhs: $name) -> $name {
+                $name { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+
+            /// Interval between two snapshots.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if any field of `rhs` exceeds the
+            /// matching field of `self` (i.e. the snapshots are swapped);
+            /// use `saturating_sub` when that may legitimately happen.
+            fn sub(self, rhs: $name) -> $name {
+                $name { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                for (name, v) in self.fields() {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{name}={v}")?;
+                    first = false;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+define_counters! {
+    /// A snapshot of the simulated hardware performance counters.
+    ///
+    /// All fields are monotonically increasing event counts or cycle
+    /// totals. Two snapshots can be subtracted to obtain the counters of
+    /// an interval, exactly like reading `perf` counters before and after
+    /// a region of interest:
+    ///
+    /// ```
+    /// use mem_sim::Counters;
+    /// let before = Counters::default();
+    /// let mut after = Counters::default();
+    /// after.dtlb_misses = 10;
+    /// let delta = after - before;
+    /// assert_eq!(delta.dtlb_misses, 10);
+    /// ```
+    pub struct Counters {
+        /// Retired simulated load operations.
+        pub mem_reads: u64,
+        /// Retired simulated store operations.
+        pub mem_writes: u64,
+        /// Data-TLB misses that required a page walk (missed both TLB levels).
+        pub dtlb_misses: u64,
+        /// Hits in the second-level TLB (missed the L1 dTLB only).
+        pub stlb_hits: u64,
+        /// Cycles spent in hardware page walks (including EPCM checks).
+        pub walk_cycles: u64,
+        /// Cycles the pipeline stalled waiting on the memory hierarchy
+        /// beyond an L1 hit.
+        pub stall_cycles: u64,
+        /// Accesses that reached the shared last-level cache.
+        pub llc_accesses: u64,
+        /// Accesses that missed the shared last-level cache.
+        pub llc_misses: u64,
+        /// Operating-system page faults (minor, demand paging).
+        pub page_faults: u64,
+        /// Cycles of pure computation charged by workloads.
+        pub compute_cycles: u64,
+        /// Full TLB flushes (enclave transitions cause these).
+        pub tlb_flushes: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let a = Counters { dtlb_misses: 5, walk_cycles: 100, ..Default::default() };
+        let b = Counters { dtlb_misses: 2, walk_cycles: 40, ..Default::default() };
+        let sum = a + b;
+        assert_eq!(sum.dtlb_misses, 7);
+        assert_eq!(sum - b, a);
+    }
+
+    #[test]
+    fn fields_cover_all_counters() {
+        let c = Counters { mem_reads: 1, tlb_flushes: 2, ..Default::default() };
+        let f = c.fields();
+        assert_eq!(f.len(), 11);
+        assert_eq!(f[0], ("mem_reads", 1));
+        assert_eq!(f[10], ("tlb_flushes", 2));
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = Counters::default();
+        let b = Counters { llc_misses: 9, ..Default::default() };
+        assert_eq!(a.saturating_sub(&b).llc_misses, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = Counters::default();
+        assert!(format!("{c}").contains("mem_reads=0"));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Counters::default();
+        let b = Counters { stall_cycles: 3, ..Default::default() };
+        a += b;
+        a += b;
+        assert_eq!(a.stall_cycles, 6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Latency constants of the modeled machine.
+//!
+//! The defaults are calibrated to the system the paper evaluates on
+//! (Table 3: Xeon E-2186G @ 3.8 GHz, 12 MB LLC, DDR4). All values are in
+//! CPU cycles. They are deliberately public and adjustable so that
+//! sensitivity studies (e.g. a slower MEE) can be expressed as data.
+
+/// Cycle latencies for every event class the simulator charges.
+///
+/// Construct via [`LatencyModel::default`] and override individual fields:
+///
+/// ```
+/// let lat = mem_sim::LatencyModel { dram: 250, ..Default::default() };
+/// assert_eq!(lat.dram, 250);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// L1 data-cache hit latency. Every access costs at least this much.
+    pub l1_hit: u64,
+    /// Shared last-level-cache hit latency.
+    pub llc_hit: u64,
+    /// DRAM access latency on an LLC miss (unencrypted memory).
+    pub dram: u64,
+    /// Page-walk cost when the page-walk cache holds the upper levels
+    /// (only the leaf PTE is fetched).
+    pub walk_fast: u64,
+    /// Page-walk cost when the walk misses the page-walk cache and all
+    /// four levels are fetched from the cache hierarchy.
+    pub walk_slow: u64,
+    /// Extra cycles the hardware spends validating an EPCM entry while
+    /// filling a TLB entry that maps an EPC page (paper §2.3).
+    pub epcm_check: u64,
+    /// Operating-system minor page fault (first touch of a mapped page)
+    /// outside an enclave.
+    pub minor_fault: u64,
+    /// Percentage multiplier (x100) applied to [`LatencyModel::dram`] when
+    /// the line lives in the Processor Reserved Memory and must pass
+    /// through the Memory Encryption Engine. `300` means 3x.
+    pub mee_mult_x100: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            l1_hit: 4,
+            llc_hit: 42,
+            dram: 200,
+            walk_fast: 24,
+            walk_slow: 150,
+            epcm_check: 40,
+            minor_fault: 1_800,
+            mee_mult_x100: 300,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// DRAM latency for a line in encrypted (PRM) memory: `dram` scaled by
+    /// the MEE multiplier.
+    #[inline]
+    pub fn dram_encrypted(&self) -> u64 {
+        self.dram * self.mee_mult_x100 / 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered() {
+        let l = LatencyModel::default();
+        assert!(l.l1_hit < l.llc_hit);
+        assert!(l.llc_hit < l.dram);
+        assert!(l.walk_fast < l.walk_slow);
+        assert!(l.dram < l.dram_encrypted());
+    }
+
+    #[test]
+    fn mee_multiplier_scales_dram() {
+        let l = LatencyModel { dram: 100, mee_mult_x100: 250, ..Default::default() };
+        assert_eq!(l.dram_encrypted(), 250);
+    }
+
+    #[test]
+    fn identity_multiplier_is_noop() {
+        let l = LatencyModel { mee_mult_x100: 100, ..Default::default() };
+        assert_eq!(l.dram_encrypted(), l.dram);
+    }
+}

@@ -1,0 +1,419 @@
+//! The machine model: per-thread translation and L1 state, shared LLC and
+//! page table, cycle clocks, and the single hot access path.
+
+use crate::cache::{L1Cache, Llc};
+use crate::counters::Counters;
+use crate::latency::LatencyModel;
+use crate::paging::{PageStatus, PageTable, WalkCache};
+use crate::tlb::{Tlb, TlbOutcome};
+use crate::{LINE_SHIFT, PAGE_SHIFT};
+
+/// Identifier of a simulated hardware thread, handed out by
+/// [`Machine::add_thread`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub usize);
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Cross-layer attributes of an access, set by the SGX layer.
+///
+/// `mem-sim` knows nothing about enclaves; the SGX model communicates the
+/// cost consequences of an access targeting the Processor Reserved Memory
+/// through this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessAttrs {
+    /// Charge an EPCM-verification cost on every TLB fill (paper §2.3).
+    pub epcm_check: bool,
+    /// The backing DRAM is inside the PRM: LLC misses pay the MEE
+    /// multiplier.
+    pub encrypted_dram: bool,
+}
+
+impl AccessAttrs {
+    /// Attributes of an ordinary, non-enclave access.
+    pub const PLAIN: AccessAttrs = AccessAttrs { epcm_check: false, encrypted_dram: false };
+
+    /// Attributes of an access to an EPC-resident enclave page.
+    pub const EPC: AccessAttrs = AccessAttrs { epcm_check: true, encrypted_dram: true };
+}
+
+/// What happened during one [`Machine::access`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycles charged to the issuing thread.
+    pub cycles: u64,
+    /// At least one line required a page walk.
+    pub dtlb_miss: bool,
+    /// At least one line missed the LLC.
+    pub llc_miss: bool,
+    /// At least one page was touched for the first time (OS minor fault).
+    pub minor_fault: bool,
+}
+
+/// Sizing of the modeled machine; defaults follow Table 3 of the paper.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// L1 dTLB entries / associativity.
+    pub l1_tlb_entries: usize,
+    /// L1 dTLB associativity.
+    pub l1_tlb_ways: usize,
+    /// Second-level TLB entries.
+    pub stlb_entries: usize,
+    /// Second-level TLB associativity.
+    pub stlb_ways: usize,
+    /// Per-thread L1 data-cache lines.
+    pub l1_cache_lines: usize,
+    /// Shared LLC capacity in bytes.
+    pub llc_bytes: usize,
+    /// Shared LLC associativity.
+    pub llc_ways: usize,
+    /// Latency constants.
+    pub latency: LatencyModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            l1_tlb_entries: 64,
+            l1_tlb_ways: 4,
+            stlb_entries: 1536,
+            stlb_ways: 12,
+            l1_cache_lines: 512,
+            llc_bytes: 12 << 20,
+            llc_ways: 16,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+/// Per-thread microarchitectural state.
+#[derive(Debug, Clone)]
+struct ThreadCtx {
+    tlb: Tlb,
+    l1: L1Cache,
+    walk_cache: WalkCache,
+    cycles: u64,
+}
+
+/// The simulated machine.
+///
+/// Owns all shared structures and the per-thread contexts; see the crate
+/// docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    threads: Vec<ThreadCtx>,
+    llc: Llc,
+    page_table: PageTable,
+    counters: Counters,
+}
+
+impl Machine {
+    /// Creates a machine with no threads; call [`Machine::add_thread`]
+    /// before issuing accesses.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
+        Machine { cfg, threads: Vec::new(), llc, page_table: PageTable::new(), counters: Counters::new() }
+    }
+
+    /// Adds a hardware thread and returns its id. Thread ids are dense,
+    /// starting at zero.
+    pub fn add_thread(&mut self) -> ThreadId {
+        let ctx = ThreadCtx {
+            tlb: Tlb::new(
+                self.cfg.l1_tlb_entries,
+                self.cfg.l1_tlb_ways,
+                self.cfg.stlb_entries,
+                self.cfg.stlb_ways,
+            ),
+            l1: L1Cache::new(self.cfg.l1_cache_lines),
+            walk_cache: WalkCache::default(),
+            cycles: 0,
+        };
+        self.threads.push(ctx);
+        ThreadId(self.threads.len() - 1)
+    }
+
+    /// Number of threads created so far.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Issues a memory access of `len` bytes at `vaddr` on thread `tid`.
+    ///
+    /// The access is decomposed into 64-byte lines; each line is
+    /// translated (per page), charged through the cache hierarchy, and
+    /// accumulated into the thread clock and the global counters.
+    ///
+    /// Accesses with `len == 0` are no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was not returned by [`Machine::add_thread`].
+    pub fn access(&mut self, tid: ThreadId, vaddr: u64, len: u64, kind: AccessKind, attrs: &AccessAttrs) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        if len == 0 {
+            return out;
+        }
+        let lat = self.cfg.latency.clone();
+        let t = &mut self.threads[tid.0];
+        let first_line = vaddr >> LINE_SHIFT;
+        let last_line = (vaddr + len - 1) >> LINE_SHIFT;
+        let mut cur_page = u64::MAX;
+        let mut cycles = 0u64;
+        for line in first_line..=last_line {
+            let page = line >> (PAGE_SHIFT - LINE_SHIFT);
+            if page != cur_page {
+                cur_page = page;
+                // Translate once per page crossed.
+                match t.tlb.translate(page) {
+                    TlbOutcome::L1Hit => {}
+                    TlbOutcome::StlbHit => {
+                        self.counters.stlb_hits += 1;
+                        cycles += 7; // STLB hit penalty
+                    }
+                    TlbOutcome::Miss => {
+                        self.counters.dtlb_misses += 1;
+                        out.dtlb_miss = true;
+                        // Demand paging: is this the first touch?
+                        if self.page_table.touch(page) == PageStatus::MinorFault {
+                            self.counters.page_faults += 1;
+                            out.minor_fault = true;
+                            cycles += lat.minor_fault;
+                            t.walk_cache.flush(); // the fault handler ran
+                        }
+                        let fast = t.walk_cache.walk(page);
+                        let mut walk = if fast { lat.walk_fast } else { lat.walk_slow };
+                        if attrs.epcm_check {
+                            walk += lat.epcm_check;
+                        }
+                        self.counters.walk_cycles += walk;
+                        cycles += walk;
+                    }
+                }
+            }
+            // Cache hierarchy.
+            match kind {
+                AccessKind::Read => self.counters.mem_reads += 1,
+                AccessKind::Write => self.counters.mem_writes += 1,
+            }
+            let mem_cycles = if t.l1.access(line) {
+                lat.l1_hit
+            } else {
+                self.counters.llc_accesses += 1;
+                if self.llc.access(line) {
+                    lat.llc_hit
+                } else {
+                    self.counters.llc_misses += 1;
+                    out.llc_miss = true;
+                    if attrs.encrypted_dram {
+                        lat.dram_encrypted()
+                    } else {
+                        lat.dram
+                    }
+                }
+            };
+            self.counters.stall_cycles += mem_cycles - lat.l1_hit;
+            cycles += mem_cycles;
+        }
+        t.cycles += cycles;
+        out.cycles = cycles;
+        out
+    }
+
+    /// Charges `cycles` of pure computation to thread `tid`.
+    pub fn compute(&mut self, tid: ThreadId, cycles: u64) {
+        self.threads[tid.0].cycles += cycles;
+        self.counters.compute_cycles += cycles;
+    }
+
+    /// Charges `cycles` of overhead (transition, fault handling, syscall)
+    /// to thread `tid` without classifying them as computation.
+    pub fn charge(&mut self, tid: ThreadId, cycles: u64) {
+        self.threads[tid.0].cycles += cycles;
+    }
+
+    /// Flushes thread `tid`'s TLB (and walk cache), as happens on every
+    /// enclave transition.
+    pub fn flush_tlb(&mut self, tid: ThreadId) {
+        let t = &mut self.threads[tid.0];
+        t.tlb.flush();
+        t.walk_cache.flush();
+        self.counters.tlb_flushes += 1;
+    }
+
+    /// Current cycle clock of thread `tid`.
+    pub fn cycles_of(&self, tid: ThreadId) -> u64 {
+        self.threads[tid.0].cycles
+    }
+
+    /// Advances thread `tid`'s clock to at least `cycles` (synchronization
+    /// point: a thread waiting on another simply observes the later time).
+    pub fn sync_to(&mut self, tid: ThreadId, cycles: u64) {
+        let t = &mut self.threads[tid.0];
+        if t.cycles < cycles {
+            t.cycles = cycles;
+        }
+    }
+
+    /// Maximum clock across all threads: the elapsed wall-clock of the
+    /// parallel execution so far.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.cycles).max().unwrap_or(0)
+    }
+
+    /// Read-only view of the counter totals.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable access to the counters, for layers (SGX, LibOS) that need
+    /// to account events of their own into the same snapshot stream.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Resets counters and clocks but keeps cache/TLB/page-table state.
+    /// Used to exclude warm-up or LibOS start-up from measurements.
+    pub fn reset_measurement(&mut self) {
+        self.counters = Counters::new();
+        for t in &mut self.threads {
+            t.cycles = 0;
+        }
+    }
+
+    /// The OS page table (resident-set queries, unmap).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable OS page table (pre-population by loaders).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// The machine configuration this instance was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> (Machine, ThreadId) {
+        let mut m = Machine::new(MachineConfig::default());
+        let t = m.add_thread();
+        (m, t)
+    }
+
+    #[test]
+    fn first_access_faults_and_misses() {
+        let (mut m, t) = machine();
+        let out = m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert!(out.dtlb_miss);
+        assert!(out.llc_miss);
+        assert!(out.minor_fault);
+        assert_eq!(m.counters().page_faults, 1);
+        assert_eq!(m.counters().dtlb_misses, 1);
+    }
+
+    #[test]
+    fn repeat_access_is_cheap() {
+        let (mut m, t) = machine();
+        m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        let before = m.cycles_of(t);
+        let out = m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert_eq!(out.cycles, m.config().latency.l1_hit);
+        assert_eq!(m.cycles_of(t) - before, out.cycles);
+        assert!(!out.dtlb_miss && !out.llc_miss && !out.minor_fault);
+    }
+
+    #[test]
+    fn zero_len_is_noop() {
+        let (mut m, t) = machine();
+        let out = m.access(t, 0x4000, 0, AccessKind::Write, &AccessAttrs::PLAIN);
+        assert_eq!(out, AccessOutcome::default());
+        assert_eq!(m.counters().mem_writes, 0);
+    }
+
+    #[test]
+    fn multi_line_access_counts_lines() {
+        let (mut m, t) = machine();
+        // 256 bytes starting line-aligned: 4 lines.
+        m.access(t, 0x8000, 256, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert_eq!(m.counters().mem_reads, 4);
+    }
+
+    #[test]
+    fn page_spanning_access_translates_twice() {
+        let (mut m, t) = machine();
+        m.access(t, 0x5000 - 32, 64, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert_eq!(m.counters().dtlb_misses, 2);
+        assert_eq!(m.counters().page_faults, 2);
+    }
+
+    #[test]
+    fn tlb_flush_forces_rewalk_without_fault() {
+        let (mut m, t) = machine();
+        m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        m.flush_tlb(t);
+        let before = m.counters().page_faults;
+        let out = m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert!(out.dtlb_miss);
+        assert!(!out.minor_fault);
+        assert_eq!(m.counters().page_faults, before);
+        assert_eq!(m.counters().tlb_flushes, 1);
+    }
+
+    #[test]
+    fn encrypted_dram_costs_more() {
+        let (mut m, _) = machine();
+        let t1 = m.add_thread();
+        let t2 = m.add_thread();
+        let plain = m.access(t1, 0x10_0000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        let epc = m.access(t2, 0x20_0000, 8, AccessKind::Read, &AccessAttrs::EPC);
+        assert!(epc.cycles > plain.cycles);
+    }
+
+    #[test]
+    fn threads_have_independent_clocks() {
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m.add_thread();
+        let b = m.add_thread();
+        m.compute(a, 100);
+        assert_eq!(m.cycles_of(a), 100);
+        assert_eq!(m.cycles_of(b), 0);
+        assert_eq!(m.elapsed_cycles(), 100);
+        m.sync_to(b, 100);
+        assert_eq!(m.cycles_of(b), 100);
+    }
+
+    #[test]
+    fn reset_measurement_keeps_microarch_state() {
+        let (mut m, t) = machine();
+        m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        m.reset_measurement();
+        assert_eq!(m.counters().dtlb_misses, 0);
+        assert_eq!(m.cycles_of(t), 0);
+        // The page is still mapped and cached: no fault, cheap access.
+        let out = m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert!(!out.minor_fault);
+    }
+
+    #[test]
+    fn stall_cycles_track_hierarchy_latency() {
+        let (mut m, t) = machine();
+        m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
+        let stalls = m.counters().stall_cycles;
+        assert!(stalls >= m.config().latency.dram - m.config().latency.l1_hit);
+    }
+}

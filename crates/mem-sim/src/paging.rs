@@ -1,0 +1,187 @@
+//! Demand paging and page-walk cost model.
+//!
+//! [`PageTable`] tracks which virtual pages the OS has populated; the
+//! first touch of a page is a minor fault (the dominant fault class for
+//! the anonymous memory the workloads allocate). [`WalkCache`] models the
+//! hardware page-walk caches (PML4/PDPT/PD entries) that make most walks
+//! cheap: a walk whose 2 MiB region was walked recently costs
+//! `walk_fast`, a cold walk costs `walk_slow`.
+
+use std::collections::HashMap;
+
+/// Result of touching a page through the OS paging layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageStatus {
+    /// The page was already populated.
+    Mapped,
+    /// First touch: the OS serviced a minor fault.
+    MinorFault,
+}
+
+/// Per-page metadata kept by the simulated OS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageInfo {
+    /// Number of times the page has been touched (diagnostics only).
+    pub touches: u64,
+}
+
+/// The simulated OS page table: a sparse map of populated pages.
+///
+/// ```
+/// use mem_sim::paging::{PageTable, PageStatus};
+/// let mut pt = PageTable::new();
+/// assert_eq!(pt.touch(5), PageStatus::MinorFault);
+/// assert_eq!(pt.touch(5), PageStatus::Mapped);
+/// assert_eq!(pt.mapped_pages(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    pages: HashMap<u64, PageInfo>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Touches `page`, populating it on first access.
+    pub fn touch(&mut self, page: u64) -> PageStatus {
+        let entry = self.pages.entry(page);
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().touches += 1;
+                PageStatus::Mapped
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(PageInfo { touches: 1 });
+                PageStatus::MinorFault
+            }
+        }
+    }
+
+    /// Whether `page` has been populated.
+    pub fn is_mapped(&self, page: u64) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// Removes `page` from the table, so the next touch faults again
+    /// (models `munmap`/`madvise(DONTNEED)`).
+    pub fn unmap(&mut self, page: u64) -> bool {
+        self.pages.remove(&page).is_some()
+    }
+
+    /// Number of populated pages (the resident-set size in pages).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pre-populates a page without counting a fault (models `mmap` with
+    /// `MAP_POPULATE` or pages loaded by the enclave loader).
+    pub fn populate(&mut self, page: u64) {
+        self.pages.entry(page).or_default();
+    }
+}
+
+/// Hardware page-walk cache: remembers recently-walked 2 MiB regions so
+/// that repeat walks only fetch the leaf PTE.
+#[derive(Debug, Clone)]
+pub struct WalkCache {
+    /// Direct-mapped tags over `page >> 9` (the PD-entry granule).
+    tags: Vec<u64>,
+    /// Install epochs parallel to `tags` (O(1) flush; see `tlb`).
+    epochs: Vec<u64>,
+    epoch: u64,
+}
+
+impl WalkCache {
+    /// Creates a walk cache with `entries` slots (rounded to a power of
+    /// two).
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(1);
+        WalkCache { tags: vec![u64::MAX; n], epochs: vec![0; n], epoch: 1 }
+    }
+
+    /// Records a walk of `page`; returns `true` when the upper levels were
+    /// cached (fast walk).
+    #[inline]
+    pub fn walk(&mut self, page: u64) -> bool {
+        let region = page >> 9; // 512 pages = one 2 MiB PD entry
+        let slot = (region as usize) & (self.tags.len() - 1);
+        if self.epochs[slot] == self.epoch && self.tags[slot] == region {
+            true
+        } else {
+            self.tags[slot] = region;
+            self.epochs[slot] = self.epoch;
+            false
+        }
+    }
+
+    /// Forgets everything (e.g. on address-space switch).
+    pub fn flush(&mut self) {
+        self.epoch += 1;
+    }
+}
+
+impl Default for WalkCache {
+    /// 32 cached PD entries, covering 64 MiB of recently-walked memory.
+    fn default() -> Self {
+        WalkCache::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_faults_once() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.touch(1), PageStatus::MinorFault);
+        assert_eq!(pt.touch(1), PageStatus::Mapped);
+        assert_eq!(pt.touch(2), PageStatus::MinorFault);
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn unmap_faults_again() {
+        let mut pt = PageTable::new();
+        pt.touch(9);
+        assert!(pt.unmap(9));
+        assert!(!pt.unmap(9));
+        assert_eq!(pt.touch(9), PageStatus::MinorFault);
+    }
+
+    #[test]
+    fn populate_skips_fault() {
+        let mut pt = PageTable::new();
+        pt.populate(4);
+        assert_eq!(pt.touch(4), PageStatus::Mapped);
+    }
+
+    #[test]
+    fn walk_cache_fast_within_region() {
+        let mut wc = WalkCache::new(4);
+        assert!(!wc.walk(0)); // cold
+        assert!(wc.walk(1)); // same 2 MiB region
+        assert!(wc.walk(511));
+        assert!(!wc.walk(512)); // next region
+    }
+
+    #[test]
+    fn walk_cache_flush() {
+        let mut wc = WalkCache::default();
+        wc.walk(0);
+        wc.flush();
+        assert!(!wc.walk(0));
+    }
+
+    #[test]
+    fn touch_counts_accumulate() {
+        let mut pt = PageTable::new();
+        for _ in 0..5 {
+            pt.touch(3);
+        }
+        assert!(pt.is_mapped(3));
+    }
+}

@@ -1,0 +1,246 @@
+//! Two-level data-TLB model.
+//!
+//! Mirrors the translation hardware of the evaluated CPU: a small,
+//! fully-timed L1 dTLB backed by a larger second-level TLB (STLB). Both are
+//! set-associative with LRU replacement. SGX enclave transitions flush the
+//! whole structure ([`Tlb::flush`]), which is the mechanism behind the
+//! paper's dTLB-miss explosions (§2.3, Appendix B).
+
+/// Result of a TLB lookup, telling the machine which structure satisfied
+/// the translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the first-level dTLB: translation is free.
+    L1Hit,
+    /// Missed the L1 dTLB but hit the second-level TLB.
+    StlbHit,
+    /// Missed both levels: a page walk is required.
+    Miss,
+}
+
+/// One set-associative TLB level.
+///
+/// Flushes are O(1): every entry carries the epoch it was installed in,
+/// and a flush just bumps the level's epoch. This matters because SGX
+/// flushes the TLB on *every* enclave transition and ECALL-heavy
+/// workloads perform millions of them.
+#[derive(Debug, Clone)]
+struct TlbLevel {
+    /// `sets x ways` page-number tags; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u32>,
+    /// Install epoch parallel to `tags`; stale epoch == invalid.
+    epochs: Vec<u64>,
+    sets: usize,
+    ways: usize,
+    clock: u32,
+    epoch: u64,
+}
+
+impl TlbLevel {
+    fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries >= ways && entries.is_multiple_of(ways));
+        let sets = entries / ways;
+        TlbLevel {
+            tags: vec![u64::MAX; entries],
+            stamps: vec![0; entries],
+            epochs: vec![0; entries],
+            sets,
+            ways,
+            clock: 0,
+            epoch: 1,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, page: u64) -> usize {
+        (page as usize) % self.sets
+    }
+
+    #[inline]
+    fn valid(&self, idx: usize) -> bool {
+        self.epochs[idx] == self.epoch && self.tags[idx] != u64::MAX
+    }
+
+    /// Looks up `page`; on hit refreshes LRU and returns `true`.
+    fn lookup(&mut self, page: u64) -> bool {
+        let set = self.set_of(page);
+        let base = set * self.ways;
+        self.clock = self.clock.wrapping_add(1);
+        for w in 0..self.ways {
+            if self.valid(base + w) && self.tags[base + w] == page {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs `page`, evicting the LRU way of its set if needed.
+    fn insert(&mut self, page: u64) {
+        let set = self.set_of(page);
+        let base = set * self.ways;
+        self.clock = self.clock.wrapping_add(1);
+        let mut victim = 0;
+        let mut oldest_age = 0;
+        for w in 0..self.ways {
+            if !self.valid(base + w) {
+                victim = w;
+                break;
+            }
+            // Age relative to the current clock handles stamp wraparound.
+            let age = self.clock.wrapping_sub(self.stamps[base + w]);
+            if age >= oldest_age {
+                victim = w;
+                oldest_age = age;
+            }
+        }
+        self.tags[base + victim] = page;
+        self.stamps[base + victim] = self.clock;
+        self.epochs[base + victim] = self.epoch;
+    }
+
+    fn flush(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn resident(&self, page: u64) -> bool {
+        let set = self.set_of(page);
+        let base = set * self.ways;
+        (0..self.ways).any(|w| self.valid(base + w) && self.tags[base + w] == page)
+    }
+}
+
+/// A per-hardware-thread two-level data TLB.
+///
+/// Defaults model the paper's Xeon E-2186G: a 64-entry 4-way L1 dTLB and a
+/// 1536-entry 12-way STLB.
+///
+/// ```
+/// use mem_sim::tlb::{Tlb, TlbOutcome};
+/// let mut tlb = Tlb::default();
+/// assert_eq!(tlb.translate(7), TlbOutcome::Miss);
+/// assert_eq!(tlb.translate(7), TlbOutcome::L1Hit);
+/// tlb.flush();
+/// assert_eq!(tlb.translate(7), TlbOutcome::Miss);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    l1: TlbLevel,
+    stlb: TlbLevel,
+}
+
+impl Tlb {
+    /// Creates a TLB with explicit sizing. Entry counts must be multiples
+    /// of their way counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a level's entry count is zero, smaller than its
+    /// associativity, or not divisible by it.
+    pub fn new(l1_entries: usize, l1_ways: usize, stlb_entries: usize, stlb_ways: usize) -> Self {
+        Tlb {
+            l1: TlbLevel::new(l1_entries, l1_ways),
+            stlb: TlbLevel::new(stlb_entries, stlb_ways),
+        }
+    }
+
+    /// Translates `page`, updating replacement state and filling the
+    /// missing levels (the fill models the hardware installing the PTE
+    /// after a successful walk).
+    pub fn translate(&mut self, page: u64) -> TlbOutcome {
+        if self.l1.lookup(page) {
+            return TlbOutcome::L1Hit;
+        }
+        if self.stlb.lookup(page) {
+            self.l1.insert(page);
+            return TlbOutcome::StlbHit;
+        }
+        self.stlb.insert(page);
+        self.l1.insert(page);
+        TlbOutcome::Miss
+    }
+
+    /// Drops every translation, as the hardware does on an enclave
+    /// transition (EENTER/EEXIT/AEX).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.stlb.flush();
+    }
+
+    /// Reports whether `page` is currently resident in either level
+    /// without perturbing replacement state.
+    pub fn contains(&self, page: u64) -> bool {
+        self.l1.resident(page) || self.stlb.resident(page)
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new(64, 4, 1536, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_l1() {
+        let mut t = Tlb::default();
+        assert_eq!(t.translate(42), TlbOutcome::Miss);
+        assert_eq!(t.translate(42), TlbOutcome::L1Hit);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_stlb() {
+        // A tiny 2-entry direct-ish L1 with a big STLB: filling the L1 set
+        // evicts, but the STLB still holds the page.
+        let mut t = Tlb::new(2, 1, 64, 4);
+        // Pages 0 and 2 map to set 0; page 1 maps to set 1 (2 sets).
+        assert_eq!(t.translate(0), TlbOutcome::Miss);
+        assert_eq!(t.translate(2), TlbOutcome::Miss); // evicts 0 from L1
+        assert_eq!(t.translate(0), TlbOutcome::StlbHit);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = Tlb::default();
+        for p in 0..100 {
+            t.translate(p);
+        }
+        t.flush();
+        for p in 0..100 {
+            assert!(!t.contains(p));
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = Tlb::new(2, 2, 4, 2); // one L1 set of 2 ways... sets=1
+        t.translate(10);
+        t.translate(20);
+        t.translate(10); // refresh 10; 20 is now LRU in L1
+        t.translate(30); // evicts 20 from L1
+        assert!(t.l1.resident(10));
+        assert!(!t.l1.resident(20));
+        assert!(t.l1.resident(30));
+    }
+
+    #[test]
+    fn capacity_miss_after_wraparound_working_set() {
+        let mut t = Tlb::new(4, 2, 8, 2);
+        for p in 0..64 {
+            t.translate(p);
+        }
+        // Early pages must have been displaced from both levels.
+        assert_eq!(t.translate(0), TlbOutcome::Miss);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ways_rejected() {
+        let _ = Tlb::new(4, 0, 8, 2);
+    }
+}

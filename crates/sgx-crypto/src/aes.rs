@@ -1,0 +1,243 @@
+//! AES-128 (FIPS 197) with a CTR mode, implemented in software.
+//!
+//! Intel SGX's memory encryption and its SDK crypto are AES-based; the
+//! ChaCha20 in this crate stands in where speed matters, but a real AES
+//! belongs in the substrate: the OpenSSL workload's paper counterpart is
+//! Intel SGX-SSL, i.e. AES, and tests should be able to exercise the
+//! genuine algorithm. This implementation is a straightforward table-free
+//! byte-oriented AES (S-box only), tested against the FIPS 197 and NIST
+//! SP 800-38A vectors.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// An AES-128 key schedule.
+///
+/// ```
+/// use sgx_crypto::aes::Aes128;
+/// // FIPS 197 Appendix B.
+/// let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+///            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+/// let block = [0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+///              0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34];
+/// let ct = Aes128::new(&key).encrypt_block(&block);
+/// assert_eq!(ct[0], 0x39);
+/// assert_eq!(ct[15], 0x32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = *key;
+        for r in 1..11 {
+            let prev = rk[r - 1];
+            let mut temp = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon.
+            temp.rotate_left(1);
+            for t in temp.iter_mut() {
+                *t = SBOX[*t as usize];
+            }
+            temp[0] ^= RCON[r - 1];
+            for i in 0..4 {
+                rk[r][i] = prev[i] ^ temp[i];
+            }
+            for i in 4..16 {
+                rk[r][i] = prev[i] ^ rk[r][i - 4];
+            }
+        }
+        Aes128 { round_keys: rk }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[r]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// CTR-mode keystream XOR over `data`, starting from `nonce` and
+    /// 32-bit big-endian block counter `ctr0` (NIST SP 800-38A style,
+    /// with the counter in the last 4 bytes). Encryption and decryption
+    /// are identical.
+    pub fn ctr_apply(&self, nonce: &[u8; 12], ctr0: u32, data: &mut [u8]) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..12].copy_from_slice(nonce);
+        let mut ctr = ctr0;
+        for chunk in data.chunks_mut(16) {
+            counter_block[12..].copy_from_slice(&ctr.to_be_bytes());
+            let ks = self.encrypt_block(&counter_block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+}
+
+#[inline]
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        s[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State is column-major: byte `s[r + 4c]` is row `r`, column `c`.
+#[inline]
+fn shift_rows(s: &mut [u8; 16]) {
+    // Row 1: rotate left by 1.
+    let t = s[1];
+    s[1] = s[5];
+    s[5] = s[9];
+    s[9] = s[13];
+    s[13] = t;
+    // Row 2: rotate left by 2.
+    s.swap(2, 10);
+    s.swap(6, 14);
+    // Row 3: rotate left by 3 (= right by 1).
+    let t = s[15];
+    s[15] = s[11];
+    s[11] = s[7];
+    s[7] = s[3];
+    s[3] = t;
+}
+
+#[inline]
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        s[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+        s[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+        s[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+        s[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let ct = Aes128::new(&key).encrypt_block(&pt);
+        assert_eq!(to_hex(&ct), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let ct = Aes128::new(&key).encrypt_block(&pt);
+        assert_eq!(to_hex(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn sp800_38a_ctr_vector() {
+        // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, first block.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        // Initial counter block f0f1...fcfdfeff: nonce = first 12 bytes,
+        // ctr0 = last 4 bytes big-endian.
+        let nonce: [u8; 12] = [0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb];
+        let ctr0 = u32::from_be_bytes([0xfc, 0xfd, 0xfe, 0xff]);
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        Aes128::new(&key).ctr_apply(&nonce, ctr0, &mut data);
+        assert_eq!(to_hex(&data), "874d6191b620e3261bef6864990db6ce");
+    }
+
+    #[test]
+    fn ctr_roundtrip_odd_lengths() {
+        let key = [7u8; 16];
+        let nonce = [9u8; 12];
+        for n in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let original: Vec<u8> = (0..n).map(|i| (i * 13) as u8).collect();
+            let mut data = original.clone();
+            let aes = Aes128::new(&key);
+            aes.ctr_apply(&nonce, 0, &mut data);
+            if n > 0 {
+                assert_ne!(data, original);
+            }
+            aes.ctr_apply(&nonce, 0, &mut data);
+            assert_eq!(data, original, "n={n}");
+        }
+    }
+
+    #[test]
+    fn key_schedule_first_round_key() {
+        // FIPS 197 A.1: w4..w7 for the Appendix-A key.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(to_hex(&aes.round_keys[1]), "a0fafe1788542cb123a339392a6c7605");
+        assert_eq!(to_hex(&aes.round_keys[10]), "d014f9a8c9ee2589e13f0cc8b6630ca6");
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let pt = [0u8; 16];
+        let a = Aes128::new(&[1u8; 16]).encrypt_block(&pt);
+        let b = Aes128::new(&[2u8; 16]).encrypt_block(&pt);
+        assert_ne!(a, b);
+    }
+}

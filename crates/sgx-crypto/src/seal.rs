@@ -1,0 +1,189 @@
+//! SGX-style sealed storage (paper, Appendix E).
+//!
+//! Intel SGX "seals" data with a platform-bound key derived inside the
+//! sealing enclave; sealed blobs can only be unsealed on the same platform
+//! (and, optionally, by the same enclave). We model the same construction
+//! as encrypt-then-MAC: ChaCha20 under a key derived from the platform key
+//! and the sealing policy, with an HMAC-SHA-256 tag over the ciphertext.
+
+use crate::chacha20::ChaCha20;
+use crate::hmac::{hmac_sha256, verify_tag};
+use crate::sha256::Sha256;
+use std::error::Error;
+use std::fmt;
+
+/// Sealing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// The MAC over the ciphertext did not verify: the blob was tampered
+    /// with or sealed under a different key/policy.
+    BadMac,
+    /// The blob is structurally invalid (too short to contain a header).
+    Malformed,
+}
+
+impl fmt::Display for SealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealError::BadMac => write!(f, "sealed blob failed integrity verification"),
+            SealError::Malformed => write!(f, "sealed blob is malformed"),
+        }
+    }
+}
+
+impl Error for SealError {}
+
+/// A platform sealing key, as derived by the hardware from the fused
+/// platform secret plus the sealing policy (enclave identity or signer
+/// identity).
+#[derive(Debug, Clone)]
+pub struct SealingKey {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+}
+
+impl SealingKey {
+    /// Derives a sealing key from a platform secret and a policy label
+    /// (e.g. the enclave measurement for MRENCLAVE policy).
+    pub fn derive(platform_secret: &[u8], policy: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(platform_secret);
+        h.update(b"|enc|");
+        h.update(policy);
+        let enc_key = h.finalize();
+        let mut h = Sha256::new();
+        h.update(platform_secret);
+        h.update(b"|mac|");
+        h.update(policy);
+        let mac_key = h.finalize();
+        SealingKey { enc_key, mac_key }
+    }
+
+    /// Seals `plaintext` with a caller-supplied unique `nonce`.
+    pub fn seal(&self, plaintext: &[u8], nonce: [u8; 12]) -> SealedBlob {
+        let mut ct = plaintext.to_vec();
+        ChaCha20::new(&self.enc_key, &nonce).apply(&mut ct, 0);
+        let mut mac_input = nonce.to_vec();
+        mac_input.extend_from_slice(&ct);
+        let tag = hmac_sha256(&self.mac_key, &mac_input);
+        SealedBlob { nonce, ciphertext: ct, tag }
+    }
+
+    /// Unseals a blob, verifying its MAC first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SealError::BadMac`] when the tag does not verify under
+    /// this key (wrong platform, wrong policy, or tampering).
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, SealError> {
+        let mut mac_input = blob.nonce.to_vec();
+        mac_input.extend_from_slice(&blob.ciphertext);
+        let tag = hmac_sha256(&self.mac_key, &mac_input);
+        if !verify_tag(&tag, &blob.tag) {
+            return Err(SealError::BadMac);
+        }
+        let mut pt = blob.ciphertext.clone();
+        ChaCha20::new(&self.enc_key, &blob.nonce).apply(&mut pt, 0);
+        Ok(pt)
+    }
+}
+
+/// A sealed data blob: nonce, ciphertext, integrity tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// Unique nonce the blob was sealed with.
+    pub nonce: [u8; 12],
+    /// Encrypted payload.
+    pub ciphertext: Vec<u8>,
+    /// HMAC-SHA-256 over nonce and ciphertext.
+    pub tag: [u8; 32],
+}
+
+impl SealedBlob {
+    /// Serializes to bytes (nonce || tag || ciphertext).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + 32 + self.ciphertext.len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses the [`SealedBlob::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SealError::Malformed`] if `bytes` is shorter than the
+    /// fixed header.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SealError> {
+        if bytes.len() < 44 {
+            return Err(SealError::Malformed);
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&bytes[..12]);
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(&bytes[12..44]);
+        Ok(SealedBlob { nonce, tag, ciphertext: bytes[44..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SealingKey {
+        SealingKey::derive(b"platform-fuse-secret", b"mrenclave-of-test")
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let k = key();
+        let blob = k.seal(b"secret payload", [1; 12]);
+        assert_eq!(k.unseal(&blob).unwrap(), b"secret payload");
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let k = key();
+        let mut blob = k.seal(b"secret payload", [1; 12]);
+        blob.ciphertext[3] ^= 0x80;
+        assert_eq!(k.unseal(&blob), Err(SealError::BadMac));
+    }
+
+    #[test]
+    fn wrong_platform_rejected() {
+        let k = key();
+        let other = SealingKey::derive(b"different-platform", b"mrenclave-of-test");
+        let blob = k.seal(b"data", [2; 12]);
+        assert_eq!(other.unseal(&blob), Err(SealError::BadMac));
+    }
+
+    #[test]
+    fn wrong_policy_rejected() {
+        let k = key();
+        let other = SealingKey::derive(b"platform-fuse-secret", b"other-enclave");
+        let blob = k.seal(b"data", [2; 12]);
+        assert_eq!(other.unseal(&blob), Err(SealError::BadMac));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let k = key();
+        let blob = k.seal(b"abcdef", [3; 12]);
+        let parsed = SealedBlob::from_bytes(&blob.to_bytes()).unwrap();
+        assert_eq!(parsed, blob);
+        assert_eq!(k.unseal(&parsed).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn short_blob_malformed() {
+        assert_eq!(SealedBlob::from_bytes(&[0u8; 43]), Err(SealError::Malformed));
+    }
+
+    #[test]
+    fn empty_payload_allowed() {
+        let k = key();
+        let blob = k.seal(b"", [4; 12]);
+        assert_eq!(k.unseal(&blob).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the crypto substrate.
+
+use proptest::prelude::*;
+use sgx_crypto::{hmac_sha256, ChaCha20, SealingKey, Sha256};
+
+proptest! {
+    /// Streaming SHA-256 equals one-shot for any chunking.
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048),
+                                       cut in 0usize..2048) {
+        let cut = cut.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// ChaCha20 is an involution when applied twice with the same params.
+    #[test]
+    fn chacha_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                        mut data in prop::collection::vec(any::<u8>(), 0..1024),
+                        ctr in any::<u32>()) {
+        let original = data.clone();
+        let c = ChaCha20::new(&key, &nonce);
+        c.apply(&mut data, ctr);
+        c.apply(&mut data, ctr);
+        prop_assert_eq!(data, original);
+    }
+
+    /// Seal/unseal round-trips for any payload and key material.
+    #[test]
+    fn seal_roundtrip(secret in prop::collection::vec(any::<u8>(), 1..64),
+                      policy in prop::collection::vec(any::<u8>(), 0..64),
+                      payload in prop::collection::vec(any::<u8>(), 0..512),
+                      nonce in any::<[u8; 12]>()) {
+        let k = SealingKey::derive(&secret, &policy);
+        let blob = k.seal(&payload, nonce);
+        prop_assert_eq!(k.unseal(&blob).unwrap(), payload);
+    }
+
+    /// Any single-bit flip in a sealed blob's ciphertext or tag is caught.
+    #[test]
+    fn seal_tamper_detected(payload in prop::collection::vec(any::<u8>(), 1..128),
+                            bit in 0usize..8, idx_seed in any::<u64>()) {
+        let k = SealingKey::derive(b"s", b"p");
+        let mut blob = k.seal(&payload, [9; 12]);
+        let idx = (idx_seed as usize) % blob.ciphertext.len();
+        blob.ciphertext[idx] ^= 1 << bit;
+        prop_assert!(k.unseal(&blob).is_err());
+    }
+
+    /// HMAC differs when key or message differs (no trivial collisions in
+    /// random sampling).
+    #[test]
+    fn hmac_distinguishes(k1 in prop::collection::vec(any::<u8>(), 1..32),
+                          m in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut k2 = k1.clone();
+        k2[0] ^= 1;
+        prop_assert_ne!(hmac_sha256(&k1, &m), hmac_sha256(&k2, &m));
+    }
+}

@@ -1,0 +1,356 @@
+//! The Enclave Page Cache (EPC).
+//!
+//! The EPC is the scarce resource the whole paper revolves around: 92 MB
+//! of protected frames shared by every enclave on the platform. When an
+//! enclave's working set exceeds it, the SGX driver transparently evicts
+//! pages (EWB: encrypt + MAC) to untrusted memory and loads them back on
+//! demand (ELDU: decrypt + verify), in batches of 16 victims per fault
+//! (paper §2.2, Appendix A).
+//!
+//! This module models residency, eviction policy (clock / second chance)
+//! and the event stream; cycle charging lives in
+//! [`crate::machine::SgxMachine`].
+
+use crate::enclave::EnclaveId;
+use std::collections::HashMap;
+
+/// Identity of one enclave page: which enclave, which virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Owning enclave.
+    pub enclave: EnclaveId,
+    /// Virtual page number within the address space.
+    pub page: u64,
+}
+
+/// How [`Epc::ensure_resident`] satisfied a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpcFaultKind {
+    /// The page was already in the EPC; no fault.
+    Resident,
+    /// First use of the page: a free (or freed-by-eviction) frame was
+    /// allocated (`sgx_alloc_page`).
+    Alloc,
+    /// The page had been evicted earlier and was loaded back (ELDU).
+    LoadBack,
+}
+
+/// Outcome of one residency request: the fault kind plus every page that
+/// was evicted (EWB) to make room.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpcEvent {
+    /// How the requested page was obtained.
+    pub kind: EpcFaultKind,
+    /// Pages written back by EWB during this request (empty when no
+    /// eviction was necessary).
+    pub evicted: Vec<PageKey>,
+}
+
+#[derive(Debug, Clone)]
+struct FrameMeta {
+    key: PageKey,
+    referenced: bool,
+}
+
+/// The EPC frame pool with a clock (second-chance) replacement policy.
+///
+/// ```
+/// use sgx_sim::epc::{Epc, PageKey, EpcFaultKind};
+/// use sgx_sim::enclave::EnclaveId;
+///
+/// let mut epc = Epc::new(2, 1); // 2 frames, 1-page eviction batches
+/// let e = EnclaveId(0);
+/// let k = |p| PageKey { enclave: e, page: p };
+/// assert_eq!(epc.ensure_resident(k(0)).kind, EpcFaultKind::Alloc);
+/// assert_eq!(epc.ensure_resident(k(1)).kind, EpcFaultKind::Alloc);
+/// let ev = epc.ensure_resident(k(2)); // evicts one of the others
+/// assert_eq!(ev.kind, EpcFaultKind::Alloc);
+/// assert_eq!(ev.evicted.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Epc {
+    capacity: usize,
+    batch: usize,
+    frames: Vec<FrameMeta>,
+    /// Map from page to its index in `frames`.
+    resident: HashMap<PageKey, usize>,
+    /// Pages currently swapped out to untrusted memory (encrypted).
+    evicted_set: HashMap<PageKey, ()>,
+    clock_hand: usize,
+}
+
+impl Epc {
+    /// Creates an EPC with `capacity` frames, evicting `batch` pages per
+    /// replacement (the driver uses 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch` is zero.
+    pub fn new(capacity: usize, batch: usize) -> Self {
+        assert!(capacity > 0, "EPC needs at least one frame");
+        assert!(batch > 0, "eviction batch must be positive");
+        Epc {
+            capacity,
+            batch,
+            frames: Vec::with_capacity(capacity),
+            resident: HashMap::new(),
+            evicted_set: HashMap::new(),
+            clock_hand: 0,
+        }
+    }
+
+    /// EPC size in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of frames currently holding pages.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Number of pages currently swapped out.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted_set.len()
+    }
+
+    /// Whether `key` is resident.
+    pub fn is_resident(&self, key: PageKey) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    /// Whether `key` has been evicted (encrypted in untrusted DRAM).
+    pub fn is_evicted(&self, key: PageKey) -> bool {
+        self.evicted_set.contains_key(&key)
+    }
+
+    /// Makes `key` resident, evicting a batch if the EPC is full, and
+    /// reports what happened. Touching a resident page refreshes its
+    /// clock reference bit.
+    pub fn ensure_resident(&mut self, key: PageKey) -> EpcEvent {
+        if let Some(&idx) = self.resident.get(&key) {
+            self.frames[idx].referenced = true;
+            return EpcEvent { kind: EpcFaultKind::Resident, evicted: Vec::new() };
+        }
+        let mut evicted = Vec::new();
+        if self.frames.len() >= self.capacity {
+            evicted = self.evict_batch();
+        }
+        let kind = if self.evicted_set.remove(&key).is_some() {
+            EpcFaultKind::LoadBack
+        } else {
+            EpcFaultKind::Alloc
+        };
+        let meta = FrameMeta { key, referenced: true };
+        // Reuse a hole left by eviction if one exists, else push.
+        if self.frames.len() < self.capacity {
+            self.frames.push(meta);
+            self.resident.insert(key, self.frames.len() - 1);
+        } else {
+            unreachable!("evict_batch guarantees free space");
+        }
+        EpcEvent { kind, evicted }
+    }
+
+    /// Marks a non-resident page as having an encrypted swapped-out copy,
+    /// so its next touch is a [`EpcFaultKind::LoadBack`] (ELDU). Used by
+    /// the enclave loader for measured content pages whose EWB'd image
+    /// survives the post-measurement EPC release.
+    pub fn mark_evicted(&mut self, key: PageKey) {
+        if !self.resident.contains_key(&key) {
+            self.evicted_set.insert(key, ());
+        }
+    }
+
+    /// Removes every page owned by `enclave` (EREMOVE at teardown),
+    /// returning how many frames were freed.
+    pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
+        let before = self.frames.len();
+        self.frames.retain(|f| f.key.enclave != enclave);
+        self.resident.clear();
+        for (i, f) in self.frames.iter().enumerate() {
+            self.resident.insert(f.key, i);
+        }
+        self.evicted_set.retain(|k, _| k.enclave != enclave);
+        self.clock_hand = 0;
+        before - self.frames.len()
+    }
+
+    /// Evicts up to `batch` victims chosen by the clock hand and returns
+    /// them. Referenced frames get a second chance.
+    fn evict_batch(&mut self) -> Vec<PageKey> {
+        let n = self.batch.min(self.frames.len());
+        let mut victims = Vec::with_capacity(n);
+        let mut victim_idxs = Vec::with_capacity(n);
+        let len = self.frames.len();
+        let mut scanned = 0;
+        while victims.len() < n && scanned < 3 * len {
+            let idx = self.clock_hand % len;
+            self.clock_hand = (self.clock_hand + 1) % len;
+            scanned += 1;
+            if victim_idxs.contains(&idx) {
+                continue;
+            }
+            let frame = &mut self.frames[idx];
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                victims.push(frame.key);
+                victim_idxs.push(idx);
+            }
+        }
+        // Degenerate case: everything referenced for 3 sweeps; take the
+        // frames under the hand anyway.
+        let mut fallback = self.clock_hand;
+        while victims.len() < n {
+            let idx = fallback % len;
+            fallback += 1;
+            if !victim_idxs.contains(&idx) {
+                victims.push(self.frames[idx].key);
+                victim_idxs.push(idx);
+            }
+        }
+        // Remove victims (highest index first to keep indices valid).
+        victim_idxs.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in victim_idxs {
+            let meta = self.frames.swap_remove(idx);
+            self.resident.remove(&meta.key);
+            self.evicted_set.insert(meta.key, ());
+            // swap_remove moved the tail frame into `idx`.
+            if idx < self.frames.len() {
+                let moved = self.frames[idx].key;
+                self.resident.insert(moved, idx);
+            }
+        }
+        if !self.frames.is_empty() {
+            self.clock_hand %= self.frames.len();
+        } else {
+            self.clock_hand = 0;
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(p: u64) -> PageKey {
+        PageKey { enclave: EnclaveId(0), page: p }
+    }
+
+    #[test]
+    fn alloc_until_full_no_eviction() {
+        let mut epc = Epc::new(4, 2);
+        for p in 0..4 {
+            let ev = epc.ensure_resident(k(p));
+            assert_eq!(ev.kind, EpcFaultKind::Alloc);
+            assert!(ev.evicted.is_empty());
+        }
+        assert_eq!(epc.resident_count(), 4);
+    }
+
+    #[test]
+    fn full_epc_evicts_batch() {
+        let mut epc = Epc::new(4, 2);
+        for p in 0..4 {
+            epc.ensure_resident(k(p));
+        }
+        let ev = epc.ensure_resident(k(4));
+        assert_eq!(ev.kind, EpcFaultKind::Alloc);
+        assert_eq!(ev.evicted.len(), 2);
+        assert_eq!(epc.resident_count(), 3); // 4 - 2 evicted + 1 new
+        assert_eq!(epc.evicted_count(), 2);
+    }
+
+    #[test]
+    fn evicted_page_loads_back() {
+        let mut epc = Epc::new(2, 2);
+        epc.ensure_resident(k(0));
+        epc.ensure_resident(k(1));
+        let ev = epc.ensure_resident(k(2)); // evicts both (batch 2)
+        assert_eq!(ev.evicted.len(), 2);
+        let victim = ev.evicted[0];
+        let back = epc.ensure_resident(victim);
+        assert_eq!(back.kind, EpcFaultKind::LoadBack);
+        assert!(epc.is_resident(victim));
+        assert!(!epc.is_evicted(victim));
+    }
+
+    #[test]
+    fn resident_touch_is_free() {
+        let mut epc = Epc::new(2, 1);
+        epc.ensure_resident(k(0));
+        let ev = epc.ensure_resident(k(0));
+        assert_eq!(ev.kind, EpcFaultKind::Resident);
+        assert!(ev.evicted.is_empty());
+    }
+
+    #[test]
+    fn clock_gives_second_chance_to_referenced_pages() {
+        let mut epc = Epc::new(3, 1);
+        epc.ensure_resident(k(0));
+        epc.ensure_resident(k(1));
+        epc.ensure_resident(k(2));
+        // First eviction sweep clears every reference bit and evicts one
+        // page under the hand.
+        let first = epc.ensure_resident(k(3));
+        assert_eq!(first.evicted.len(), 1);
+        // Re-reference page 1: it must survive the next sweep, which
+        // evicts some *other*, unreferenced page instead.
+        epc.ensure_resident(k(1));
+        let second = epc.ensure_resident(k(4));
+        assert_eq!(second.evicted.len(), 1);
+        assert_ne!(second.evicted[0], k(1));
+        assert!(epc.is_resident(k(1)));
+    }
+
+    #[test]
+    fn thrash_pattern_evicts_every_round() {
+        // Working set of 8 pages through a 4-frame EPC: sequential sweep
+        // faults on every access after warm-up.
+        let mut epc = Epc::new(4, 2);
+        let mut loadbacks = 0;
+        for round in 0..4 {
+            for p in 0..8 {
+                let ev = epc.ensure_resident(k(p));
+                if round > 0 && ev.kind == EpcFaultKind::LoadBack {
+                    loadbacks += 1;
+                }
+            }
+        }
+        assert!(loadbacks > 0, "sweeping a 2x working set must load back pages");
+    }
+
+    #[test]
+    fn residency_and_eviction_disjoint() {
+        let mut epc = Epc::new(4, 2);
+        for p in 0..32 {
+            epc.ensure_resident(k(p));
+            for q in 0..=p {
+                assert!(
+                    !(epc.is_resident(k(q)) && epc.is_evicted(k(q))),
+                    "page {q} both resident and evicted"
+                );
+            }
+        }
+        assert!(epc.resident_count() <= 4);
+    }
+
+    #[test]
+    fn remove_enclave_frees_frames() {
+        let mut epc = Epc::new(4, 2);
+        epc.ensure_resident(k(0));
+        epc.ensure_resident(PageKey { enclave: EnclaveId(1), page: 0 });
+        let freed = epc.remove_enclave(EnclaveId(0));
+        assert_eq!(freed, 1);
+        assert!(!epc.is_resident(k(0)));
+        assert!(epc.is_resident(PageKey { enclave: EnclaveId(1), page: 0 }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = Epc::new(0, 1);
+    }
+}

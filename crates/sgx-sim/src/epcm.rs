@@ -1,0 +1,179 @@
+//! The Enclave Page Cache Map (EPCM).
+//!
+//! SGX keeps one EPCM entry per EPC frame recording the owning enclave,
+//! the virtual address the frame was allocated for, and its permissions.
+//! The hardware consults the entry whenever a TLB entry for an EPC page is
+//! installed (paper §2.3, Fig 1); a mismatch aborts the access. We model
+//! the structure functionally — the cycle cost of the check is charged by
+//! the machine as part of the page walk.
+
+use crate::enclave::EnclaveId;
+use crate::epc::PageKey;
+use std::collections::HashMap;
+
+/// Page permissions recorded in an EPCM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePerms {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub execute: bool,
+}
+
+impl PagePerms {
+    /// Read-write data page (the common case for heap pages).
+    pub const RW: PagePerms = PagePerms { read: true, write: true, execute: false };
+    /// Read-execute code page.
+    pub const RX: PagePerms = PagePerms { read: true, write: false, execute: true };
+}
+
+/// One EPCM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcmEntry {
+    /// Enclave the frame belongs to.
+    pub owner: EnclaveId,
+    /// Virtual page the frame was EADDed for.
+    pub vpage: u64,
+    /// Access permissions.
+    pub perms: PagePerms,
+}
+
+/// Result of an EPCM verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpcmCheck {
+    /// Entry matches the access.
+    Ok,
+    /// No entry exists for the page (not an EPC page of this enclave).
+    NoEntry,
+    /// The page belongs to a different enclave.
+    WrongOwner,
+    /// The recorded virtual address does not match.
+    WrongAddress,
+    /// Permissions deny the access.
+    Denied,
+}
+
+/// The EPCM table.
+///
+/// ```
+/// use sgx_sim::epcm::{Epcm, PagePerms, EpcmCheck};
+/// use sgx_sim::enclave::EnclaveId;
+///
+/// let mut epcm = Epcm::new();
+/// let e = EnclaveId(3);
+/// epcm.record(e, 100, PagePerms::RW);
+/// assert_eq!(epcm.verify(e, 100, false), EpcmCheck::Ok);
+/// assert_eq!(epcm.verify(EnclaveId(4), 100, false), EpcmCheck::WrongOwner);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Epcm {
+    entries: HashMap<u64, EpcmEntry>,
+}
+
+impl Epcm {
+    /// Creates an empty EPCM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (or updates) the entry for virtual page `vpage`.
+    pub fn record(&mut self, owner: EnclaveId, vpage: u64, perms: PagePerms) {
+        self.entries.insert(vpage, EpcmEntry { owner, vpage, perms });
+    }
+
+    /// Removes the entry for `vpage` (EREMOVE).
+    pub fn remove(&mut self, vpage: u64) -> Option<EpcmEntry> {
+        self.entries.remove(&vpage)
+    }
+
+    /// Removes every entry owned by `enclave`; returns the count.
+    pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.owner != enclave);
+        before - self.entries.len()
+    }
+
+    /// Verifies that `enclave` may access `vpage` (`write` selects the
+    /// store path). This is the check the hardware performs while filling
+    /// a TLB entry for an EPC page.
+    pub fn verify(&self, enclave: EnclaveId, vpage: u64, write: bool) -> EpcmCheck {
+        match self.entries.get(&vpage) {
+            None => EpcmCheck::NoEntry,
+            Some(e) if e.owner != enclave => EpcmCheck::WrongOwner,
+            Some(e) if e.vpage != vpage => EpcmCheck::WrongAddress,
+            Some(e) => {
+                let allowed = if write { e.perms.write } else { e.perms.read };
+                if allowed {
+                    EpcmCheck::Ok
+                } else {
+                    EpcmCheck::Denied
+                }
+            }
+        }
+    }
+
+    /// Looks up the entry for `vpage`.
+    pub fn entry(&self, vpage: u64) -> Option<&EpcmEntry> {
+        self.entries.get(&vpage)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Convenience: records an entry from a [`PageKey`].
+    pub fn record_key(&mut self, key: PageKey, perms: PagePerms) {
+        self.record(key.enclave, key.page, perms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_matches_owner_and_perms() {
+        let mut epcm = Epcm::new();
+        epcm.record(EnclaveId(1), 7, PagePerms::RW);
+        assert_eq!(epcm.verify(EnclaveId(1), 7, true), EpcmCheck::Ok);
+        assert_eq!(epcm.verify(EnclaveId(1), 7, false), EpcmCheck::Ok);
+        assert_eq!(epcm.verify(EnclaveId(2), 7, false), EpcmCheck::WrongOwner);
+        assert_eq!(epcm.verify(EnclaveId(1), 8, false), EpcmCheck::NoEntry);
+    }
+
+    #[test]
+    fn execute_only_page_denies_write() {
+        let mut epcm = Epcm::new();
+        epcm.record(EnclaveId(1), 9, PagePerms::RX);
+        assert_eq!(epcm.verify(EnclaveId(1), 9, true), EpcmCheck::Denied);
+        assert_eq!(epcm.verify(EnclaveId(1), 9, false), EpcmCheck::Ok);
+    }
+
+    #[test]
+    fn remove_enclave_clears_only_its_pages() {
+        let mut epcm = Epcm::new();
+        epcm.record(EnclaveId(1), 1, PagePerms::RW);
+        epcm.record(EnclaveId(1), 2, PagePerms::RW);
+        epcm.record(EnclaveId(2), 3, PagePerms::RW);
+        assert_eq!(epcm.remove_enclave(EnclaveId(1)), 2);
+        assert_eq!(epcm.len(), 1);
+        assert_eq!(epcm.verify(EnclaveId(2), 3, false), EpcmCheck::Ok);
+    }
+
+    #[test]
+    fn remove_single_entry() {
+        let mut epcm = Epcm::new();
+        epcm.record(EnclaveId(1), 4, PagePerms::RW);
+        assert!(epcm.remove(4).is_some());
+        assert!(epcm.remove(4).is_none());
+        assert!(epcm.is_empty());
+    }
+}

@@ -1,0 +1,881 @@
+//! The SGX machine: enclaves + EPC + transitions layered on the memory
+//! model.
+//!
+//! All cycle costs are charged to the issuing thread's clock in the
+//! underlying [`mem_sim::Machine`]; all SGX events land in
+//! [`SgxCounters`]; all driver-visible paging operations are also sampled
+//! into [`DriverStats`] the way the paper's instrumented driver does.
+
+use crate::driver::{DriverOp, DriverStats};
+use crate::enclave::{Enclave, EnclaveId, EnclaveState};
+use crate::epc::{Epc, EpcFaultKind, PageKey};
+use crate::epcm::{Epcm, PagePerms};
+use crate::switchless::SwitchlessPool;
+use mem_sim::{AccessAttrs, AccessKind, AccessOutcome, Machine, MachineConfig, ThreadId, PAGE_SHIFT, PAGE_SIZE};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`SgxMachine`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// Enclave content is larger than the configured enclave size.
+    ContentTooLarge,
+    /// ECALL into an enclave that is not initialized (or destroyed).
+    NotInitialized,
+    /// The thread is already executing inside an enclave.
+    AlreadyInEnclave,
+    /// The operation requires the thread to be inside an enclave.
+    NotInEnclave,
+    /// All TCS slots of the enclave are in use (too many concurrent
+    /// ECALLs; the paper's Graphene manifests configure 16).
+    OutOfTcs,
+    /// The enclave's ELRANGE cannot hold the requested heap allocation.
+    OutOfEnclaveMemory,
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::ContentTooLarge => write!(f, "enclave content exceeds enclave size"),
+            SgxError::NotInitialized => write!(f, "enclave is not initialized"),
+            SgxError::AlreadyInEnclave => write!(f, "thread is already inside an enclave"),
+            SgxError::NotInEnclave => write!(f, "thread is not inside an enclave"),
+            SgxError::OutOfTcs => write!(f, "no free TCS slot for another concurrent ECALL"),
+            SgxError::OutOfEnclaveMemory => write!(f, "enclave heap exhausted"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+/// Configuration of the SGX platform model. Defaults reproduce the
+/// paper's platform (Table 3) and its cited costs (§2.2, §2.3, App. A).
+#[derive(Debug, Clone)]
+pub struct SgxConfig {
+    /// The underlying machine model.
+    pub mem: MachineConfig,
+    /// Usable EPC bytes (92 MB on the paper's platform).
+    pub epc_bytes: u64,
+    /// EPC bytes lost to SGX structures and resident runtime pages:
+    /// SECS/TCS/SSA frames, version-array pages for evicted content, and
+    /// the measured binary's hot pages. Application data contends for
+    /// `epc_bytes - epc_reserved_bytes` frames, which is why footprints
+    /// "approximately at" the EPC size already page (paper §5.3).
+    pub epc_reserved_bytes: u64,
+    /// Pages evicted per EWB batch (the driver uses 16).
+    pub evict_batch: usize,
+    /// Cycles to evict one page: MAC + encrypt + write back (≈12 000).
+    pub ewb_cycles: u64,
+    /// Cycles to load one page back: decrypt + verify (EWB is "16 % more
+    /// than loading back", Appendix A).
+    pub eldu_cycles: u64,
+    /// Cycles for `sgx_alloc_page` to hand out a free frame.
+    pub alloc_page_cycles: u64,
+    /// Fixed driver overhead of `sgx_do_fault` on top of the paging ops.
+    pub fault_base_cycles: u64,
+    /// Cycles for EENTER (half of the ≈17 k round trip of an ECALL).
+    pub eenter_cycles: u64,
+    /// Cycles for EEXIT.
+    pub eexit_cycles: u64,
+    /// Cycles for an asynchronous exit (AEX) on a fault.
+    pub aex_cycles: u64,
+    /// Cycles for ERESUME after a handled fault.
+    pub eresume_cycles: u64,
+    /// Cycles to EADD + EEXTEND (measure) one page at build time.
+    pub eadd_cycles: u64,
+    /// Concurrent TCS slots per enclave.
+    pub tcs_per_enclave: usize,
+    /// Proxy threads for switchless OCALLs; zero disables the feature.
+    pub switchless_workers: usize,
+    /// Shared-memory channel overhead per switchless call.
+    pub switchless_channel_cycles: u64,
+    /// SGX2 dynamic memory (EDMM): when true, only *content* pages are
+    /// measured at build time; heap pages are EAUGed on first touch
+    /// instead of streaming the whole ELRANGE through the EPC. This is
+    /// the platform improvement that eliminates Graphene's ≈1 M start-up
+    /// evictions (Appendix D discusses SGX v1 vs v2 heaps).
+    pub sgx2_edmm: bool,
+    /// Extra cycles for the in-enclave EACCEPT of an EAUGed page.
+    pub eaccept_cycles: u64,
+}
+
+impl Default for SgxConfig {
+    fn default() -> Self {
+        SgxConfig {
+            mem: MachineConfig::default(),
+            epc_bytes: 92 << 20,
+            epc_reserved_bytes: 8 << 20,
+            evict_batch: 16,
+            ewb_cycles: 12_000,
+            eldu_cycles: 10_345, // 12_000 / 1.16
+            alloc_page_cycles: 5_300,
+            fault_base_cycles: 2_800,
+            eenter_cycles: 8_500,
+            eexit_cycles: 8_500,
+            aex_cycles: 7_000,
+            eresume_cycles: 3_200,
+            eadd_cycles: 1_400,
+            tcs_per_enclave: 16,
+            switchless_workers: 0,
+            switchless_channel_cycles: 600,
+            sgx2_edmm: false,
+            eaccept_cycles: 1_900,
+        }
+    }
+}
+
+impl SgxConfig {
+    /// A configuration with a tiny EPC, handy for tests that want to
+    /// exercise eviction without touching megabytes.
+    pub fn with_tiny_epc(epc_pages: usize, batch: usize) -> Self {
+        SgxConfig {
+            epc_bytes: (epc_pages as u64) * PAGE_SIZE,
+            epc_reserved_bytes: 0,
+            evict_batch: batch,
+            ..Default::default()
+        }
+    }
+}
+
+/// SGX-specific event counters, complementing [`mem_sim::Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SgxCounters {
+    /// ECALLs (enclave entries through EENTER).
+    pub ecalls: u64,
+    /// OCALLs taking the classic exit path (EEXIT + EENTER).
+    pub ocalls: u64,
+    /// OCALLs served switchlessly by proxy threads.
+    pub switchless_ocalls: u64,
+    /// Asynchronous enclave exits (faults, signals).
+    pub aex_exits: u64,
+    /// EPC frames allocated (`sgx_alloc_page`).
+    pub epc_allocs: u64,
+    /// EPC pages evicted (EWB).
+    pub epc_evictions: u64,
+    /// EPC pages loaded back (ELDU).
+    pub epc_loadbacks: u64,
+    /// EPC faults handled (`sgx_do_fault` invocations).
+    pub epc_faults: u64,
+    /// Pages measured at enclave build (EADD + EEXTEND).
+    pub pages_measured: u64,
+    /// Cycles spent in enclave transitions (EENTER/EEXIT/OCALL paths,
+    /// including switchless waits).
+    pub transition_cycles: u64,
+    /// Cycles spent handling EPC faults (AEX + driver + EWB/ELDU +
+    /// ERESUME).
+    pub fault_cycles: u64,
+}
+
+impl SgxCounters {
+    /// `(name, value)` pairs in declaration order, for reports.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ecalls", self.ecalls),
+            ("ocalls", self.ocalls),
+            ("switchless_ocalls", self.switchless_ocalls),
+            ("aex_exits", self.aex_exits),
+            ("epc_allocs", self.epc_allocs),
+            ("epc_evictions", self.epc_evictions),
+            ("epc_loadbacks", self.epc_loadbacks),
+            ("epc_faults", self.epc_faults),
+            ("pages_measured", self.pages_measured),
+            ("transition_cycles", self.transition_cycles),
+            ("fault_cycles", self.fault_cycles),
+        ]
+    }
+}
+
+/// Statistics of one enclave build (ECREATE..EINIT), kept for the
+/// start-up analyses (Fig 6a, Fig 9, Appendix D).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InitStats {
+    /// Pages streamed through the EPC for measurement.
+    pub pages_measured: u64,
+    /// EPC evictions caused by the measurement pass.
+    pub evictions: u64,
+    /// Cycles the build took.
+    pub cycles: u64,
+}
+
+/// One entry of the EPC event trace (Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcTraceSample {
+    /// Thread clock when the event happened.
+    pub cycles: u64,
+    /// Cumulative allocations so far.
+    pub allocs: u64,
+    /// Cumulative evictions so far.
+    pub evictions: u64,
+    /// Cumulative load-backs so far.
+    pub loadbacks: u64,
+}
+
+/// Base of the untrusted heap in the simulated address space.
+const UNTRUSTED_BASE: u64 = 0x0000_1000_0000;
+/// Base of the first ELRANGE.
+const ENCLAVE_BASE: u64 = 0x7000_0000_0000;
+
+/// The SGX platform model. See the crate docs for an example.
+#[derive(Debug)]
+pub struct SgxMachine {
+    cfg: SgxConfig,
+    mem: Machine,
+    epc: Epc,
+    epcm: Epcm,
+    enclaves: Vec<Enclave>,
+    active_tcs: Vec<usize>,
+    in_enclave: Vec<Option<EnclaveId>>,
+    counters: SgxCounters,
+    driver: DriverStats,
+    switchless: Option<SwitchlessPool>,
+    untrusted_next: u64,
+    enclave_next: u64,
+    init_stats: Vec<InitStats>,
+    trace: Option<Vec<EpcTraceSample>>,
+    jitter: u64,
+}
+
+impl SgxMachine {
+    /// Builds the platform from a configuration.
+    pub fn new(cfg: SgxConfig) -> Self {
+        let frames = (cfg.epc_bytes.saturating_sub(cfg.epc_reserved_bytes) >> PAGE_SHIFT) as usize;
+        let epc = Epc::new(frames.max(1), cfg.evict_batch.max(1));
+        let switchless = if cfg.switchless_workers > 0 {
+            Some(SwitchlessPool::new(cfg.switchless_workers, cfg.switchless_channel_cycles))
+        } else {
+            None
+        };
+        let mem = Machine::new(cfg.mem.clone());
+        SgxMachine {
+            cfg,
+            mem,
+            epc,
+            epcm: Epcm::new(),
+            enclaves: Vec::new(),
+            active_tcs: Vec::new(),
+            in_enclave: Vec::new(),
+            counters: SgxCounters::default(),
+            driver: DriverStats::new(),
+            switchless,
+            untrusted_next: UNTRUSTED_BASE,
+            enclave_next: ENCLAVE_BASE,
+            init_stats: Vec::new(),
+            trace: None,
+            jitter: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Adds a hardware thread.
+    pub fn add_thread(&mut self) -> ThreadId {
+        self.in_enclave.push(None);
+        self.mem.add_thread()
+    }
+
+    /// Enables EPC event tracing (Fig 9); samples accumulate until
+    /// [`SgxMachine::take_trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the accumulated EPC trace, disabling tracing.
+    pub fn take_trace(&mut self) -> Vec<EpcTraceSample> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Small deterministic jitter so driver latency samples have a
+    /// realistic spread (xorshift over ±6 % of `base`).
+    fn jittered(&mut self, base: u64) -> u64 {
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        let span = base / 16; // +-6.25 %
+        if span == 0 {
+            return base;
+        }
+        base - span + (x % (2 * span))
+    }
+
+    /// Allocates `bytes` of untrusted memory and returns its base
+    /// address. The memory is demand-paged like ordinary anonymous mmap.
+    pub fn alloc_untrusted(&mut self, bytes: u64) -> u64 {
+        let base = self.untrusted_next;
+        self.untrusted_next += bytes.next_multiple_of(PAGE_SIZE) + PAGE_SIZE; // guard gap
+        base
+    }
+
+    /// Creates, measures (EADD/EEXTEND over the *whole* enclave size, as
+    /// the paper observes in §3.2.1 and Appendix D) and initializes an
+    /// enclave, charging the build to thread 0's clock if it exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::ContentTooLarge`] when `content_bytes`
+    /// exceeds `size_bytes`.
+    pub fn create_enclave(&mut self, size_bytes: u64, content_bytes: u64) -> Result<EnclaveId, SgxError> {
+        if content_bytes > size_bytes {
+            return Err(SgxError::ContentTooLarge);
+        }
+        let id = EnclaveId(self.enclaves.len());
+        let size = size_bytes.next_multiple_of(PAGE_SIZE);
+        let base = self.enclave_next;
+        self.enclave_next += size + (1 << 30); // 1 GiB guard between ELRANGEs
+        let mut enclave = Enclave::create(id, base, size, content_bytes.next_multiple_of(PAGE_SIZE));
+        let mut init = InitStats::default();
+
+        // Measurement pass: stream every page of the ELRANGE through the
+        // EPC. This is what blows up Graphene's 4 GB enclaves. Under
+        // SGX2/EDMM only the measured content streams; the heap is
+        // EAUGed on demand.
+        let first = enclave.first_page();
+        let total = if self.cfg.sgx2_edmm {
+            enclave.content_bytes() >> PAGE_SHIFT
+        } else {
+            enclave.total_pages()
+        };
+        for i in 0..total {
+            let key = PageKey { enclave: id, page: first + i };
+            let ev = self.epc.ensure_resident(key);
+            debug_assert!(ev.kind != EpcFaultKind::LoadBack, "build pages are fresh");
+            init.pages_measured += 1;
+            init.evictions += ev.evicted.len() as u64;
+            self.counters.pages_measured += 1;
+            self.counters.epc_allocs += 1;
+            self.counters.epc_evictions += ev.evicted.len() as u64;
+            let mut cycles = self.cfg.eadd_cycles + self.cfg.alloc_page_cycles;
+            for _ in &ev.evicted {
+                let c = self.jittered(self.cfg.ewb_cycles);
+                self.driver.record(DriverOp::Ewb, c);
+                cycles += c;
+            }
+            let ac = self.jittered(self.cfg.alloc_page_cycles);
+            self.driver.record(DriverOp::AllocPage, ac);
+            enclave.extend_measurement(i);
+            init.cycles += cycles;
+            self.epcm.record(id, first + i, PagePerms::RW);
+        }
+        // After verification the streamed pages are released; real
+        // allocations happen on demand ("EPC pages are allocated after
+        // the verification is done", Appendix D). Content pages keep
+        // their EWB'd encrypted copies, so touching them later is an
+        // ELDU load-back — which is why the paper sees only ≈700 pages
+        // of the ≈1M evicted at Graphene start-up come back (Fig 6a).
+        self.epc.remove_enclave(id);
+        let content_pages = enclave.content_bytes() >> PAGE_SHIFT;
+        for i in 0..content_pages {
+            self.epc.mark_evicted(PageKey { enclave: id, page: first + i });
+        }
+        if self.mem.thread_count() > 0 {
+            self.mem.charge(ThreadId(0), init.cycles);
+        }
+        enclave.initialize();
+        self.enclaves.push(enclave);
+        self.active_tcs.push(0);
+        self.init_stats.push(init);
+        Ok(id)
+    }
+
+    /// Tears down an enclave, EREMOVing its pages.
+    pub fn destroy_enclave(&mut self, id: EnclaveId) {
+        self.epc.remove_enclave(id);
+        self.epcm.remove_enclave(id);
+        self.enclaves[id.0].destroy();
+    }
+
+    /// Immutable view of an enclave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn enclave(&self, id: EnclaveId) -> &Enclave {
+        &self.enclaves[id.0]
+    }
+
+    /// Build statistics for `id` (Appendix D analyses).
+    pub fn init_stats(&self, id: EnclaveId) -> InitStats {
+        self.init_stats[id.0]
+    }
+
+    /// Allocates enclave heap memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::OutOfEnclaveMemory`] when the ELRANGE is
+    /// exhausted (the SGX v1 condition that forces generous enclave
+    /// sizes).
+    pub fn alloc_enclave_heap(&mut self, id: EnclaveId, bytes: u64) -> Result<u64, SgxError> {
+        self.enclaves[id.0].alloc_heap(bytes).ok_or(SgxError::OutOfEnclaveMemory)
+    }
+
+    /// Performs an ECALL: EENTER plus the mandatory TLB flush.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the enclave is not initialized, the thread is already
+    /// inside an enclave, or no TCS slot is free.
+    pub fn ecall_enter(&mut self, tid: ThreadId, id: EnclaveId) -> Result<(), SgxError> {
+        if self.enclaves[id.0].state() != EnclaveState::Initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        if self.in_enclave[tid.0].is_some() {
+            return Err(SgxError::AlreadyInEnclave);
+        }
+        if self.active_tcs[id.0] >= self.cfg.tcs_per_enclave {
+            return Err(SgxError::OutOfTcs);
+        }
+        self.active_tcs[id.0] += 1;
+        self.in_enclave[tid.0] = Some(id);
+        self.counters.ecalls += 1;
+        self.counters.transition_cycles += self.cfg.eenter_cycles;
+        self.mem.charge(tid, self.cfg.eenter_cycles);
+        self.mem.flush_tlb(tid);
+        Ok(())
+    }
+
+    /// Performs the EEXIT ending an ECALL.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the thread is not inside `id`.
+    pub fn ecall_exit(&mut self, tid: ThreadId, id: EnclaveId) -> Result<(), SgxError> {
+        if self.in_enclave[tid.0] != Some(id) {
+            return Err(SgxError::NotInEnclave);
+        }
+        self.in_enclave[tid.0] = None;
+        self.active_tcs[id.0] -= 1;
+        self.counters.transition_cycles += self.cfg.eexit_cycles;
+        self.mem.charge(tid, self.cfg.eexit_cycles);
+        self.mem.flush_tlb(tid);
+        Ok(())
+    }
+
+    /// Performs an OCALL whose untrusted work takes `work_cycles`.
+    ///
+    /// With switchless mode enabled the call is delegated to a proxy
+    /// thread (no transition, no TLB flush); otherwise the thread pays
+    /// EEXIT + work + EENTER with two TLB flushes (§2.3, §5.6).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the thread is not inside an enclave.
+    pub fn ocall(&mut self, tid: ThreadId, work_cycles: u64) -> Result<(), SgxError> {
+        if self.in_enclave[tid.0].is_none() {
+            return Err(SgxError::NotInEnclave);
+        }
+        if let Some(pool) = self.switchless.as_mut() {
+            let now = self.mem.cycles_of(tid);
+            let done = pool.submit(now, work_cycles);
+            self.counters.transition_cycles += done.saturating_sub(now).saturating_sub(work_cycles);
+            self.mem.sync_to(tid, done);
+            self.counters.switchless_ocalls += 1;
+            return Ok(());
+        }
+        self.counters.ocalls += 1;
+        self.counters.transition_cycles += self.cfg.eexit_cycles + self.cfg.eenter_cycles;
+        self.mem.charge(tid, self.cfg.eexit_cycles);
+        self.mem.flush_tlb(tid);
+        self.mem.charge(tid, work_cycles);
+        self.mem.charge(tid, self.cfg.eenter_cycles);
+        self.mem.flush_tlb(tid);
+        Ok(())
+    }
+
+    /// Whether `tid` currently executes inside an enclave.
+    pub fn current_enclave(&self, tid: ThreadId) -> Option<EnclaveId> {
+        self.in_enclave[tid.0]
+    }
+
+    /// Issues a memory access, routing it through the EPC when the thread
+    /// executes inside an enclave and targets its ELRANGE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread *outside* any enclave touches an ELRANGE — the
+    /// hardware would return abort-page semantics; in the simulator this
+    /// is always a harness bug worth failing loudly on.
+    pub fn access(&mut self, tid: ThreadId, vaddr: u64, len: u64, kind: AccessKind) -> AccessOutcome {
+        if len == 0 {
+            return AccessOutcome::default();
+        }
+        match self.in_enclave[tid.0] {
+            Some(eid) if self.enclaves[eid.0].contains(vaddr) => {
+                self.secure_access(tid, eid, vaddr, len, kind)
+            }
+            _ => {
+                debug_assert!(
+                    !self.enclaves.iter().any(|e| e.state() == EnclaveState::Initialized
+                        && e.contains(vaddr)
+                        && self.in_enclave[tid.0].is_none_or(|c| c != e.id())),
+                    "untrusted access to ELRANGE at {vaddr:#x}"
+                );
+                self.mem.access(tid, vaddr, len, kind, &AccessAttrs::PLAIN)
+            }
+        }
+    }
+
+    fn secure_access(&mut self, tid: ThreadId, eid: EnclaveId, vaddr: u64, len: u64, kind: AccessKind) -> AccessOutcome {
+        let first_page = vaddr >> PAGE_SHIFT;
+        let last_page = (vaddr + len - 1) >> PAGE_SHIFT;
+        let mut extra = 0u64;
+        for page in first_page..=last_page {
+            let key = PageKey { enclave: eid, page };
+            if self.epc.is_resident(key) {
+                self.epc.ensure_resident(key); // refresh reference bit
+                continue;
+            }
+            // EPC fault: AEX out, driver handles it, ERESUME back.
+            self.counters.epc_faults += 1;
+            self.counters.aex_exits += 1;
+            self.mem.flush_tlb(tid);
+            let mut fault_cycles = self.cfg.aex_cycles + self.cfg.fault_base_cycles;
+            let ev = self.epc.ensure_resident(key);
+            for _ in &ev.evicted {
+                let c = self.jittered(self.cfg.ewb_cycles);
+                self.driver.record(DriverOp::Ewb, c);
+                self.counters.epc_evictions += 1;
+                fault_cycles += c;
+            }
+            match ev.kind {
+                EpcFaultKind::Alloc => {
+                    let mut c = self.jittered(self.cfg.alloc_page_cycles);
+                    if self.cfg.sgx2_edmm {
+                        // EAUG by the driver + EACCEPT inside the enclave.
+                        c += self.cfg.eaccept_cycles;
+                    }
+                    self.driver.record(DriverOp::AllocPage, c);
+                    self.counters.epc_allocs += 1;
+                    self.epcm.record(eid, page, PagePerms::RW);
+                    fault_cycles += c;
+                }
+                EpcFaultKind::LoadBack => {
+                    let c = self.jittered(self.cfg.eldu_cycles);
+                    self.driver.record(DriverOp::Eldu, c);
+                    self.counters.epc_loadbacks += 1;
+                    fault_cycles += c;
+                }
+                EpcFaultKind::Resident => unreachable!("page checked non-resident above"),
+            }
+            self.driver.record(DriverOp::DoFault, self.cfg.fault_base_cycles + fault_cycles / 4);
+            fault_cycles += self.cfg.eresume_cycles;
+            self.counters.fault_cycles += fault_cycles;
+            self.mem.charge(tid, fault_cycles);
+            extra += fault_cycles;
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(EpcTraceSample {
+                    cycles: self.mem.cycles_of(tid),
+                    allocs: self.counters.epc_allocs,
+                    evictions: self.counters.epc_evictions,
+                    loadbacks: self.counters.epc_loadbacks,
+                });
+            }
+        }
+        let mut out = self.mem.access(tid, vaddr, len, kind, &AccessAttrs::EPC);
+        out.cycles += extra;
+        out
+    }
+
+    /// Charges pure computation to `tid`.
+    pub fn compute(&mut self, tid: ThreadId, cycles: u64) {
+        self.mem.compute(tid, cycles);
+    }
+
+    /// The underlying machine (clocks, counters, page table).
+    pub fn mem(&self) -> &Machine {
+        &self.mem
+    }
+
+    /// Mutable access to the underlying machine (e.g. `sync_to`).
+    pub fn mem_mut(&mut self) -> &mut Machine {
+        &mut self.mem
+    }
+
+    /// SGX event counters.
+    pub fn sgx_counters(&self) -> &SgxCounters {
+        &self.counters
+    }
+
+    /// Driver latency statistics.
+    pub fn driver_stats(&self) -> &DriverStats {
+        &self.driver
+    }
+
+    /// EPC occupancy diagnostics.
+    pub fn epc(&self) -> &Epc {
+        &self.epc
+    }
+
+    /// EPCM diagnostics.
+    pub fn epcm(&self) -> &Epcm {
+        &self.epcm
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &SgxConfig {
+        &self.cfg
+    }
+
+    /// Resets measurement state (memory counters, SGX counters, driver
+    /// samples, thread clocks) while keeping all architectural state —
+    /// the analogue of re-arming `perf` after start-up.
+    pub fn reset_measurement(&mut self) {
+        self.mem.reset_measurement();
+        self.counters = SgxCounters::default();
+        self.driver.reset();
+        if let Some(p) = self.switchless.as_mut() {
+            p.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_machine(epc_pages: usize) -> (SgxMachine, ThreadId) {
+        let mut cfg = SgxConfig::with_tiny_epc(epc_pages, 2);
+        cfg.mem = MachineConfig::default();
+        let mut m = SgxMachine::new(cfg);
+        let t = m.add_thread();
+        (m, t)
+    }
+
+    #[test]
+    fn ecall_flushes_tlb_and_counts() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        assert_eq!(m.sgx_counters().ecalls, 1);
+        assert_eq!(m.current_enclave(t), Some(e));
+        m.ecall_exit(t, e).unwrap();
+        assert!(m.mem().counters().tlb_flushes >= 2);
+        assert_eq!(m.current_enclave(t), None);
+    }
+
+    #[test]
+    fn double_enter_rejected() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        assert_eq!(m.ecall_enter(t, e), Err(SgxError::AlreadyInEnclave));
+    }
+
+    #[test]
+    fn tcs_limit_enforced() {
+        let mut cfg = SgxConfig::with_tiny_epc(64, 2);
+        cfg.tcs_per_enclave = 2;
+        let mut m = SgxMachine::new(cfg);
+        let t0 = m.add_thread();
+        let t1 = m.add_thread();
+        let t2 = m.add_thread();
+        let e = m.create_enclave(32 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.ecall_enter(t0, e).unwrap();
+        m.ecall_enter(t1, e).unwrap();
+        assert_eq!(m.ecall_enter(t2, e), Err(SgxError::OutOfTcs));
+        m.ecall_exit(t0, e).unwrap();
+        m.ecall_enter(t2, e).unwrap();
+    }
+
+    #[test]
+    fn enclave_access_allocates_epc() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 2 * PAGE_SIZE).unwrap();
+        m.access(t, heap, 2 * PAGE_SIZE, AccessKind::Write);
+        assert_eq!(m.sgx_counters().epc_allocs as usize, 32 + 2); // build + demand
+        assert_eq!(m.sgx_counters().epc_faults, 2);
+        assert_eq!(m.sgx_counters().aex_exits, 2);
+    }
+
+    #[test]
+    fn working_set_beyond_epc_thrashes() {
+        let (mut m, t) = small_machine(8); // 8-frame EPC
+        let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 32 * PAGE_SIZE).unwrap();
+        // Two sequential sweeps over 4x the EPC.
+        for _ in 0..2 {
+            for p in 0..32u64 {
+                m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Read);
+            }
+        }
+        let c = m.sgx_counters();
+        assert!(c.epc_evictions > 32, "sweeps must evict: {c:?}");
+        assert!(c.epc_loadbacks > 0, "second sweep must load back: {c:?}");
+        assert!(m.epc().resident_count() <= 8);
+    }
+
+    #[test]
+    fn fits_in_epc_no_faults_after_warmup() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 16 * PAGE_SIZE).unwrap();
+        for p in 0..16u64 {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Write);
+        }
+        let faults = m.sgx_counters().epc_faults;
+        for p in 0..16u64 {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Read);
+        }
+        assert_eq!(m.sgx_counters().epc_faults, faults);
+        assert_eq!(m.sgx_counters().epc_evictions, 0);
+    }
+
+    #[test]
+    fn build_of_large_enclave_streams_through_epc() {
+        let (mut m, _) = small_machine(16);
+        let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+        let init = m.init_stats(e);
+        assert_eq!(init.pages_measured, 64);
+        // 64 pages through a 16-frame EPC must evict roughly 48.
+        assert!(init.evictions >= 40, "init evictions {init:?}");
+        // After build the EPC is released.
+        assert_eq!(m.epc().resident_count(), 0);
+    }
+
+    #[test]
+    fn ocall_costs_and_flushes() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let flushes = m.mem().counters().tlb_flushes;
+        m.ocall(t, 1_000).unwrap();
+        assert_eq!(m.sgx_counters().ocalls, 1);
+        assert_eq!(m.mem().counters().tlb_flushes, flushes + 2);
+    }
+
+    #[test]
+    fn switchless_ocall_avoids_flush() {
+        let mut cfg = SgxConfig::with_tiny_epc(64, 2);
+        cfg.switchless_workers = 4;
+        let mut m = SgxMachine::new(cfg);
+        let t = m.add_thread();
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let flushes = m.mem().counters().tlb_flushes;
+        m.ocall(t, 1_000).unwrap();
+        assert_eq!(m.sgx_counters().switchless_ocalls, 1);
+        assert_eq!(m.sgx_counters().ocalls, 0);
+        assert_eq!(m.mem().counters().tlb_flushes, flushes);
+    }
+
+    #[test]
+    fn ocall_outside_enclave_rejected() {
+        let (mut m, t) = small_machine(64);
+        assert_eq!(m.ocall(t, 10), Err(SgxError::NotInEnclave));
+    }
+
+    #[test]
+    fn untrusted_access_from_enclave_is_plain() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        let buf = m.alloc_untrusted(PAGE_SIZE);
+        m.ecall_enter(t, e).unwrap();
+        let faults = m.sgx_counters().epc_faults;
+        m.access(t, buf, 64, AccessKind::Read);
+        assert_eq!(m.sgx_counters().epc_faults, faults, "untrusted access must not touch EPC");
+    }
+
+    #[test]
+    fn driver_records_paging_ops() {
+        let (mut m, t) = small_machine(8);
+        let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 32 * PAGE_SIZE).unwrap();
+        for _ in 0..3 {
+            for p in 0..32u64 {
+                m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Read);
+            }
+        }
+        let d = m.driver_stats();
+        assert!(d.stats(DriverOp::Ewb).count > 0);
+        assert!(d.stats(DriverOp::Eldu).count > 0);
+        assert!(d.stats(DriverOp::AllocPage).count > 0);
+        assert!(d.stats(DriverOp::DoFault).count > 0);
+        // EWB mean must exceed ELDU mean (paper: +16 %).
+        assert!(d.stats(DriverOp::Ewb).mean_cycles() > d.stats(DriverOp::Eldu).mean_cycles());
+    }
+
+    #[test]
+    fn ecall_into_destroyed_enclave_fails() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        m.destroy_enclave(e);
+        assert_eq!(m.ecall_enter(t, e), Err(SgxError::NotInitialized));
+    }
+
+    #[test]
+    fn content_too_large_rejected() {
+        let (mut m, _) = small_machine(64);
+        assert_eq!(
+            m.create_enclave(PAGE_SIZE, 2 * PAGE_SIZE).err(),
+            Some(SgxError::ContentTooLarge)
+        );
+    }
+
+    #[test]
+    fn reset_measurement_keeps_epc_state() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 4 * PAGE_SIZE).unwrap();
+        m.access(t, heap, 4 * PAGE_SIZE, AccessKind::Write);
+        m.reset_measurement();
+        assert_eq!(m.sgx_counters().epc_faults, 0);
+        let before = m.sgx_counters().epc_faults;
+        m.access(t, heap, 8, AccessKind::Read);
+        assert_eq!(m.sgx_counters().epc_faults, before, "page stayed resident across reset");
+    }
+
+    #[test]
+    fn sgx2_edmm_skips_heap_measurement() {
+        let mut cfg = SgxConfig::with_tiny_epc(16, 2);
+        cfg.sgx2_edmm = true;
+        let mut m = SgxMachine::new(cfg);
+        let t = m.add_thread();
+        // 64-page enclave, 4 pages of content: only the content streams.
+        let e = m.create_enclave(64 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        let init = m.init_stats(e);
+        assert_eq!(init.pages_measured, 4);
+        assert_eq!(init.evictions, 0, "content fits the EPC");
+        // Heap pages still fault in on demand (EAUG + EACCEPT).
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 4 * PAGE_SIZE).unwrap();
+        m.access(t, heap, 8, AccessKind::Write);
+        assert_eq!(m.sgx_counters().epc_allocs, 4 + 1);
+    }
+
+    #[test]
+    fn sgx1_vs_sgx2_startup_evictions() {
+        let build = |edmm: bool| {
+            let mut cfg = SgxConfig::with_tiny_epc(64, 4);
+            cfg.sgx2_edmm = edmm;
+            let mut m = SgxMachine::new(cfg);
+            m.add_thread();
+            let e = m.create_enclave(1024 * PAGE_SIZE, 8 * PAGE_SIZE).unwrap();
+            m.init_stats(e).evictions
+        };
+        let sgx1 = build(false);
+        let sgx2 = build(true);
+        assert!(sgx1 > 900, "SGX1 streams the whole ELRANGE: {sgx1}");
+        assert_eq!(sgx2, 0, "SGX2 measures only content");
+    }
+
+    #[test]
+    fn trace_collects_epc_events() {
+        let (mut m, t) = small_machine(8);
+        let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 16 * PAGE_SIZE).unwrap();
+        m.enable_trace();
+        for p in 0..16u64 {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Write);
+        }
+        let trace = m.take_trace();
+        assert_eq!(trace.len(), 16);
+        assert!(trace.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert_eq!(trace.last().unwrap().allocs, m.sgx_counters().epc_allocs);
+    }
+}

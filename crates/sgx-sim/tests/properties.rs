@@ -1,0 +1,92 @@
+//! Property tests for the SGX model: EPC residency invariants and
+//! transition accounting under arbitrary access streams.
+
+use mem_sim::{AccessKind, PAGE_SIZE};
+use proptest::prelude::*;
+use sgx_sim::epc::{Epc, EpcFaultKind, PageKey};
+use sgx_sim::{EnclaveId, SgxConfig, SgxMachine};
+
+fn key(p: u64) -> PageKey {
+    PageKey { enclave: EnclaveId(0), page: p }
+}
+
+proptest! {
+    /// A page is never both resident and evicted; residency never exceeds
+    /// capacity; counters match set sizes.
+    #[test]
+    fn epc_residency_invariants(pages in prop::collection::vec(0u64..64, 1..300),
+                                cap in 1usize..32, batch in 1usize..8) {
+        let mut epc = Epc::new(cap, batch);
+        for &p in &pages {
+            epc.ensure_resident(key(p));
+            prop_assert!(epc.resident_count() <= cap);
+            prop_assert!(!(epc.is_resident(key(p)) && epc.is_evicted(key(p))));
+        }
+        // Every distinct page is exactly one of: resident, evicted.
+        let distinct: std::collections::HashSet<_> = pages.iter().copied().collect();
+        for &p in &distinct {
+            prop_assert!(epc.is_resident(key(p)) ^ epc.is_evicted(key(p)),
+                "page {p} must be exactly one of resident/evicted");
+        }
+        prop_assert_eq!(epc.resident_count() + epc.evicted_count(), distinct.len());
+    }
+
+    /// The second touch of a page without interleaving evictions is
+    /// always `Resident`.
+    #[test]
+    fn immediate_retouch_is_resident(p in 0u64..1000, cap in 2usize..64) {
+        let mut epc = Epc::new(cap, 1);
+        epc.ensure_resident(key(p));
+        let ev = epc.ensure_resident(key(p));
+        prop_assert_eq!(ev.kind, EpcFaultKind::Resident);
+        prop_assert!(ev.evicted.is_empty());
+    }
+
+    /// A working set within EPC capacity never evicts, no matter the
+    /// access order.
+    #[test]
+    fn small_working_set_never_evicts(order in prop::collection::vec(0u64..16, 1..500),
+                                      cap in 16usize..64) {
+        let mut epc = Epc::new(cap, 4);
+        for &p in &order {
+            let ev = epc.ensure_resident(key(p));
+            prop_assert!(ev.evicted.is_empty());
+        }
+    }
+
+    /// SGX counters are consistent: loadbacks never exceed evictions, and
+    /// every fault is an alloc or a loadback.
+    #[test]
+    fn machine_counter_consistency(pages in prop::collection::vec(0u64..48, 1..200)) {
+        let mut m = SgxMachine::new(SgxConfig::with_tiny_epc(16, 4));
+        let t = m.add_thread();
+        let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 48 * PAGE_SIZE).unwrap();
+        m.reset_measurement();
+        for &p in &pages {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Read);
+        }
+        let c = *m.sgx_counters();
+        prop_assert!(c.epc_loadbacks <= c.epc_evictions,
+            "loadbacks {} > evictions {}", c.epc_loadbacks, c.epc_evictions);
+        prop_assert_eq!(c.epc_faults, c.epc_allocs + c.epc_loadbacks);
+        prop_assert_eq!(c.aex_exits, c.epc_faults);
+    }
+
+    /// Transition bookkeeping: enters and exits pair up and each flushes
+    /// the TLB exactly once.
+    #[test]
+    fn transitions_balance(n in 1usize..50) {
+        let mut m = SgxMachine::new(SgxConfig::with_tiny_epc(64, 4));
+        let t = m.add_thread();
+        let e = m.create_enclave(32 * PAGE_SIZE, 0).unwrap();
+        m.reset_measurement();
+        for _ in 0..n {
+            m.ecall_enter(t, e).unwrap();
+            m.ecall_exit(t, e).unwrap();
+        }
+        prop_assert_eq!(m.sgx_counters().ecalls, n as u64);
+        prop_assert_eq!(m.mem().counters().tlb_flushes, 2 * n as u64);
+    }
+}

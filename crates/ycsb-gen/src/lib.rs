@@ -1,0 +1,25 @@
+//! YCSB-style workload generation (Cooper et al., SoCC '10).
+//!
+//! The paper drives its Memcached workload with YCSB (§4.2.7): a *load*
+//! phase populates the store with a record count, then a *run* phase
+//! issues a read/write operation mix over keys drawn from a skewed
+//! distribution. This crate reproduces the generator: key distributions
+//! ([`Zipfian`], [`ScrambledZipfian`], [`Uniform`], [`Latest`]) and the
+//! standard workload mixes ([`WorkloadMix`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ycsb_gen::{Generator, Workload, WorkloadMix, Distribution};
+//!
+//! let wl = Workload::new(WorkloadMix::A, Distribution::Zipfian, 1_000, 42);
+//! let ops: Vec<_> = wl.operations().take(100).collect();
+//! assert_eq!(ops.len(), 100);
+//! assert!(ops.iter().all(|op| op.key < 1_000));
+//! ```
+
+pub mod dist;
+pub mod workload;
+
+pub use dist::{Distribution, Exponential, Generator, Hotspot, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use workload::{OpKind, Operation, Workload, WorkloadMix};

@@ -1,0 +1,57 @@
+//! Quickstart: run one SGXGauge workload in all three execution modes
+//! and compare the counters.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sgxgauge::core::report::ReportTable;
+use sgxgauge::core::{EnvConfig, ExecMode, InputSetting, Runner, RunnerConfig};
+use sgxgauge::workloads::BTree;
+
+fn main() {
+    // A 1/8-scale B-Tree keeps this example under a few seconds while
+    // still crossing the (paper-faithful, 92 MB) EPC at the High setting
+    // if you pass `--full`.
+    let full = std::env::args().any(|a| a == "--full");
+    let (workload, setting) = if full {
+        (BTree::new(), InputSetting::High)
+    } else {
+        (BTree::scaled(8), InputSetting::Low)
+    };
+
+    let runner = Runner::new(RunnerConfig {
+        env: EnvConfig::paper(ExecMode::Vanilla, 0),
+        repetitions: 1,
+    });
+
+    let mut table = ReportTable::new(
+        &format!("BTree ({setting}) across execution modes"),
+        &["mode", "runtime_Mcycles", "dtlb_misses", "walk_Mcycles", "llc_misses", "epc_faults", "ecalls"],
+    );
+    let mut vanilla_cycles = 0;
+    for mode in ExecMode::ALL {
+        let report = runner.run_once(&workload, mode, setting).expect("run");
+        if mode == ExecMode::Vanilla {
+            vanilla_cycles = report.runtime_cycles;
+        }
+        table.push_row(vec![
+            mode.to_string(),
+            (report.runtime_cycles / 1_000_000).to_string(),
+            report.counters.dtlb_misses.to_string(),
+            (report.counters.walk_cycles / 1_000_000).to_string(),
+            report.counters.llc_misses.to_string(),
+            report.sgx.epc_faults.to_string(),
+            report.sgx.ecalls.to_string(),
+        ]);
+        println!(
+            "{mode:>8}: {:>6} Mcycles ({:.2}x Vanilla), checksum {:#x}",
+            report.runtime_cycles / 1_000_000,
+            report.runtime_cycles as f64 / vanilla_cycles as f64,
+            report.output.checksum,
+        );
+    }
+    println!();
+    println!("{table}");
+    println!("Tip: rerun with --full for the paper-scale High setting (2 M elements > 92 MB EPC).");
+}

@@ -1,0 +1,271 @@
+//! `sgxgauge` — command-line driver for the benchmark suite.
+//!
+//! ```text
+//! sgxgauge list
+//! sgxgauge run --workload BTree --mode native --setting high [--scale 8]
+//! sgxgauge compare --workload HashJoin --setting medium [--scale 8]
+//! sgxgauge suite [--setting low] [--scale 16] [--modes vanilla,libos]
+//! ```
+
+use sgxgauge::core::report::{cycle_breakdown, humanize, RatioRow, ReportTable};
+use sgxgauge::stats::BarChart;
+use sgxgauge::core::{EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, Workload};
+use sgxgauge::workloads::{suite, suite_scaled};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  sgxgauge list
+  sgxgauge run     --workload <name> --mode <vanilla|native|libos> --setting <low|medium|high>
+                   [--scale <divisor>] [--switchless <workers>] [--pf]
+  sgxgauge compare --workload <name> --setting <low|medium|high> [--scale <divisor>]
+  sgxgauge suite   [--setting <low|medium|high>] [--scale <divisor>] [--modes <m1,m2,..>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "pf" {
+                flags.insert("pf".to_owned(), "true".to_owned());
+                i += 1;
+            } else {
+                let v = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_owned(), v.clone());
+                i += 2;
+            }
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_mode(s: &str) -> Result<ExecMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "vanilla" => Ok(ExecMode::Vanilla),
+        "native" => Ok(ExecMode::Native),
+        "libos" => Ok(ExecMode::LibOs),
+        other => Err(format!("unknown mode `{other}`")),
+    }
+}
+
+fn parse_setting(s: &str) -> Result<InputSetting, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "low" => Ok(InputSetting::Low),
+        "medium" => Ok(InputSetting::Medium),
+        "high" => Ok(InputSetting::High),
+        other => Err(format!("unknown setting `{other}`")),
+    }
+}
+
+fn workloads_for(scale: u64) -> Vec<Box<dyn Workload>> {
+    if scale <= 1 {
+        suite()
+    } else {
+        suite_scaled(scale)
+    }
+}
+
+fn find_workload(scale: u64, name: &str) -> Result<Box<dyn Workload>, String> {
+    workloads_for(scale)
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<_> = suite().iter().map(|w| w.name()).collect();
+            format!("unknown workload `{name}`; available: {}", names.join(", "))
+        })
+}
+
+fn runner(flags: &HashMap<String, String>) -> Result<Runner, String> {
+    let mut env = EnvConfig::paper(ExecMode::Vanilla, 0);
+    if let Some(w) = flags.get("switchless") {
+        let workers: usize = w.parse().map_err(|_| "--switchless needs a number".to_owned())?;
+        env = env.with_switchless(workers);
+    }
+    if flags.contains_key("pf") {
+        env = env.with_protected_files();
+    }
+    Ok(Runner::new(RunnerConfig { env, repetitions: 1 }))
+}
+
+fn print_report(r: &RunReport) {
+    println!("workload : {}", r.workload);
+    println!("mode     : {}", r.mode);
+    println!("setting  : {}", r.setting);
+    println!("runtime  : {} cycles ({:.3} s at 3.8 GHz)", r.runtime_cycles, r.runtime_seconds());
+    println!("ops      : {}", r.output.ops);
+    println!("checksum : {:#018x}", r.output.checksum);
+    println!("-- hardware counters --");
+    for (name, v) in r.counters.fields() {
+        println!("  {name:<16} {}", humanize(v));
+    }
+    println!("-- sgx counters --");
+    for (name, v) in r.sgx.fields() {
+        println!("  {name:<16} {}", humanize(v));
+    }
+    if let Some(s) = r.libos_startup {
+        println!("-- libos startup (excluded from runtime) --");
+        println!("  ecalls {} | ocalls {} | aex {} | evictions {} | loadbacks {}",
+            s.ecalls, s.ocalls, s.aex_exits, humanize(s.epc_evictions), s.epc_loadbacks);
+    }
+    for (name, v) in &r.output.metrics {
+        println!("metric   : {name} = {v:.2}");
+    }
+    println!("-- cycle breakdown (summed over threads) --");
+    let mut chart = BarChart::new("cycles by category", 40);
+    for (name, v) in cycle_breakdown(r) {
+        chart.push(name, v as f64);
+    }
+    println!("{chart}");
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut table = ReportTable::new(
+        "SGXGauge workloads (Table 2)",
+        &["workload", "property", "modes", "low", "medium", "high"],
+    );
+    for wl in suite() {
+        let modes: Vec<String> = ExecMode::ALL
+            .iter()
+            .filter(|m| wl.supports(**m))
+            .map(|m| m.to_string())
+            .collect();
+        table.push_row(vec![
+            wl.name().to_owned(),
+            wl.property().to_owned(),
+            modes.join("+"),
+            wl.spec(InputSetting::Low).params,
+            wl.spec(InputSetting::Medium).params,
+            wl.spec(InputSetting::High).params,
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale: u64 = flags.get("scale").map_or(Ok(1), |s| s.parse()).map_err(|_| "bad --scale")?;
+    let name = flags.get("workload").ok_or("--workload is required")?;
+    let mode = parse_mode(flags.get("mode").ok_or("--mode is required")?)?;
+    let setting = parse_setting(flags.get("setting").ok_or("--setting is required")?)?;
+    let wl = find_workload(scale, name)?;
+    let r = runner(flags)?
+        .run_once(wl.as_ref(), mode, setting)
+        .map_err(|e| e.to_string())?;
+    print_report(&r);
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale: u64 = flags.get("scale").map_or(Ok(1), |s| s.parse()).map_err(|_| "bad --scale")?;
+    let name = flags.get("workload").ok_or("--workload is required")?;
+    let setting = parse_setting(flags.get("setting").ok_or("--setting is required")?)?;
+    let wl = find_workload(scale, name)?;
+    let runner = runner(flags)?;
+    let vanilla = runner.run_once(wl.as_ref(), ExecMode::Vanilla, setting).map_err(|e| e.to_string())?;
+    let mut chart = BarChart::new("runtime overhead vs Vanilla (x)", 40);
+    let mut table = ReportTable::new(
+        &format!("{} ({setting}) across modes, ratios vs Vanilla", wl.name()),
+        &["mode", "runtime", "overhead", "dtlb", "walk", "stall", "llc", "evictions"],
+    );
+    for mode in ExecMode::ALL {
+        if !wl.supports(mode) {
+            continue;
+        }
+        let r = if mode == ExecMode::Vanilla {
+            vanilla.clone()
+        } else {
+            runner.run_once(wl.as_ref(), mode, setting).map_err(|e| e.to_string())?
+        };
+        let ratio = RatioRow::from_reports(&r, &vanilla);
+        chart.push(&mode.to_string(), ratio.overhead);
+        table.push_row(vec![
+            mode.to_string(),
+            humanize(r.runtime_cycles),
+            format!("{:.2}x", ratio.overhead),
+            format!("{:.2}x", ratio.dtlb_misses),
+            format!("{:.2}x", ratio.walk_cycles),
+            format!("{:.2}x", ratio.stall_cycles),
+            format!("{:.2}x", ratio.llc_misses),
+            humanize(r.sgx.epc_evictions),
+        ]);
+    }
+    println!("{table}");
+    println!("{chart}");
+    Ok(())
+}
+
+fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale: u64 = flags.get("scale").map_or(Ok(1), |s| s.parse()).map_err(|_| "bad --scale")?;
+    let setting = flags.get("setting").map_or(Ok(InputSetting::Low), |s| parse_setting(s))?;
+    let modes: Vec<ExecMode> = match flags.get("modes") {
+        None => ExecMode::ALL.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(parse_mode)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let runner = runner(flags)?;
+    let mut table = ReportTable::new(
+        &format!("Suite at {setting} (scale 1/{scale})"),
+        &["workload", "mode", "runtime", "dtlb_misses", "epc_evictions", "ecalls", "ocalls"],
+    );
+    for wl in workloads_for(scale) {
+        for &mode in &modes {
+            if !wl.supports(mode) {
+                continue;
+            }
+            match runner.run_once(wl.as_ref(), mode, setting) {
+                Ok(r) => table.push_row(vec![
+                    wl.name().to_owned(),
+                    mode.to_string(),
+                    humanize(r.runtime_cycles),
+                    humanize(r.counters.dtlb_misses),
+                    humanize(r.sgx.epc_evictions),
+                    humanize(r.sgx.ecalls),
+                    humanize(r.sgx.ocalls + r.sgx.switchless_ocalls),
+                ]),
+                Err(e) => eprintln!("{} in {mode}: {e}", wl.name()),
+            }
+        }
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "suite" => cmd_suite(&flags),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
