@@ -23,7 +23,9 @@ fn run(batch: usize) -> (u64, u64, u64) {
     let mut m = SgxMachine::new(cfg);
     let t = m.add_thread();
     let ws_pages = (24 << 20) / PAGE_SIZE;
-    let e = m.create_enclave(ws_pages * PAGE_SIZE + (8 << 20), 1 << 20).expect("enclave");
+    let e = m
+        .create_enclave(ws_pages * PAGE_SIZE + (8 << 20), 1 << 20)
+        .expect("enclave");
     m.ecall_enter(t, e).expect("enter");
     let heap = m.alloc_enclave_heap(e, ws_pages * PAGE_SIZE).expect("heap");
     for p in 0..ws_pages {

@@ -18,14 +18,26 @@ fn run(reach: usize) -> (u64, u64, u64) {
     mem.l1_tlb_entries *= reach;
     mem.stlb_entries *= reach;
     let mut env = EnvConfig::paper(ExecMode::Vanilla, 0);
-    env.sgx = SgxConfig { mem, ..SgxConfig::default() };
+    env.sgx = SgxConfig {
+        mem,
+        ..SgxConfig::default()
+    };
     if scale() > 1 {
         env.sgx.epc_bytes = (env.sgx.epc_bytes / scale()).max(1 << 20);
     }
-    let runner = Runner::new(RunnerConfig { env, repetitions: 1 });
+    let runner = Runner::new(RunnerConfig {
+        env,
+        repetitions: 1,
+    });
     let wl = HashJoin::scaled(scale());
-    let r = runner.run_once(&wl, ExecMode::Native, InputSetting::High).expect("run");
-    (r.runtime_cycles, r.counters.dtlb_misses, r.counters.walk_cycles)
+    let r = runner
+        .run_once(&wl, ExecMode::Native, InputSetting::High)
+        .expect("run");
+    (
+        r.runtime_cycles,
+        r.counters.dtlb_misses,
+        r.counters.walk_cycles,
+    )
 }
 
 fn main() {
@@ -36,9 +48,20 @@ fn main() {
     let (base_rt, _, _) = run(1);
     let mut table = sgxgauge_core::report::ReportTable::new(
         "HashJoin (High, Native) under growing TLB reach",
-        &["tlb_reach", "runtime_cycles", "vs_1x", "dtlb_misses", "walk_cycles"],
+        &[
+            "tlb_reach",
+            "runtime_cycles",
+            "vs_1x",
+            "dtlb_misses",
+            "walk_cycles",
+        ],
     );
-    for (label, reach) in [("4 KB pages (1x)", 1usize), ("8x reach", 8), ("64x reach", 64), ("512x (2 MB pages)", 512)] {
+    for (label, reach) in [
+        ("4 KB pages (1x)", 1usize),
+        ("8x reach", 8),
+        ("64x reach", 64),
+        ("512x (2 MB pages)", 512),
+    ] {
         let (rt, dtlb, walk) = run(reach);
         table.push_row(vec![
             label.to_string(),

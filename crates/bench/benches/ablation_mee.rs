@@ -19,10 +19,17 @@ fn run(mult_x100: u64, setting: InputSetting) -> (u64, u64) {
     if scale() > 1 {
         env.sgx.epc_bytes = (env.sgx.epc_bytes / scale()).max(1 << 20);
     }
-    let runner = Runner::new(RunnerConfig { env: env.clone(), repetitions: 1 });
+    let runner = Runner::new(RunnerConfig {
+        env: env.clone(),
+        repetitions: 1,
+    });
     let wl = HashJoin::scaled(scale());
-    let native = runner.run_once(&wl, ExecMode::Native, setting).expect("native");
-    let vanilla = runner.run_once(&wl, ExecMode::Vanilla, setting).expect("vanilla");
+    let native = runner
+        .run_once(&wl, ExecMode::Native, setting)
+        .expect("native");
+    let vanilla = runner
+        .run_once(&wl, ExecMode::Vanilla, setting)
+        .expect("vanilla");
     (native.runtime_cycles, vanilla.runtime_cycles)
 }
 

@@ -25,7 +25,9 @@ fn run(n: usize) -> (u64, u64) {
     let mut heaps = Vec::new();
     for _ in 0..n {
         let t = m.add_thread();
-        let e = m.create_enclave(ws_pages * PAGE_SIZE + (16 << 20), 1 << 20).expect("enclave");
+        let e = m
+            .create_enclave(ws_pages * PAGE_SIZE + (16 << 20), 1 << 20)
+            .expect("enclave");
         m.ecall_enter(t, e).expect("enter");
         let heap = m.alloc_enclave_heap(e, ws_pages * PAGE_SIZE).expect("heap");
         threads.push(t);
@@ -52,7 +54,12 @@ fn main() {
     let (base, _) = run(1);
     let mut table = ReportTable::new(
         "N tenants, each using EPC/3, interleaved",
-        &["enclaves", "cycles_per_enclave", "slowdown", "total_evictions"],
+        &[
+            "enclaves",
+            "cycles_per_enclave",
+            "slowdown",
+            "total_evictions",
+        ],
     );
     for n in [1usize, 2, 3, 4, 6] {
         let (per, ev) = run(n);

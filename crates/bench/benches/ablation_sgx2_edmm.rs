@@ -10,13 +10,16 @@
 //! after excluding start-up) barely moves.
 
 use libos_sim::{LibosProcess, Manifest};
-use mem_sim::{AccessKind, PAGE_SIZE, ThreadId};
+use mem_sim::{AccessKind, ThreadId, PAGE_SIZE};
 use sgx_sim::{SgxConfig, SgxMachine};
 use sgxgauge_bench::{banner, emit, fk};
 use sgxgauge_core::report::ReportTable;
 
 fn launch(edmm: bool, enclave_size: u64) -> (libos_sim::StartupStats, u64) {
-    let cfg = SgxConfig { sgx2_edmm: edmm, ..Default::default() };
+    let cfg = SgxConfig {
+        sgx2_edmm: edmm,
+        ..Default::default()
+    };
     let mut m = SgxMachine::new(cfg);
     let t = m.add_thread();
     let manifest = Manifest::builder("app").enclave_size(enclave_size).build();
@@ -40,7 +43,12 @@ fn main() {
     );
     let mut table = ReportTable::new(
         "SGX1 vs SGX2 LibOS launch (4 GB enclave) + steady-state heap walk",
-        &["platform", "startup_evictions", "startup_mcycles", "steady_state_mcycles"],
+        &[
+            "platform",
+            "startup_evictions",
+            "startup_mcycles",
+            "steady_state_mcycles",
+        ],
     );
     for (name, edmm) in [("SGX1 (paper)", false), ("SGX2 EDMM", true)] {
         let (s, steady) = launch(edmm, 4 << 30);

@@ -21,8 +21,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for setting in InputSetting::ALL {
-        let vanilla = runner.run_once(&wl, ExecMode::Vanilla, setting).expect("vanilla run");
-        let native = runner.run_once(&wl, ExecMode::Native, setting).expect("native run");
+        let vanilla = runner
+            .run_once(&wl, ExecMode::Vanilla, setting)
+            .expect("vanilla run");
+        let native = runner
+            .run_once(&wl, ExecMode::Native, setting)
+            .expect("native run");
         rows.push((setting, vanilla, native));
     }
     let low = &rows[0];

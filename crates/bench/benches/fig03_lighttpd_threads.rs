@@ -20,13 +20,22 @@ fn main() {
 
     let mut table = ReportTable::new(
         "Fig 3: mean request latency (cycles), Vanilla vs LibOS(SGX)",
-        &["threads", "vanilla_latency", "sgx_latency", "sgx_over_vanilla"],
+        &[
+            "threads",
+            "vanilla_latency",
+            "sgx_latency",
+            "sgx_over_vanilla",
+        ],
     );
     let mut max_ratio: f64 = 0.0;
     for threads in [1usize, 2, 4, 8, 16] {
         let wl = Lighttpd::scaled(divisor).with_threads(threads);
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).expect("vanilla");
-        let s = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).expect("libos");
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .expect("vanilla");
+        let s = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .expect("libos");
         let vl = v.output.metric("mean_latency_cycles").expect("metric");
         let sl = s.output.metric("mean_latency_cycles").expect("metric");
         let ratio = sl / vl;

@@ -5,7 +5,7 @@
 //! characteristics of the application" (§3.2.3); overall LibOS ≈ Native
 //! within ±10% (abstract).
 
-use sgxgauge_bench::{banner, emit, fx, paper_runner, scale};
+use sgxgauge_bench::{banner, emit, expect_report, fx, run_grid, scale};
 use sgxgauge_core::report::ReportTable;
 use sgxgauge_core::{ExecMode, InputSetting};
 use sgxgauge_workloads::native_suite;
@@ -15,7 +15,6 @@ fn main() {
         "Figure 4 — LibOS vs Native per workload",
         "LibOS impact is workload-dependent, overall within ~±10% of Native",
     );
-    let runner = paper_runner();
     let divisor = scale();
     let suite = if divisor == 1 {
         native_suite()
@@ -25,15 +24,25 @@ fn main() {
             .filter(|w| w.supports(ExecMode::Native))
             .collect()
     };
+    let sweep = run_grid(
+        &suite,
+        &[ExecMode::Native, ExecMode::LibOs],
+        &[InputSetting::High],
+    );
 
     let mut table = ReportTable::new(
         "Fig 4: LibOS/Native runtime ratio (High setting)",
-        &["workload", "native_cycles", "libos_cycles", "libos_over_native"],
+        &[
+            "workload",
+            "native_cycles",
+            "libos_cycles",
+            "libos_over_native",
+        ],
     );
     let mut ratios = Vec::new();
-    for wl in &suite {
-        let n = runner.run_once(wl.as_ref(), ExecMode::Native, InputSetting::High).expect("native");
-        let l = runner.run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::High).expect("libos");
+    for (wi, wl) in suite.iter().enumerate() {
+        let n = expect_report(&sweep, wi, ExecMode::Native, InputSetting::High);
+        let l = expect_report(&sweep, wi, ExecMode::LibOs, InputSetting::High);
         let ratio = l.runtime_cycles as f64 / n.runtime_cycles as f64;
         ratios.push(ratio);
         table.push_row(vec![

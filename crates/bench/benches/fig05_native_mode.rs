@@ -5,7 +5,7 @@
 //! up to 75x (Low→Medium) and 2.6x (Medium→High) — the cliff is at the
 //! EPC boundary, not beyond it.
 
-use sgxgauge_bench::{banner, emit, fk, fx, paper_runner, scale};
+use sgxgauge_bench::{banner, emit, expect_report, fk, fx, run_grid, scale};
 use sgxgauge_core::report::ReportTable;
 use sgxgauge_core::{ExecMode, InputSetting, Workload};
 use sgxgauge_workloads::{native_suite, suite_scaled};
@@ -15,7 +15,6 @@ fn main() {
         "Figure 5 — Native mode per workload (5a: overhead, 5b: EPC evictions)",
         "Low->Medium jump up to 8.8x overhead / 75x evictions; Medium->High much flatter",
     );
-    let runner = paper_runner();
     let suite: Vec<Box<dyn Workload>> = if scale() == 1 {
         native_suite()
     } else {
@@ -24,18 +23,29 @@ fn main() {
             .filter(|w| w.supports(ExecMode::Native))
             .collect()
     };
+    let sweep = run_grid(
+        &suite,
+        &[ExecMode::Vanilla, ExecMode::Native],
+        &InputSetting::ALL,
+    );
 
     let mut table = ReportTable::new(
         "Fig 5a+5b: Native vs Vanilla overhead and EPC evictions",
-        &["workload", "setting", "overhead_vs_vanilla", "epc_evictions", "epc_loadbacks"],
+        &[
+            "workload",
+            "setting",
+            "overhead_vs_vanilla",
+            "epc_evictions",
+            "epc_loadbacks",
+        ],
     );
     let mut max_lm: f64 = 0.0;
     let mut max_mh: f64 = 0.0;
-    for wl in &suite {
+    for (wi, wl) in suite.iter().enumerate() {
         let mut per_setting = Vec::new();
         for setting in InputSetting::ALL {
-            let v = runner.run_once(wl.as_ref(), ExecMode::Vanilla, setting).expect("vanilla");
-            let n = runner.run_once(wl.as_ref(), ExecMode::Native, setting).expect("native");
+            let v = expect_report(&sweep, wi, ExecMode::Vanilla, setting);
+            let n = expect_report(&sweep, wi, ExecMode::Native, setting);
             let overhead = n.runtime_cycles as f64 / v.runtime_cycles as f64;
             table.push_row(vec![
                 wl.name().to_string(),

@@ -13,7 +13,9 @@ use sgxgauge_core::report::ReportTable;
 fn run_empty(enclave_size: u64) -> (libos_sim::StartupStats, u64) {
     let mut machine = SgxMachine::new(SgxConfig::default());
     let tid = machine.add_thread();
-    let manifest = Manifest::builder("empty").enclave_size(enclave_size).build();
+    let manifest = Manifest::builder("empty")
+        .enclave_size(enclave_size)
+        .build();
     let start = std::time::Instant::now();
     let p = LibosProcess::launch(&mut machine, tid, &manifest).expect("launch");
     let wall_us = start.elapsed().as_micros() as u64;
@@ -28,9 +30,21 @@ fn main() {
 
     let mut table = ReportTable::new(
         "Fig 6a: LibOS start-up events by enclave size",
-        &["enclave_size", "ecalls", "ocalls", "aex_exits", "epc_evictions", "epc_loadbacks", "startup_mcycles"],
+        &[
+            "enclave_size",
+            "ecalls",
+            "ocalls",
+            "aex_exits",
+            "epc_evictions",
+            "epc_loadbacks",
+            "startup_mcycles",
+        ],
     );
-    for (label, size) in [("1 GB", 1u64 << 30), ("2 GB", 2 << 30), ("4 GB (paper)", 4 << 30)] {
+    for (label, size) in [
+        ("1 GB", 1u64 << 30),
+        ("2 GB", 2 << 30),
+        ("4 GB (paper)", 4 << 30),
+    ] {
         let (s, _) = run_empty(size);
         table.push_row(vec![
             label.to_string(),

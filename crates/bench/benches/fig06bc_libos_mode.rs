@@ -4,7 +4,7 @@
 //! 2.7x from Medium to High; EPC load-backs grow up to 341x (Low→Medium)
 //! and 4.1x (Medium→High). Start-up is excluded (Appendix D).
 
-use sgxgauge_bench::{banner, emit, fk, fx, paper_runner, scale};
+use sgxgauge_bench::{banner, emit, expect_report, fk, fx, run_grid, scale};
 use sgxgauge_core::report::ReportTable;
 use sgxgauge_core::{ExecMode, InputSetting};
 use sgxgauge_workloads::{suite, suite_scaled};
@@ -14,20 +14,34 @@ fn main() {
         "Figures 6b/6c — LibOS mode overhead and EPC reloads",
         "Low->Medium: up to 8.7x overhead, up to 341x loadbacks; Medium->High flatter",
     );
-    let runner = paper_runner();
-    let all = if scale() == 1 { suite() } else { suite_scaled(scale()) };
+    let all = if scale() == 1 {
+        suite()
+    } else {
+        suite_scaled(scale())
+    };
+    let sweep = run_grid(
+        &all,
+        &[ExecMode::Vanilla, ExecMode::LibOs],
+        &InputSetting::ALL,
+    );
 
     let mut table = ReportTable::new(
         "Fig 6b+6c: LibOS vs Vanilla overhead and EPC load-backs",
-        &["workload", "setting", "overhead_vs_vanilla", "epc_loadbacks", "epc_evictions"],
+        &[
+            "workload",
+            "setting",
+            "overhead_vs_vanilla",
+            "epc_loadbacks",
+            "epc_evictions",
+        ],
     );
     let mut max_lm: f64 = 0.0;
     let mut max_mh: f64 = 0.0;
-    for wl in &all {
+    for (wi, wl) in all.iter().enumerate() {
         let mut loads = Vec::new();
         for setting in InputSetting::ALL {
-            let v = runner.run_once(wl.as_ref(), ExecMode::Vanilla, setting).expect("vanilla");
-            let l = runner.run_once(wl.as_ref(), ExecMode::LibOs, setting).expect("libos");
+            let v = expect_report(&sweep, wi, ExecMode::Vanilla, setting);
+            let l = expect_report(&sweep, wi, ExecMode::LibOs, setting);
             let overhead = l.runtime_cycles as f64 / v.runtime_cycles as f64;
             table.push_row(vec![
                 wl.name().to_string(),

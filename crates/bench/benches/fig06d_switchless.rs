@@ -17,22 +17,36 @@ fn main() {
     let divisor = scale().max(4);
     let wl = Lighttpd::scaled(divisor);
 
-    let default_runner = Runner::new(RunnerConfig { env: paper_env(ExecMode::LibOs), repetitions: 1 });
+    let default_runner = Runner::new(RunnerConfig {
+        env: paper_env(ExecMode::LibOs),
+        repetitions: 1,
+    });
     // The paper configures 8 cores for OCALL handling.
     let switchless_runner = Runner::new(RunnerConfig {
         env: paper_env(ExecMode::LibOs).with_switchless(8),
         repetitions: 1,
     });
 
-    let base = default_runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).expect("default");
-    let swl = switchless_runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).expect("switchless");
+    let base = default_runner
+        .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+        .expect("default");
+    let swl = switchless_runner
+        .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+        .expect("switchless");
 
     let base_lat = base.output.metric("mean_latency_cycles").expect("metric");
     let swl_lat = swl.output.metric("mean_latency_cycles").expect("metric");
 
     let mut table = ReportTable::new(
         "Fig 6d: default vs switchless OCALLs (Lighttpd, Low)",
-        &["variant", "mean_latency_cycles", "dtlb_misses", "classic_ocalls", "switchless_ocalls", "tlb_flushes"],
+        &[
+            "variant",
+            "mean_latency_cycles",
+            "dtlb_misses",
+            "classic_ocalls",
+            "switchless_ocalls",
+            "tlb_flushes",
+        ],
     );
     for (name, r, lat) in [("default", &base, base_lat), ("switchless", &swl, swl_lat)] {
         table.push_row(vec![
@@ -47,7 +61,11 @@ fn main() {
     emit("fig06d_switchless", &table);
 
     let lat_gain = 100.0 * (1.0 - swl_lat / base_lat);
-    let dtlb_gain = 100.0 * (1.0 - swl.counters.dtlb_misses as f64 / base.counters.dtlb_misses.max(1) as f64);
+    let dtlb_gain =
+        100.0 * (1.0 - swl.counters.dtlb_misses as f64 / base.counters.dtlb_misses.max(1) as f64);
     println!("Shape check: latency improvement = {lat_gain:.0}% (paper: 30%), dTLB-miss reduction = {dtlb_gain:.0}% (paper: 60%)");
-    println!("Switchless ratio check: {} classic vs {} switchless OCALLs", swl.sgx.ocalls, swl.sgx.switchless_ocalls);
+    println!(
+        "Switchless ratio check: {} classic vs {} switchless OCALLs",
+        swl.sgx.ocalls, swl.sgx.switchless_ocalls
+    );
 }

@@ -21,7 +21,9 @@ fn main() {
     let mut m = SgxMachine::new(SgxConfig::default());
     let t = m.add_thread();
     let ws_bytes: u64 = 276 << 20;
-    let e = m.create_enclave(ws_bytes + (32 << 20), 4 << 20).expect("enclave");
+    let e = m
+        .create_enclave(ws_bytes + (32 << 20), 4 << 20)
+        .expect("enclave");
     m.ecall_enter(t, e).expect("enter");
     let heap = m.alloc_enclave_heap(e, ws_bytes).expect("heap");
     m.reset_measurement();
@@ -40,7 +42,14 @@ fn main() {
     let ghz = 3.8;
     let mut table = ReportTable::new(
         "Fig 7: driver-op latencies (mean over samples)",
-        &["operation", "samples", "mean_cycles", "mean_us", "min_us", "max_us"],
+        &[
+            "operation",
+            "samples",
+            "mean_cycles",
+            "mean_us",
+            "min_us",
+            "max_us",
+        ],
     );
     for op in DriverOp::ALL {
         let s = m.driver_stats().stats(op);

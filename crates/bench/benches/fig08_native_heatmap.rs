@@ -29,12 +29,26 @@ fn main() {
 
     let mut table = ReportTable::new(
         "Fig 8: Native/Vanilla counter ratios",
-        &["workload", "setting", "overhead", "dtlb_misses", "walk_cycles", "stall_cycles", "llc_misses", "page_faults", "ecalls"],
+        &[
+            "workload",
+            "setting",
+            "overhead",
+            "dtlb_misses",
+            "walk_cycles",
+            "stall_cycles",
+            "llc_misses",
+            "page_faults",
+            "ecalls",
+        ],
     );
     for wl in &suite {
         for setting in InputSetting::ALL {
-            let v = runner.run_once(wl.as_ref(), ExecMode::Vanilla, setting).expect("vanilla");
-            let n = runner.run_once(wl.as_ref(), ExecMode::Native, setting).expect("native");
+            let v = runner
+                .run_once(wl.as_ref(), ExecMode::Vanilla, setting)
+                .expect("vanilla");
+            let n = runner
+                .run_once(wl.as_ref(), ExecMode::Native, setting)
+                .expect("native");
             let r = RatioRow::from_reports(&n, &v);
             table.push_row(vec![
                 wl.name().to_string(),
@@ -51,7 +65,11 @@ fn main() {
     }
     emit("fig08_native_heatmap", &table);
     println!("Shape checks (Appendix B): Blockchain shows the largest dTLB/walk ratios (ECALL TLB");
-    println!("flushes; paper: ~2000x); page-fault ratios (which include EPC faults, as perf counts");
-    println!("them) grow with input size for the EPC-bound workloads; BFS stays comparatively flat");
+    println!(
+        "flushes; paper: ~2000x); page-fault ratios (which include EPC faults, as perf counts"
+    );
+    println!(
+        "them) grow with input size for the EPC-bound workloads; BFS stays comparatively flat"
+    );
     println!("(locality, B.5); PageRank's own streaming dominates its dTLB losses (B.6).");
 }

@@ -35,7 +35,9 @@ fn downsample(trace: &[EpcTraceSample], buckets: usize) -> Vec<EpcTraceSample> {
     if trace.len() <= buckets {
         return trace.to_vec();
     }
-    (0..buckets).map(|i| trace[i * trace.len() / buckets]).collect()
+    (0..buckets)
+        .map(|i| trace[i * trace.len() / buckets])
+        .collect()
 }
 
 fn main() {
@@ -48,9 +50,13 @@ fn main() {
     // Native: right-sized enclave.
     let mut native = SgxMachine::new(SgxConfig::default());
     native.add_thread();
-    let e = native.create_enclave(pages * PAGE_SIZE + (64 << 20), 4 << 20).expect("enclave");
+    let e = native
+        .create_enclave(pages * PAGE_SIZE + (64 << 20), 4 << 20)
+        .expect("enclave");
     native.ecall_enter(mem_sim::ThreadId(0), e).expect("enter");
-    let heap = native.alloc_enclave_heap(e, pages * PAGE_SIZE).expect("heap");
+    let heap = native
+        .alloc_enclave_heap(e, pages * PAGE_SIZE)
+        .expect("heap");
     let native_init = native.init_stats(e);
     native.reset_measurement();
     let native_trace = run_pattern(&mut native, heap, pages);
@@ -68,7 +74,14 @@ fn main() {
 
     let mut table = ReportTable::new(
         "Fig 9: execution-phase EPC events over time (32 samples per mode)",
-        &["mode", "sample", "cycles", "allocs", "evictions", "loadbacks"],
+        &[
+            "mode",
+            "sample",
+            "cycles",
+            "allocs",
+            "evictions",
+            "loadbacks",
+        ],
     );
     for (mode, trace) in [("Native", &native_trace), ("LibOS", &libos_trace)] {
         for (i, s) in downsample(trace, 32).iter().enumerate() {

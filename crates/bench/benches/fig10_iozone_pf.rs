@@ -18,12 +18,18 @@ fn main() {
     );
     let wl = Iozone::scaled(scale());
 
-    let vanilla = Runner::new(RunnerConfig { env: paper_env(ExecMode::Vanilla), repetitions: 1 })
-        .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
-        .expect("vanilla");
-    let libos = Runner::new(RunnerConfig { env: paper_env(ExecMode::LibOs), repetitions: 1 })
-        .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
-        .expect("libos");
+    let vanilla = Runner::new(RunnerConfig {
+        env: paper_env(ExecMode::Vanilla),
+        repetitions: 1,
+    })
+    .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+    .expect("vanilla");
+    let libos = Runner::new(RunnerConfig {
+        env: paper_env(ExecMode::LibOs),
+        repetitions: 1,
+    })
+    .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+    .expect("libos");
     let pf = Runner::new(RunnerConfig {
         env: paper_env(ExecMode::LibOs).with_protected_files(),
         repetitions: 1,
@@ -34,11 +40,22 @@ fn main() {
     let metric = |r: &sgxgauge_core::RunReport, m: &str| r.output.metric(m).expect("metric");
     let mut table = ReportTable::new(
         "Fig 10: IOzone read/write cycles and overheads",
-        &["variant", "read_cycles", "write_cycles", "read_overhead_%", "write_overhead_%", "ocalls"],
+        &[
+            "variant",
+            "read_cycles",
+            "write_cycles",
+            "read_overhead_%",
+            "write_overhead_%",
+            "ocalls",
+        ],
     );
     let base_r = metric(&vanilla, "read_cycles");
     let base_w = metric(&vanilla, "write_cycles");
-    for (name, r) in [("Vanilla", &vanilla), ("S-G (LibOS)", &libos), ("S-P (LibOS+PF)", &pf)] {
+    for (name, r) in [
+        ("Vanilla", &vanilla),
+        ("S-G (LibOS)", &libos),
+        ("S-P (LibOS+PF)", &pf),
+    ] {
         let rr = metric(r, "read_cycles");
         let ww = metric(r, "write_cycles");
         table.push_row(vec![

@@ -54,9 +54,7 @@ fn bench_transitions(c: &mut Criterion) {
         })
     });
     m.ecall_enter(t, e).expect("enter");
-    c.bench_function("ocall", |b| {
-        b.iter(|| m.ocall(t, 1_000).expect("ocall"))
-    });
+    c.bench_function("ocall", |b| b.iter(|| m.ocall(t, 1_000).expect("ocall")));
 }
 
 fn bench_crypto(c: &mut Criterion) {

@@ -5,22 +5,32 @@
 //! Low/Medium/High — runtime overhead plus dTLB misses, walk cycles,
 //! stall cycles, LLC misses and absolute EPC evictions.
 
-use sgxgauge_bench::{banner, emit, fk, fx, paper_runner, scale};
+use sgxgauge_bench::{banner, emit, expect_report, fk, fx, run_grid, scale};
 use sgxgauge_core::report::{RatioRow, ReportTable};
-use sgxgauge_core::{ExecMode, InputSetting, RunReport, Workload};
+use sgxgauge_core::sweep::SweepReport;
+use sgxgauge_core::{ExecMode, InputSetting};
 use sgxgauge_workloads::{suite, suite_scaled};
 
-/// Produces the (numerator, denominator) run pair for one cell.
-type RunPair<'a> = &'a dyn Fn(&dyn Workload, InputSetting) -> Option<(RunReport, RunReport)>;
-
-fn section(title: &str, table: &mut ReportTable, workloads: &[&dyn Workload], runs: RunPair<'_>) {
+/// One geomean row per setting: ratio of `num` over `den` mode across
+/// the grid cells of `indices` (workload positions in the sweep).
+fn section(
+    title: &str,
+    table: &mut ReportTable,
+    sweep: &SweepReport,
+    indices: &[usize],
+    num: ExecMode,
+    den: ExecMode,
+) {
     for setting in InputSetting::ALL {
-        let mut rows = Vec::new();
-        for wl in workloads {
-            if let Some((num, den)) = runs(*wl, setting) {
-                rows.push(RatioRow::from_reports(&num, &den));
-            }
-        }
+        let rows: Vec<RatioRow> = indices
+            .iter()
+            .map(|&wi| {
+                RatioRow::from_reports(
+                    expect_report(sweep, wi, num, setting),
+                    expect_report(sweep, wi, den, setting),
+                )
+            })
+            .collect();
         let g = RatioRow::geomean_of(&rows);
         table.push_row(vec![
             title.to_string(),
@@ -40,46 +50,61 @@ fn main() {
         "Table 4 — overhead in system-related events",
         "Native/Vanilla: 2.0x/3.0x/3.4x; LibOS/Vanilla: 2.03x/3.13x/3.7x; LibOS/Native: ~1.0x",
     );
-    let runner = paper_runner();
-    let all = if scale() == 1 { suite() } else { suite_scaled(scale()) };
-    let native_capable: Vec<&dyn Workload> =
-        all.iter().filter(|w| w.supports(ExecMode::Native)).map(|w| w.as_ref()).collect();
-    let everyone: Vec<&dyn Workload> = all.iter().map(|w| w.as_ref()).collect();
+    let all = if scale() == 1 {
+        suite()
+    } else {
+        suite_scaled(scale())
+    };
+    let native_capable: Vec<usize> = all
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.supports(ExecMode::Native))
+        .map(|(i, _)| i)
+        .collect();
+    let everyone: Vec<usize> = (0..all.len()).collect();
+
+    // One sweep covers every (num, den) pair below: the grid skips modes
+    // a workload doesn't support, and the sections only index cells that
+    // exist.
+    let sweep = run_grid(&all, &ExecMode::ALL, &InputSetting::ALL);
 
     let mut table = ReportTable::new(
         "Table 4 (geomean across workloads)",
-        &["comparison", "setting", "overhead", "dtlb_misses", "walk_cycles", "stall_cycles", "llc_misses", "epc_evictions"],
+        &[
+            "comparison",
+            "setting",
+            "overhead",
+            "dtlb_misses",
+            "walk_cycles",
+            "stall_cycles",
+            "llc_misses",
+            "epc_evictions",
+        ],
     );
 
     section(
         "Native w.r.t Vanilla (6 workloads)",
         &mut table,
+        &sweep,
         &native_capable,
-        &|wl, s| {
-            let n = runner.run_once(wl, ExecMode::Native, s).ok()?;
-            let v = runner.run_once(wl, ExecMode::Vanilla, s).ok()?;
-            Some((n, v))
-        },
+        ExecMode::Native,
+        ExecMode::Vanilla,
     );
     section(
         "LibOS w.r.t Vanilla (10 workloads)",
         &mut table,
+        &sweep,
         &everyone,
-        &|wl, s| {
-            let l = runner.run_once(wl, ExecMode::LibOs, s).ok()?;
-            let v = runner.run_once(wl, ExecMode::Vanilla, s).ok()?;
-            Some((l, v))
-        },
+        ExecMode::LibOs,
+        ExecMode::Vanilla,
     );
     section(
         "LibOS w.r.t Native (6 workloads)",
         &mut table,
+        &sweep,
         &native_capable,
-        &|wl, s| {
-            let l = runner.run_once(wl, ExecMode::LibOs, s).ok()?;
-            let n = runner.run_once(wl, ExecMode::Native, s).ok()?;
-            Some((l, n))
-        },
+        ExecMode::LibOs,
+        ExecMode::Native,
     );
 
     emit("table4_overheads", &table);

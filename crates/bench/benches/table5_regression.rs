@@ -13,8 +13,14 @@ use sgxgauge_core::report::ReportTable;
 use sgxgauge_core::{ExecMode, InputSetting, RunReport, Workload};
 use sgxgauge_workloads::{suite, suite_scaled};
 
-const COUNTER_NAMES: [&str; 6] =
-    ["walk_cycles", "stall_cycles", "page_faults", "dtlb_misses", "llc_misses", "epc_evictions"];
+const COUNTER_NAMES: [&str; 6] = [
+    "walk_cycles",
+    "stall_cycles",
+    "page_faults",
+    "dtlb_misses",
+    "llc_misses",
+    "epc_evictions",
+];
 
 fn features(r: &RunReport) -> Vec<f64> {
     vec![
@@ -42,7 +48,16 @@ fn main() {
 
     let mut table = ReportTable::new(
         "Table 5: standardized coefficients (dominant counter starred)",
-        &["workload", "walk_cycles", "stall_cycles", "page_faults", "dtlb_misses", "llc_misses", "epc_evictions", "dominant"],
+        &[
+            "workload",
+            "walk_cycles",
+            "stall_cycles",
+            "page_faults",
+            "dtlb_misses",
+            "llc_misses",
+            "epc_evictions",
+            "dominant",
+        ],
     );
 
     let names: Vec<&'static str> = suite().iter().map(|w| w.name()).collect();

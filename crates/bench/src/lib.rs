@@ -14,7 +14,10 @@
 //! run against the 92 MB EPC platform of Table 3.
 
 use sgxgauge_core::report::ReportTable;
-use sgxgauge_core::{EnvConfig, ExecMode, Runner, RunnerConfig};
+use sgxgauge_core::sweep::SweepReport;
+use sgxgauge_core::{
+    EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, SuiteRunner, Workload,
+};
 use std::path::PathBuf;
 
 /// The input-scale divisor, from `SGXGAUGE_SCALE` (default 1).
@@ -47,7 +50,10 @@ pub fn results_dir() -> PathBuf {
 /// Low/Medium/High settings keep their position relative to the EPC
 /// boundary and every figure keeps its shape.
 pub fn paper_runner() -> Runner {
-    Runner::new(RunnerConfig { env: paper_env(ExecMode::Vanilla), repetitions: 1 })
+    Runner::new(RunnerConfig {
+        env: paper_env(ExecMode::Vanilla),
+        repetitions: 1,
+    })
 }
 
 /// The environment template behind [`paper_runner`], for benches that
@@ -67,6 +73,59 @@ pub fn paper_env(mode: ExecMode) -> EnvConfig {
         );
     }
     env
+}
+
+/// A paper-faithful [`SuiteRunner`] over `modes` × `settings`: the
+/// parallel analogue of [`paper_runner`], one worker per core.
+pub fn paper_sweep(modes: &[ExecMode], settings: &[InputSetting]) -> SuiteRunner {
+    SuiteRunner::new(RunnerConfig {
+        env: paper_env(ExecMode::Vanilla),
+        repetitions: 1,
+    })
+    .modes(modes)
+    .settings(settings)
+}
+
+/// Fans `workloads` × `modes` × `settings` across OS threads and returns
+/// the grid-ordered sweep. Figure harnesses use this instead of nested
+/// `run_once` loops: the results are identical (each cell still owns a
+/// private simulator), only the wall clock shrinks.
+pub fn run_grid(
+    workloads: &[Box<dyn Workload>],
+    modes: &[ExecMode],
+    settings: &[InputSetting],
+) -> SweepReport {
+    let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    paper_sweep(modes, settings).run(&refs)
+}
+
+/// The report of grid cell (`workload` index, `mode`, `setting`), first
+/// repetition.
+///
+/// # Panics
+///
+/// Panics with the cell's error when the run failed or the cell is not in
+/// the sweep — figure harnesses treat missing data as fatal.
+pub fn expect_report(
+    sweep: &SweepReport,
+    workload: usize,
+    mode: ExecMode,
+    setting: InputSetting,
+) -> &RunReport {
+    let cell = sweep
+        .cells
+        .iter()
+        .find(|c| {
+            c.cell.workload == workload
+                && c.cell.mode == mode
+                && c.cell.setting == setting
+                && c.cell.rep == 0
+        })
+        .unwrap_or_else(|| panic!("cell ({workload}, {mode}, {setting}) not in sweep"));
+    match &cell.result {
+        Ok(r) => r,
+        Err(e) => panic!("{} in {mode} at {setting}: {e}", cell.workload),
+    }
 }
 
 /// Prints the bench banner.

@@ -175,10 +175,11 @@ impl Env {
         // the runtime's own helpers).
         let manifest = match cfg.mode {
             ExecMode::LibOs => {
-                let m = cfg
-                    .manifest
-                    .clone()
-                    .unwrap_or_else(|| Manifest::builder("workload").protected_files(cfg.protected_files).build());
+                let m = cfg.manifest.clone().unwrap_or_else(|| {
+                    Manifest::builder("workload")
+                        .protected_files(cfg.protected_files)
+                        .build()
+                });
                 let m = if cfg.protected_files && !m.protected_files() {
                     Manifest::builder(m.binary())
                         .enclave_size(m.enclave_size())
@@ -206,7 +207,8 @@ impl Env {
             ExecMode::Native => {
                 // Size the enclave to the workload: content + heap with
                 // slack, as a porting developer would.
-                let size = cfg.native_content + cfg.protected_hint + cfg.protected_hint / 2 + (16 << 20);
+                let size =
+                    cfg.native_content + cfg.protected_hint + cfg.protected_hint / 2 + (16 << 20);
                 native_enclave = Some(machine.create_enclave(size, cfg.native_content)?);
             }
             ExecMode::LibOs => {
@@ -221,7 +223,10 @@ impl Env {
             files: HashMap::new(),
             native_enclave,
             libos,
-            threads: vec![ThreadMeta { id: main, kind: ThreadKind::App }],
+            threads: vec![ThreadMeta {
+                id: main,
+                kind: ThreadKind::App,
+            }],
             cur: 0,
             syscall_cycles: cfg.syscall_cycles,
             copy_cycles_per_kib: cfg.copy_cycles_per_kib,
@@ -285,12 +290,18 @@ impl Env {
 
     /// The main thread.
     pub fn main_thread(&self) -> SimThread {
-        SimThread { id: self.threads[0].id, idx: 0 }
+        SimThread {
+            id: self.threads[0].id,
+            idx: 0,
+        }
     }
 
     /// The thread operations currently charge to.
     pub fn current_thread(&self) -> SimThread {
-        SimThread { id: self.threads[self.cur].id, idx: self.cur }
+        SimThread {
+            id: self.threads[self.cur].id,
+            idx: self.cur,
+        }
     }
 
     /// Spawns an application thread. In LibOS mode the thread enters the
@@ -304,16 +315,28 @@ impl Env {
         if let Some(p) = &self.libos {
             p.enter(&mut self.machine, id)?;
         }
-        self.threads.push(ThreadMeta { id, kind: ThreadKind::App });
-        Ok(SimThread { id, idx: self.threads.len() - 1 })
+        self.threads.push(ThreadMeta {
+            id,
+            kind: ThreadKind::App,
+        });
+        Ok(SimThread {
+            id,
+            idx: self.threads.len() - 1,
+        })
     }
 
     /// Spawns a driver (load-generator) thread: always untrusted, never
     /// inside an enclave, in any mode.
     pub fn spawn_driver_thread(&mut self) -> SimThread {
         let id = self.machine.add_thread();
-        self.threads.push(ThreadMeta { id, kind: ThreadKind::Driver });
-        SimThread { id, idx: self.threads.len() - 1 }
+        self.threads.push(ThreadMeta {
+            id,
+            kind: ThreadKind::Driver,
+        });
+        SimThread {
+            id,
+            idx: self.threads.len() - 1,
+        }
     }
 
     /// Runs `f` with operations charged to `th`, then restores the
@@ -350,7 +373,11 @@ impl Env {
             self.sync_to(w, fork);
             self.with_thread(w, |env| f(env, i));
         }
-        let join = workers.iter().map(|&w| self.now_of(w)).max().unwrap_or(fork);
+        let join = workers
+            .iter()
+            .map(|&w| self.now_of(w))
+            .max()
+            .unwrap_or(fork);
         let cur = self.current_thread();
         self.sync_to(cur, join);
     }
@@ -375,7 +402,11 @@ impl Env {
             }
             _ => self.machine.alloc_untrusted(bytes),
         };
-        self.regions.push(RegionData { base, data: vec![0u8; bytes as usize], protected });
+        self.regions.push(RegionData {
+            base,
+            data: vec![0u8; bytes as usize],
+            protected,
+        });
         Ok(Region(self.regions.len() - 1))
     }
 
@@ -392,7 +423,10 @@ impl Env {
     #[inline]
     fn charge_access(&mut self, region: Region, off: u64, len: u64, kind: AccessKind) {
         let r = &self.regions[region.0];
-        debug_assert!(off + len <= r.data.len() as u64, "region access out of bounds");
+        debug_assert!(
+            off + len <= r.data.len() as u64,
+            "region access out of bounds"
+        );
         let addr = r.base + off;
         let tid = self.threads[self.cur].id;
         self.machine.access(tid, addr, len, kind);
@@ -407,7 +441,11 @@ impl Env {
     pub fn read_u64(&mut self, region: Region, off: u64) -> u64 {
         self.charge_access(region, off, 8, AccessKind::Read);
         let d = &self.regions[region.0].data;
-        u64::from_le_bytes(d[off as usize..off as usize + 8].try_into().expect("8 bytes"))
+        u64::from_le_bytes(
+            d[off as usize..off as usize + 8]
+                .try_into()
+                .expect("8 bytes"),
+        )
     }
 
     /// Writes a `u64` at byte offset `off`.
@@ -431,7 +469,11 @@ impl Env {
     pub fn read_u32(&mut self, region: Region, off: u64) -> u32 {
         self.charge_access(region, off, 4, AccessKind::Read);
         let d = &self.regions[region.0].data;
-        u32::from_le_bytes(d[off as usize..off as usize + 4].try_into().expect("4 bytes"))
+        u32::from_le_bytes(
+            d[off as usize..off as usize + 4]
+                .try_into()
+                .expect("4 bytes"),
+        )
     }
 
     /// Writes a `u32` at byte offset `off`.
@@ -496,7 +538,11 @@ impl Env {
     ///
     /// Panics when the range is out of bounds.
     pub fn touch(&mut self, region: Region, off: u64, len: u64, write: bool) {
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         self.charge_access(region, off, len, kind);
     }
 
@@ -581,7 +627,8 @@ impl Env {
                 if self.machine.current_enclave(tid).is_some() {
                     let chunks = bytes.div_ceil(self.io_batch).max(1);
                     for _ in 0..chunks {
-                        self.machine.ocall(tid, self.syscall_cycles + copy / chunks)?;
+                        self.machine
+                            .ocall(tid, self.syscall_cycles + copy / chunks)?;
                     }
                 } else {
                     self.machine.compute(tid, self.syscall_cycles + copy);
@@ -590,7 +637,8 @@ impl Env {
             ExecMode::LibOs => {
                 if kind == ThreadKind::App {
                     let p = self.libos.as_mut().expect("libos process");
-                    p.shim_mut().file_transfer(&mut self.machine, tid, bytes, _write)?;
+                    p.shim_mut()
+                        .file_transfer(&mut self.machine, tid, bytes, _write)?;
                 } else {
                     self.machine.compute(tid, self.syscall_cycles + copy);
                 }
@@ -603,7 +651,13 @@ impl Env {
 
     /// Installs an input file directly (setup phase, unmeasured).
     pub fn put_file(&mut self, name: &str, data: Vec<u8>) {
-        self.files.insert(name.to_owned(), FileEntry { data, sealed: false });
+        self.files.insert(
+            name.to_owned(),
+            FileEntry {
+                data,
+                sealed: false,
+            },
+        );
     }
 
     /// Size of a file in bytes.
@@ -632,7 +686,10 @@ impl Env {
 
     fn pf_active(&self) -> bool {
         self.mode == ExecMode::LibOs
-            && self.libos.as_ref().is_some_and(|p| p.shim().protected_files())
+            && self
+                .libos
+                .as_ref()
+                .is_some_and(|p| p.shim().protected_files())
             && self.threads[self.cur].kind == ThreadKind::App
     }
 
@@ -643,7 +700,12 @@ impl Env {
     ///
     /// [`WorkloadError::FileNotFound`] when absent;
     /// [`WorkloadError::Validation`] when a PF block fails verification.
-    pub fn read_file_into(&mut self, name: &str, region: Region, off: u64) -> Result<u64, WorkloadError> {
+    pub fn read_file_into(
+        &mut self,
+        name: &str,
+        region: Region,
+        off: u64,
+    ) -> Result<u64, WorkloadError> {
         let entry = self
             .files
             .get(name)
@@ -687,7 +749,13 @@ impl Env {
     /// # Errors
     ///
     /// Propagates transition failures.
-    pub fn write_file_from(&mut self, name: &str, region: Region, off: u64, len: u64) -> Result<(), WorkloadError> {
+    pub fn write_file_from(
+        &mut self,
+        name: &str,
+        region: Region,
+        off: u64,
+        len: u64,
+    ) -> Result<(), WorkloadError> {
         let mut buf = vec![0u8; len as usize];
         self.read_bytes(region, off, &mut buf);
         self.write_file(name, &buf)
@@ -701,9 +769,15 @@ impl Env {
     pub fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), WorkloadError> {
         self.charge_file_io(data.len() as u64, true)?;
         let entry = if self.pf_active() {
-            FileEntry { data: self.pf_seal_file(data), sealed: true }
+            FileEntry {
+                data: self.pf_seal_file(data),
+                sealed: true,
+            }
         } else {
-            FileEntry { data: data.to_vec(), sealed: false }
+            FileEntry {
+                data: data.to_vec(),
+                sealed: false,
+            }
         };
         self.files.insert(name.to_owned(), entry);
         Ok(())
@@ -716,26 +790,31 @@ impl Env {
         match self.mode {
             ExecMode::Vanilla => {
                 let chunks = bytes.div_ceil(self.io_batch).max(1);
-                self.machine.compute(tid, self.syscall_cycles * chunks + copy);
+                self.machine
+                    .compute(tid, self.syscall_cycles * chunks + copy);
             }
             ExecMode::Native => {
                 if self.machine.current_enclave(tid).is_some() {
                     let chunks = bytes.div_ceil(self.io_batch).max(1);
                     for _ in 0..chunks {
-                        self.machine.ocall(tid, self.syscall_cycles + copy / chunks)?;
+                        self.machine
+                            .ocall(tid, self.syscall_cycles + copy / chunks)?;
                     }
                 } else {
                     let chunks = bytes.div_ceil(self.io_batch).max(1);
-                    self.machine.compute(tid, self.syscall_cycles * chunks + copy);
+                    self.machine
+                        .compute(tid, self.syscall_cycles * chunks + copy);
                 }
             }
             ExecMode::LibOs => {
                 if kind == ThreadKind::App {
                     let p = self.libos.as_mut().expect("libos process");
-                    p.shim_mut().file_transfer(&mut self.machine, tid, bytes, write)?;
+                    p.shim_mut()
+                        .file_transfer(&mut self.machine, tid, bytes, write)?;
                 } else {
                     let chunks = bytes.div_ceil(self.io_batch).max(1);
-                    self.machine.compute(tid, self.syscall_cycles * chunks + copy);
+                    self.machine
+                        .compute(tid, self.syscall_cycles * chunks + copy);
                 }
             }
         }
@@ -760,7 +839,9 @@ impl Env {
         let mut pos = 0usize;
         while pos < data.len() {
             if pos + 4 > data.len() {
-                return Err(WorkloadError::Validation("truncated PF block header".into()));
+                return Err(WorkloadError::Validation(
+                    "truncated PF block header".into(),
+                ));
             }
             let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
@@ -837,7 +918,11 @@ mod tests {
         l.start_app().unwrap();
         l.reset_measurement();
         l.secure_call(|_| ()).unwrap();
-        assert_eq!(l.machine().sgx_counters().ecalls, 0, "LibOS is already inside");
+        assert_eq!(
+            l.machine().sgx_counters().ecalls,
+            0,
+            "LibOS is already inside"
+        );
 
         let mut v = env(ExecMode::Vanilla);
         v.start_app().unwrap();
@@ -849,7 +934,8 @@ mod tests {
     fn nested_secure_call_single_transition() {
         let mut n = env(ExecMode::Native);
         n.start_app().unwrap();
-        n.secure_call(|env| env.secure_call(|_| ()).unwrap()).unwrap();
+        n.secure_call(|env| env.secure_call(|_| ()).unwrap())
+            .unwrap();
         assert_eq!(n.machine().sgx_counters().ecalls, 1);
     }
 
@@ -869,17 +955,24 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         let mut e = env(ExecMode::Vanilla);
-        assert!(matches!(e.read_file("nope"), Err(WorkloadError::FileNotFound(_))));
+        assert!(matches!(
+            e.read_file("nope"),
+            Err(WorkloadError::FileNotFound(_))
+        ));
     }
 
     #[test]
     fn pf_mode_seals_on_disk_but_roundtrips() {
-        let mut e = Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files()).unwrap();
+        let mut e =
+            Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files()).unwrap();
         e.start_app().unwrap();
         e.write_file("secret", b"plaintext payload").unwrap();
         // Host view must not contain the plaintext.
         let raw = e.file_raw("secret").unwrap().to_vec();
-        assert!(!raw.windows(9).any(|w| w == b"plaintext"), "PF leaked plaintext");
+        assert!(
+            !raw.windows(9).any(|w| w == b"plaintext"),
+            "PF leaked plaintext"
+        );
         // App view round-trips.
         assert_eq!(e.read_file("secret").unwrap(), b"plaintext payload");
     }
@@ -892,7 +985,10 @@ mod tests {
         e.reset_measurement();
         let r = e.alloc(1 << 20, Placement::Protected).unwrap();
         e.read_file_into("big", r, 0).unwrap();
-        assert!(e.machine().sgx_counters().ocalls >= 4, "batched file OCALLs expected");
+        assert!(
+            e.machine().sgx_counters().ocalls >= 4,
+            "batched file OCALLs expected"
+        );
     }
 
     #[test]
@@ -904,7 +1000,9 @@ mod tests {
         let r = e.alloc(128 << 10, Placement::Untrusted).unwrap();
         e.read_file_into("f", r, 0).unwrap(); // outside enclave
         assert_eq!(e.machine().sgx_counters().ocalls, 0);
-        e.secure_call(|env| env.read_file_into("f", r, 0).map(|_| ())).unwrap().unwrap();
+        e.secure_call(|env| env.read_file_into("f", r, 0).map(|_| ()))
+            .unwrap()
+            .unwrap();
         assert!(e.machine().sgx_counters().ocalls >= 2);
     }
 

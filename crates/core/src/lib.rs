@@ -17,8 +17,10 @@
 //! routes memory accesses, file and network I/O, secure calls and logical
 //! threads through the right substrate for the current mode. [`Runner`]
 //! executes (workload × mode × setting) combinations and produces
-//! [`RunReport`]s; [`report`] turns groups of reports into the paper's
-//! ratio tables and CSV files.
+//! [`RunReport`]s; [`SuiteRunner`] fans whole grids of combinations
+//! across OS threads with deterministic, grid-ordered aggregation; and
+//! [`report`] turns groups of reports into the paper's ratio tables and
+//! CSV files.
 //!
 //! # Example
 //!
@@ -36,10 +38,12 @@ pub mod env;
 pub mod modes;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod workload;
 
 pub use env::{Env, EnvConfig, Region, SimThread};
 pub use modes::{ExecMode, InputSetting};
 pub use report::{RatioRow, ReportTable};
 pub use runner::{RunReport, Runner, RunnerConfig};
+pub use sweep::{CellError, GridCell, SuiteRunner, SweepCell, SweepReport};
 pub use workload::{Workload, WorkloadError, WorkloadOutput, WorkloadSpec};

@@ -44,7 +44,8 @@ pub enum InputSetting {
 
 impl InputSetting {
     /// All settings, smallest first.
-    pub const ALL: [InputSetting; 3] = [InputSetting::Low, InputSetting::Medium, InputSetting::High];
+    pub const ALL: [InputSetting; 3] =
+        [InputSetting::Low, InputSetting::Medium, InputSetting::High];
 }
 
 impl fmt::Display for InputSetting {

@@ -1,7 +1,9 @@
 //! Report generation: the paper's ratio tables and CSV emission.
 
+use crate::modes::{ExecMode, InputSetting};
 use crate::runner::RunReport;
-use gauge_stats::{geomean, ratio};
+use crate::sweep::SweepReport;
+use gauge_stats::{geomean, ratio, Summary};
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
@@ -35,7 +37,10 @@ impl RatioRow {
             overhead: ratio(a.runtime_cycles as f64, b.runtime_cycles as f64),
             dtlb_misses: ratio(a.counters.dtlb_misses as f64, b.counters.dtlb_misses as f64),
             walk_cycles: ratio(a.counters.walk_cycles as f64, b.counters.walk_cycles as f64),
-            stall_cycles: ratio(a.counters.stall_cycles as f64, b.counters.stall_cycles as f64),
+            stall_cycles: ratio(
+                a.counters.stall_cycles as f64,
+                b.counters.stall_cycles as f64,
+            ),
             llc_misses: ratio(a.counters.llc_misses as f64, b.counters.llc_misses as f64),
             // On real SGX every EPC fault reaches the OS as a page fault,
             // which is how `perf` counts them (paper B.3/B.4); fold the
@@ -86,6 +91,116 @@ impl fmt::Display for RatioRow {
             self.epc_evictions as f64 / 1_000.0,
         )
     }
+}
+
+/// Repetitions of one (workload, mode, setting) grid group, aggregated
+/// the way the paper aggregates runs (geometric means via `gauge_stats`).
+#[derive(Debug, Clone)]
+pub struct SweepGroup {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Input setting.
+    pub setting: InputSetting,
+    /// Successful repetitions.
+    pub reps: usize,
+    /// Failed repetitions.
+    pub failures: usize,
+    /// Runtime-cycle statistics over the successful repetitions; `None`
+    /// when every repetition failed.
+    pub runtime_cycles: Option<Summary>,
+    /// EPC-fault statistics over the successful repetitions.
+    pub epc_faults: Option<Summary>,
+}
+
+/// Aggregates a sweep's repetitions per (workload, mode, setting), in
+/// grid order. Repetitions are consecutive in a [`SweepReport`], so the
+/// grouping is a single pass.
+pub fn aggregate_sweep(sweep: &SweepReport) -> Vec<SweepGroup> {
+    let mut groups: Vec<SweepGroup> = Vec::new();
+    let mut runtimes: Vec<f64> = Vec::new();
+    let mut faults: Vec<f64> = Vec::new();
+    let mut flush = |g: &mut Option<SweepGroup>, runtimes: &mut Vec<f64>, faults: &mut Vec<f64>| {
+        if let Some(mut group) = g.take() {
+            if !runtimes.is_empty() {
+                group.runtime_cycles = Some(Summary::of(runtimes));
+                group.epc_faults = Some(Summary::of(faults));
+            }
+            runtimes.clear();
+            faults.clear();
+            groups.push(group);
+        }
+    };
+    let mut current: Option<SweepGroup> = None;
+    let mut current_key = None;
+    for cell in &sweep.cells {
+        let key = (cell.cell.workload, cell.cell.mode, cell.cell.setting);
+        if current_key != Some(key) {
+            flush(&mut current, &mut runtimes, &mut faults);
+            current_key = Some(key);
+            current = Some(SweepGroup {
+                workload: cell.workload,
+                mode: cell.cell.mode,
+                setting: cell.cell.setting,
+                reps: 0,
+                failures: 0,
+                runtime_cycles: None,
+                epc_faults: None,
+            });
+        }
+        let group = current.as_mut().expect("group initialized above");
+        match &cell.result {
+            Ok(r) => {
+                group.reps += 1;
+                // Clamp to 1 so the geometric mean stays defined for
+                // degenerate zero-cycle runs.
+                runtimes.push(r.runtime_cycles.max(1) as f64);
+                faults.push(r.sgx.epc_faults.max(1) as f64);
+            }
+            Err(_) => group.failures += 1,
+        }
+    }
+    flush(&mut current, &mut runtimes, &mut faults);
+    groups
+}
+
+/// Renders a sweep as the suite's summary table: one row per
+/// (workload, mode, setting) with geomean runtime and fault statistics.
+pub fn sweep_table(title: &str, sweep: &SweepReport) -> ReportTable {
+    let mut table = ReportTable::new(
+        title,
+        &[
+            "workload",
+            "mode",
+            "setting",
+            "reps",
+            "runtime(gm)",
+            "epc_faults(gm)",
+            "status",
+        ],
+    );
+    for g in aggregate_sweep(sweep) {
+        let (runtime, faults) = match (&g.runtime_cycles, &g.epc_faults) {
+            (Some(rt), Some(pf)) => (humanize(rt.geomean as u64), humanize(pf.geomean as u64)),
+            _ => ("-".to_owned(), "-".to_owned()),
+        };
+        let status = if g.failures == 0 {
+            "ok".to_owned()
+        } else {
+            format!("{} failed", g.failures)
+        };
+        table.push_row(vec![
+            g.workload.to_owned(),
+            g.mode.to_string(),
+            g.setting.to_string(),
+            g.reps.to_string(),
+            runtime,
+            faults,
+            status,
+        ]);
+    }
+    table
 }
 
 /// A generic printable/CSV-able table.
@@ -156,7 +271,11 @@ impl fmt::Display for ReportTable {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
@@ -207,7 +326,10 @@ mod tests {
             page_faults: 5,
             ..Default::default()
         };
-        let sgx = SgxCounters { epc_evictions: evict, ..Default::default() };
+        let sgx = SgxCounters {
+            epc_evictions: evict,
+            ..Default::default()
+        };
         RunReport {
             workload: "t",
             mode: ExecMode::Native,
@@ -217,6 +339,7 @@ mod tests {
             sgx,
             driver: DriverStats::new(),
             libos_startup: None,
+            clock_hz: 3_800_000_000,
             output: WorkloadOutput::default(),
         }
     }
@@ -282,5 +405,70 @@ mod tests {
         assert_eq!(humanize(999), "999");
         assert_eq!(humanize(21_500), "21.5 K");
         assert_eq!(humanize(12_500_000), "12.5 M");
+    }
+
+    fn sweep_of(cells: Vec<(u64, Result<u64, &str>)>) -> SweepReport {
+        use crate::sweep::{CellError, GridCell, SweepCell};
+        SweepReport {
+            cells: cells
+                .into_iter()
+                .map(|(rep, result)| SweepCell {
+                    cell: GridCell {
+                        workload: 0,
+                        mode: ExecMode::Native,
+                        setting: InputSetting::Low,
+                        rep: rep as usize,
+                    },
+                    workload: "t",
+                    result: match result {
+                        Ok(rt) => {
+                            let mut r = report(rt, 10, 0);
+                            r.sgx.epc_faults = 4;
+                            Ok(r)
+                        }
+                        Err(m) => Err(CellError {
+                            message: m.to_owned(),
+                            panicked: false,
+                        }),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregate_sweep_geomeans_repetitions() {
+        let sweep = sweep_of(vec![(0, Ok(100)), (1, Ok(400))]);
+        let groups = aggregate_sweep(&sweep);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!((g.reps, g.failures), (2, 0));
+        let rt = g.runtime_cycles.as_ref().unwrap();
+        assert!((rt.geomean - 200.0).abs() < 1e-9, "geomean of 100 and 400");
+        assert_eq!(rt.n, 2);
+    }
+
+    #[test]
+    fn aggregate_sweep_counts_failures() {
+        let sweep = sweep_of(vec![(0, Ok(100)), (1, Err("boom"))]);
+        let g = &aggregate_sweep(&sweep)[0];
+        assert_eq!((g.reps, g.failures), (1, 1));
+        assert!(
+            g.runtime_cycles.is_some(),
+            "surviving reps still summarized"
+        );
+        let table = sweep_table("Sweep", &sweep);
+        assert_eq!(table.rows.len(), 1);
+        assert!(table.rows[0].last().unwrap().contains("1 failed"));
+    }
+
+    #[test]
+    fn aggregate_sweep_all_failed_group_has_no_summary() {
+        let sweep = sweep_of(vec![(0, Err("a")), (1, Err("b"))]);
+        let g = &aggregate_sweep(&sweep)[0];
+        assert_eq!((g.reps, g.failures), (0, 2));
+        assert!(g.runtime_cycles.is_none());
+        let table = sweep_table("Sweep", &sweep);
+        assert!(table.rows[0].contains(&"-".to_owned()));
     }
 }

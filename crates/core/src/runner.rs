@@ -20,12 +20,18 @@ pub struct RunnerConfig {
 impl RunnerConfig {
     /// Paper-faithful platform with `reps` repetitions.
     pub fn paper(reps: usize) -> Self {
-        RunnerConfig { env: EnvConfig::paper(ExecMode::Vanilla, 0), repetitions: reps }
+        RunnerConfig {
+            env: EnvConfig::paper(ExecMode::Vanilla, 0),
+            repetitions: reps,
+        }
     }
 
     /// Fast configuration for tests.
     pub fn quick_test() -> Self {
-        RunnerConfig { env: EnvConfig::quick_test(ExecMode::Vanilla), repetitions: 1 }
+        RunnerConfig {
+            env: EnvConfig::quick_test(ExecMode::Vanilla),
+            repetitions: 1,
+        }
     }
 }
 
@@ -49,14 +55,21 @@ pub struct RunReport {
     /// LibOS start-up statistics (LibOS mode only; excluded from
     /// `runtime_cycles` per Appendix D).
     pub libos_startup: Option<StartupStats>,
+    /// Core clock of the machine the run executed on, in Hz.
+    pub clock_hz: u64,
     /// The workload's output (ops, checksum, metrics).
     pub output: WorkloadOutput,
 }
 
 impl RunReport {
-    /// Runtime in seconds at the modeled 3.8 GHz clock.
+    /// Runtime in seconds at the machine's configured clock.
     pub fn runtime_seconds(&self) -> f64 {
-        self.runtime_cycles as f64 / 3.8e9
+        self.runtime_cycles as f64 / self.clock_hz.max(1) as f64
+    }
+
+    /// The machine clock in GHz, for display.
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_hz as f64 / 1e9
     }
 }
 
@@ -118,6 +131,7 @@ impl Runner {
             sgx: *env.machine().sgx_counters(),
             driver: env.machine().driver_stats().clone(),
             libos_startup,
+            clock_hz: env.machine().config().mem.clock_hz,
             output,
         })
     }
@@ -188,7 +202,11 @@ mod tests {
             Ok(())
         }
 
-        fn execute(&self, env: &mut Env, _setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+        fn execute(
+            &self,
+            env: &mut Env,
+            _setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
             let r = env.alloc(64 << 10, Placement::Protected)?;
             env.secure_call(|env| {
                 let n = env.read_file_into("in", r, 0)?;
@@ -198,7 +216,11 @@ mod tests {
                 }
                 Ok::<u64, WorkloadError>(sum)
             })??;
-            Ok(WorkloadOutput { ops: 1, checksum: 42, metrics: vec![] })
+            Ok(WorkloadOutput {
+                ops: 1,
+                checksum: 42,
+                metrics: vec![],
+            })
         }
     }
 
@@ -227,8 +249,12 @@ mod tests {
     #[test]
     fn sgx_modes_slower_than_vanilla() {
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&Toy, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let n = runner.run_once(&Toy, ExecMode::Native, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&Toy, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let n = runner
+            .run_once(&Toy, ExecMode::Native, InputSetting::Low)
+            .unwrap();
         assert!(n.runtime_cycles > v.runtime_cycles);
     }
 
@@ -237,7 +263,9 @@ mod tests {
         let mut cfg = RunnerConfig::quick_test();
         cfg.repetitions = 3;
         let runner = Runner::new(cfg);
-        let reports = runner.run(&Toy, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let reports = runner
+            .run(&Toy, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         assert_eq!(reports.len(), 3);
     }
 

@@ -1,0 +1,532 @@
+//! Parallel sweep execution of the benchmark grid.
+//!
+//! The paper's methodology is a grid: every workload × execution mode ×
+//! input setting, repeated. Each cell is an independent simulation — one
+//! [`Env`](crate::Env) owning its own machine — so cells can run on
+//! separate OS threads with no shared simulator state. [`SuiteRunner`]
+//! fans the grid over a scoped thread pool fed by a work queue, captures
+//! per-cell panics (a crashing workload fails one cell, never the sweep),
+//! and aggregates results **in grid order**, so a parallel sweep produces
+//! byte-identical reports to a sequential one.
+//!
+//! # Example
+//!
+//! ```
+//! use sgxgauge_core::{RunnerConfig, SuiteRunner, InputSetting};
+//! # use sgxgauge_core::{Env, ExecMode, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+//! # struct Noop;
+//! # impl Workload for Noop {
+//! #     fn name(&self) -> &'static str { "Noop" }
+//! #     fn property(&self) -> &'static str { "test" }
+//! #     fn supported_modes(&self) -> &'static [ExecMode] { &[ExecMode::Vanilla] }
+//! #     fn spec(&self, _: InputSetting) -> WorkloadSpec { WorkloadSpec::new(4096, "noop") }
+//! #     fn setup(&self, _: &mut Env, _: InputSetting) -> Result<(), WorkloadError> { Ok(()) }
+//! #     fn execute(&self, env: &mut Env, _: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+//! #         env.compute(1); Ok(WorkloadOutput::default())
+//! #     }
+//! # }
+//! let suite = SuiteRunner::new(RunnerConfig::quick_test()).settings(&[InputSetting::Low]);
+//! let sweep = suite.run(&[&Noop]);
+//! assert_eq!(sweep.cells.len(), 1);
+//! assert!(sweep.cells[0].result.is_ok());
+//! ```
+
+use crate::modes::{ExecMode, InputSetting};
+use crate::runner::{RunReport, Runner, RunnerConfig};
+use crate::workload::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One coordinate of the benchmark grid, in enumeration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Index into the workload slice passed to [`SuiteRunner::run`].
+    pub workload: usize,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Input setting.
+    pub setting: InputSetting,
+    /// Repetition number, `0..repetitions`.
+    pub rep: usize,
+}
+
+/// Why a cell produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The workload error's display text, or the panic payload.
+    pub message: String,
+    /// True when the cell panicked rather than returning an error.
+    pub panicked: bool,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.panicked {
+            write!(f, "panicked: {}", self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+/// One executed grid cell: its coordinate plus the outcome.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Grid coordinate.
+    pub cell: GridCell,
+    /// Workload name (kept here so errors stay attributable).
+    pub workload: &'static str,
+    /// The run's report, or why there is none.
+    pub result: Result<RunReport, CellError>,
+}
+
+/// All cells of one sweep, in grid order regardless of how many threads
+/// executed them.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Executed cells in enumeration order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Successful reports in grid order.
+    pub fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.cells.iter().filter_map(|c| c.result.as_ref().ok())
+    }
+
+    /// Failed cells in grid order.
+    pub fn errors(&self) -> impl Iterator<Item = (&SweepCell, &CellError)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.result.as_ref().err().map(|e| (c, e)))
+    }
+
+    /// Successful reports of one workload (by grid index), in grid order.
+    pub fn reports_of(&self, workload: usize) -> impl Iterator<Item = &RunReport> {
+        self.cells
+            .iter()
+            .filter(move |c| c.cell.workload == workload)
+            .filter_map(|c| c.result.as_ref().ok())
+    }
+
+    /// An order-sensitive digest over every cell's identity, counters and
+    /// outputs (FNV-1a). Two sweeps that executed the same grid with the
+    /// same results — e.g. a sequential and a parallel run — hash equal.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for c in &self.cells {
+            h.str(c.workload);
+            h.u64(c.cell.workload as u64);
+            h.u64(c.cell.mode as u64);
+            h.u64(c.cell.setting as u64);
+            h.u64(c.cell.rep as u64);
+            match &c.result {
+                Ok(r) => {
+                    h.u64(1);
+                    h.u64(r.runtime_cycles);
+                    h.u64(r.clock_hz);
+                    for (_, v) in r.counters.fields() {
+                        h.u64(v);
+                    }
+                    for (_, v) in r.sgx.fields() {
+                        h.u64(v);
+                    }
+                    h.u64(r.output.ops);
+                    h.u64(r.output.checksum);
+                    for (name, v) in &r.output.metrics {
+                        h.str(name);
+                        h.u64(v.to_bits());
+                    }
+                }
+                Err(e) => {
+                    h.u64(2);
+                    h.str(&e.message);
+                    h.u64(u64::from(e.panicked));
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, the digest behind [`SweepReport::fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+        self.byte(0xff); // delimiter
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fans the benchmark grid across OS threads.
+///
+/// Construction is builder-style: [`SuiteRunner::new`] covers every mode
+/// and setting with the config's repetition count; [`SuiteRunner::modes`],
+/// [`SuiteRunner::settings`] and [`SuiteRunner::threads`] narrow or tune.
+#[derive(Debug, Clone)]
+pub struct SuiteRunner {
+    runner: Runner,
+    modes: Vec<ExecMode>,
+    settings: Vec<InputSetting>,
+    threads: usize,
+}
+
+impl SuiteRunner {
+    /// A sweep over every mode and setting, `cfg.repetitions` times each,
+    /// with one worker per available core.
+    pub fn new(cfg: RunnerConfig) -> Self {
+        SuiteRunner {
+            runner: Runner::new(cfg),
+            modes: ExecMode::ALL.to_vec(),
+            settings: InputSetting::ALL.to_vec(),
+            threads: 0,
+        }
+    }
+
+    /// Restricts the sweep to `modes` (kept in the given order).
+    #[must_use]
+    pub fn modes(mut self, modes: &[ExecMode]) -> Self {
+        self.modes = modes.to_vec();
+        self
+    }
+
+    /// Restricts the sweep to `settings` (kept in the given order).
+    #[must_use]
+    pub fn settings(mut self, settings: &[InputSetting]) -> Self {
+        self.settings = settings.to_vec();
+        self
+    }
+
+    /// Uses exactly `n` worker threads; `0` (the default) means one per
+    /// available core.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// The underlying per-cell runner.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Enumerates the grid for `workloads` in canonical order: workload,
+    /// then mode (skipping unsupported), then setting, then repetition.
+    pub fn grid(&self, workloads: &[&dyn Workload]) -> Vec<GridCell> {
+        let reps = self.runner.config().repetitions.max(1);
+        let mut cells = Vec::new();
+        for (wi, w) in workloads.iter().enumerate() {
+            for &mode in &self.modes {
+                if !w.supports(mode) {
+                    continue;
+                }
+                for &setting in &self.settings {
+                    for rep in 0..reps {
+                        cells.push(GridCell {
+                            workload: wi,
+                            mode,
+                            setting,
+                            rep,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs the grid across the configured worker threads.
+    ///
+    /// Each worker pulls the next unclaimed cell off a shared queue,
+    /// builds a private [`Env`](crate::Env), and writes the outcome into
+    /// the cell's slot, so the report order is the grid order no matter
+    /// which thread finished when. A panicking cell is captured into a
+    /// [`CellError`] and the sweep continues.
+    pub fn run(&self, workloads: &[&dyn Workload]) -> SweepReport {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        self.execute(workloads, threads)
+    }
+
+    /// Runs the grid on the calling thread, no pool involved — the
+    /// reference implementation parallel sweeps must match byte for byte.
+    pub fn run_sequential(&self, workloads: &[&dyn Workload]) -> SweepReport {
+        let cells = self.grid(workloads);
+        let mut out = Vec::with_capacity(cells.len());
+        for cell in cells {
+            out.push(self.run_cell(workloads, cell));
+        }
+        SweepReport { cells: out }
+    }
+
+    fn execute(&self, workloads: &[&dyn Workload], threads: usize) -> SweepReport {
+        let cells = self.grid(workloads);
+        let n = cells.len();
+        let threads = threads.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let done = self.run_cell(workloads, cells[i]);
+                    slots
+                        .lock()
+                        .expect("no worker holds the lock across a panic")[i] = Some(done);
+                });
+            }
+        });
+        let cells = slots
+            .into_inner()
+            .expect("workers finished cleanly")
+            .into_iter()
+            .map(|s| s.expect("every queue index was claimed and filled"))
+            .collect();
+        SweepReport { cells }
+    }
+
+    /// Executes one cell, converting errors and panics into the outcome.
+    fn run_cell(&self, workloads: &[&dyn Workload], cell: GridCell) -> SweepCell {
+        let w = workloads[cell.workload];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.runner.run_once(w, cell.mode, cell.setting)
+        }));
+        let result = match outcome {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(CellError {
+                message: e.to_string(),
+                panicked: false,
+            }),
+            Err(payload) => Err(CellError {
+                message: panic_text(payload.as_ref()),
+                panicked: true,
+            }),
+        };
+        SweepCell {
+            cell,
+            workload: w.name(),
+            result,
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Env, Placement};
+    use crate::workload::{WorkloadError, WorkloadOutput, WorkloadSpec};
+
+    /// Deterministic workload touching protected memory.
+    struct Stream;
+
+    impl Workload for Stream {
+        fn name(&self) -> &'static str {
+            "Stream"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla, ExecMode::Native]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(1 << 20, "stream")
+        }
+
+        fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn execute(
+            &self,
+            env: &mut Env,
+            setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
+            let len: u64 = match setting {
+                InputSetting::Low => 64 << 10,
+                InputSetting::Medium => 128 << 10,
+                InputSetting::High => 256 << 10,
+            };
+            let r = env.alloc(len, Placement::Protected)?;
+            env.secure_call(|env| {
+                let mut sum = 0u64;
+                for i in 0..len / 64 {
+                    env.write_u64(r, i * 64, i);
+                    sum = sum.wrapping_add(env.read_u64(r, i * 64));
+                }
+                Ok::<u64, WorkloadError>(sum)
+            })??;
+            Ok(WorkloadOutput {
+                ops: len / 64,
+                checksum: 7,
+                metrics: vec![],
+            })
+        }
+    }
+
+    /// Panics in `execute` for Native mode only.
+    struct FaultyNative;
+
+    impl Workload for FaultyNative {
+        fn name(&self) -> &'static str {
+            "FaultyNative"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla, ExecMode::Native]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(1 << 20, "faulty")
+        }
+
+        fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn execute(
+            &self,
+            env: &mut Env,
+            _setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
+            if env.mode() == ExecMode::Native {
+                panic!("injected failure");
+            }
+            env.compute(10);
+            Ok(WorkloadOutput {
+                ops: 1,
+                checksum: 1,
+                metrics: vec![],
+            })
+        }
+    }
+
+    fn suite() -> SuiteRunner {
+        let mut cfg = RunnerConfig::quick_test();
+        cfg.repetitions = 2;
+        SuiteRunner::new(cfg).settings(&[InputSetting::Low, InputSetting::Medium])
+    }
+
+    #[test]
+    fn grid_enumerates_in_canonical_order() {
+        let s = suite();
+        let grid = s.grid(&[&Stream]);
+        // 2 supported modes x 2 settings x 2 reps.
+        assert_eq!(grid.len(), 8);
+        assert_eq!(
+            grid[0],
+            GridCell {
+                workload: 0,
+                mode: ExecMode::Vanilla,
+                setting: InputSetting::Low,
+                rep: 0
+            }
+        );
+        assert_eq!(grid[1].rep, 1);
+        assert_eq!(grid[2].setting, InputSetting::Medium);
+        assert_eq!(grid[4].mode, ExecMode::Native);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let s = suite();
+        let seq = s.run_sequential(&[&Stream]);
+        let par = s.clone().threads(4).run(&[&Stream]);
+        assert_eq!(seq.cells.len(), par.cells.len());
+        assert_eq!(
+            seq.fingerprint(),
+            par.fingerprint(),
+            "parallel sweep must be byte-identical"
+        );
+        for (a, b) in seq.cells.iter().zip(par.cells.iter()) {
+            assert_eq!(a.cell, b.cell, "grid order must be preserved");
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated() {
+        let s = suite().threads(2);
+        let sweep = s.run(&[&Stream, &FaultyNative]);
+        assert_eq!(sweep.cells.len(), 16);
+        let errors: Vec<_> = sweep.errors().collect();
+        // FaultyNative panics in Native mode: 2 settings x 2 reps.
+        assert_eq!(errors.len(), 4);
+        for (cell, err) in &errors {
+            assert_eq!(cell.workload, "FaultyNative");
+            assert_eq!(cell.cell.mode, ExecMode::Native);
+            assert!(err.panicked);
+            assert!(err.message.contains("injected failure"));
+        }
+        // Every other cell still produced a report.
+        assert_eq!(sweep.reports().count(), 12);
+    }
+
+    #[test]
+    fn fingerprint_detects_result_differences() {
+        let s = suite();
+        let a = s.run_sequential(&[&Stream]);
+        let mut b = s.run_sequential(&[&Stream]);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "simulation must be deterministic"
+        );
+        if let Ok(r) = &mut b.cells[0].result {
+            r.runtime_cycles += 1;
+        }
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn unsupported_modes_are_skipped_not_errored() {
+        let s = suite().modes(&[ExecMode::LibOs]);
+        let sweep = s.run(&[&Stream]);
+        assert!(sweep.cells.is_empty(), "Stream does not support LibOS");
+    }
+}

@@ -59,7 +59,10 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Convenience constructor.
     pub fn new(protected_bytes: u64, params: impl Into<String>) -> Self {
-        WorkloadSpec { protected_bytes, params: params.into() }
+        WorkloadSpec {
+            protected_bytes,
+            params: params.into(),
+        }
     }
 }
 
@@ -80,7 +83,10 @@ pub struct WorkloadOutput {
 impl WorkloadOutput {
     /// Looks up a named metric.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 }
 
@@ -88,8 +94,10 @@ impl WorkloadOutput {
 ///
 /// Implementations are stateless descriptions; all mutable state lives in
 /// the [`Env`]. `setup` prepares inputs (unmeasured), `execute` is the
-/// measured region.
-pub trait Workload {
+/// measured region. The `Send + Sync` bounds let the parallel sweep
+/// executor ([`crate::sweep`]) share workload descriptions across worker
+/// threads; stateless descriptions satisfy them trivially.
+pub trait Workload: Send + Sync {
     /// Workload name as the paper spells it (e.g. "BTree").
     fn name(&self) -> &'static str;
 
@@ -117,7 +125,11 @@ pub trait Workload {
     ///
     /// Returns a [`WorkloadError`] when the run fails or self-validation
     /// does not pass.
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError>;
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError>;
 
     /// Whether `mode` is supported.
     fn supports(&self, mode: ExecMode) -> bool {
@@ -144,6 +156,8 @@ mod tests {
     fn error_display_and_from() {
         let e: WorkloadError = SgxError::NotInEnclave.into();
         assert!(e.to_string().contains("sgx error"));
-        assert!(WorkloadError::FileNotFound("x".into()).to_string().contains('x'));
+        assert!(WorkloadError::FileNotFound("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -33,7 +33,11 @@ impl BarChart {
     /// Panics if `width` is zero.
     pub fn new(title: &str, width: usize) -> Self {
         assert!(width > 0, "chart width must be positive");
-        BarChart { title: title.to_owned(), width, bars: Vec::new() }
+        BarChart {
+            title: title.to_owned(),
+            width,
+            bars: Vec::new(),
+        }
     }
 
     /// Appends a labeled value. Negative values are clamped to zero.
@@ -63,7 +67,12 @@ impl fmt::Display for BarChart {
             } else {
                 0
             };
-            writeln!(f, "{label:>label_w$} | {:<width$} {v:.2}", "#".repeat(n), width = self.width)?;
+            writeln!(
+                f,
+                "{label:>label_w$} | {:<width$} {v:.2}",
+                "#".repeat(n),
+                width = self.width
+            )?;
         }
         Ok(())
     }

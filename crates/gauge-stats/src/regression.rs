@@ -62,7 +62,7 @@ impl LinearRegression {
         }
         let n = xs.len();
         let dim = k + 1; // intercept column first
-        // Build X^T X and X^T y.
+                         // Build X^T X and X^T y.
         let mut xtx = vec![vec![0.0f64; dim]; dim];
         let mut xty = vec![0.0f64; dim];
         for (row, &y) in xs.iter().zip(ys) {
@@ -92,8 +92,16 @@ impl LinearRegression {
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - y_mean) * (y - y_mean);
         }
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-        Ok(LinearRegression { intercept: beta[0], coefficients: beta[1..].to_vec(), r_squared })
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearRegression {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+            r_squared,
+        })
     }
 
     /// Predicts `y` for a feature row.
@@ -103,7 +111,11 @@ impl LinearRegression {
     /// Panics if `x` has the wrong number of features.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.coefficients.len(), "feature count mismatch");
-        self.intercept + x.iter().zip(&self.coefficients).map(|(x, b)| x * b).sum::<f64>()
+        self.intercept
+            + x.iter()
+                .zip(&self.coefficients)
+                .map(|(x, b)| x * b)
+                .sum::<f64>()
     }
 }
 
@@ -167,7 +179,12 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressionEr
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("NaN in solver"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("NaN in solver")
+            })
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-12 {
             return Err(RegressionError::Singular);
@@ -210,7 +227,11 @@ mod tests {
             .collect();
         let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
         let fit = LinearRegression::fit(&xs, &ys).unwrap();
-        assert!((fit.intercept - 3.0).abs() < 1e-6, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 3.0).abs() < 1e-6,
+            "intercept {}",
+            fit.intercept
+        );
         assert!((fit.coefficients[0] - 2.0).abs() < 1e-6);
         assert!((fit.coefficients[1] + 1.0).abs() < 1e-6);
         assert!(fit.r_squared > 0.999999);
@@ -249,14 +270,20 @@ mod tests {
     fn too_few_samples_rejected() {
         let xs = vec![vec![1.0, 2.0]];
         let ys = vec![1.0];
-        assert_eq!(LinearRegression::fit(&xs, &ys), Err(RegressionError::TooFewSamples));
+        assert_eq!(
+            LinearRegression::fit(&xs, &ys),
+            Err(RegressionError::TooFewSamples)
+        );
     }
 
     #[test]
     fn ragged_rows_rejected() {
         let xs = vec![vec![1.0], vec![1.0, 2.0], vec![3.0]];
         let ys = vec![1.0, 2.0, 3.0];
-        assert_eq!(LinearRegression::fit(&xs, &ys), Err(RegressionError::RaggedRows));
+        assert_eq!(
+            LinearRegression::fit(&xs, &ys),
+            Err(RegressionError::RaggedRows)
+        );
     }
 
     #[test]

@@ -106,13 +106,19 @@ impl Manifest {
         }
         let mut b = Manifest::builder(fields.get("binary").ok_or(ManifestError::MissingBinary)?);
         if let Some(v) = fields.get("enclave_size") {
-            b = b.enclave_size(v.parse().map_err(|_| ManifestError::BadNumber("enclave_size"))?);
+            b = b.enclave_size(
+                v.parse()
+                    .map_err(|_| ManifestError::BadNumber("enclave_size"))?,
+            );
         }
         if let Some(v) = fields.get("threads") {
             b = b.threads(v.parse().map_err(|_| ManifestError::BadNumber("threads"))?);
         }
         if let Some(v) = fields.get("internal_memory") {
-            b = b.internal_memory(v.parse().map_err(|_| ManifestError::BadNumber("internal_memory"))?);
+            b = b.internal_memory(
+                v.parse()
+                    .map_err(|_| ManifestError::BadNumber("internal_memory"))?,
+            );
         }
         if let Some(v) = fields.get("protected_files") {
             b = b.protected_files(match *v {
@@ -280,12 +286,18 @@ trusted_file = htdocs/index.html
 
     #[test]
     fn parse_errors() {
-        assert_eq!(Manifest::parse("not a kv line"), Err(ManifestError::Syntax(1)));
+        assert_eq!(
+            Manifest::parse("not a kv line"),
+            Err(ManifestError::Syntax(1))
+        );
         assert_eq!(
             Manifest::parse("binary = a\nenclave_size = big"),
             Err(ManifestError::BadNumber("enclave_size"))
         );
-        assert_eq!(Manifest::parse("threads = 4"), Err(ManifestError::MissingBinary));
+        assert_eq!(
+            Manifest::parse("threads = 4"),
+            Err(ManifestError::MissingBinary)
+        );
         assert_eq!(
             Manifest::parse("binary = a\nprotected_files = maybe"),
             Err(ManifestError::BadBool("protected_files"))

@@ -64,14 +64,22 @@ impl LibosProcess {
     ///
     /// Propagates [`SgxError`] from enclave creation or the bootstrap
     /// transitions.
-    pub fn launch(machine: &mut SgxMachine, tid: ThreadId, manifest: &Manifest) -> Result<LibosProcess, SgxError> {
+    pub fn launch(
+        machine: &mut SgxMachine,
+        tid: ThreadId,
+        manifest: &Manifest,
+    ) -> Result<LibosProcess, SgxError> {
         let cycles_before = machine.mem().cycles_of(tid);
         let sgx_before = *machine.sgx_counters();
 
         // ECREATE + whole-ELRANGE measurement + EINIT.
         let enclave = machine.create_enclave(manifest.enclave_size(), RUNTIME_IMAGE_BYTES)?;
 
-        let mut shim = Shim::new(ShimConfig::default(), manifest.protected_files(), b"sgxgauge-platform");
+        let mut shim = Shim::new(
+            ShimConfig::default(),
+            manifest.protected_files(),
+            b"sgxgauge-platform",
+        );
 
         // Bootstrap: the runtime enters, loads libraries/trusted files
         // via host calls, and touches its image + early internal memory.
@@ -89,7 +97,10 @@ impl LibosProcess {
             shim.syscall_host(machine, tid)?;
         }
         // Warm a slice of the internal allocator.
-        let internal = machine.alloc_enclave_heap(enclave, manifest.internal_memory().min(INTERNAL_WARMUP_BYTES * 4))?;
+        let internal = machine.alloc_enclave_heap(
+            enclave,
+            manifest.internal_memory().min(INTERNAL_WARMUP_BYTES * 4),
+        )?;
         for p in 0..(INTERNAL_WARMUP_BYTES / PAGE_SIZE) {
             machine.access(tid, internal + p * PAGE_SIZE, 8, AccessKind::Write);
         }
@@ -111,7 +122,12 @@ impl LibosProcess {
             cycles: machine.mem().cycles_of(tid) - cycles_before,
         };
         shim.reset_stats();
-        Ok(LibosProcess { enclave, shim, startup, app_binary: manifest.binary().to_owned() })
+        Ok(LibosProcess {
+            enclave,
+            shim,
+            startup,
+            app_binary: manifest.binary().to_owned(),
+        })
     }
 
     /// The enclave this process runs in.

@@ -8,9 +8,9 @@
 //! additionally encrypted + MACed before it leaves the enclave and
 //! verified + decrypted on the way in (Appendix E).
 
+use mem_sim::ThreadId;
 use sgx_crypto::{SealError, SealedBlob, SealingKey};
 use sgx_sim::{SgxError, SgxMachine};
-use mem_sim::ThreadId;
 
 /// Cost parameters of the shim.
 #[derive(Debug, Clone)]
@@ -79,7 +79,12 @@ impl Shim {
     /// with a key derived from `platform_secret`.
     pub fn new(cfg: ShimConfig, protected_files: bool, platform_secret: &[u8]) -> Self {
         let pf = protected_files.then(|| SealingKey::derive(platform_secret, b"graphene-pf"));
-        Shim { cfg, pf, stats: ShimStats::default(), pf_nonce: 1 }
+        Shim {
+            cfg,
+            pf,
+            stats: ShimStats::default(),
+            pf_nonce: 1,
+        }
     }
 
     /// Whether protected-files mode is armed.
@@ -137,7 +142,13 @@ impl Shim {
     /// # Errors
     ///
     /// Propagates [`SgxError`] if the thread is not inside the enclave.
-    pub fn file_transfer(&mut self, m: &mut SgxMachine, tid: ThreadId, bytes: u64, write: bool) -> Result<u64, SgxError> {
+    pub fn file_transfer(
+        &mut self,
+        m: &mut SgxMachine,
+        tid: ThreadId,
+        bytes: u64,
+        write: bool,
+    ) -> Result<u64, SgxError> {
         if m.current_enclave(tid).is_none() {
             return Err(SgxError::NotInEnclave);
         }
@@ -260,7 +271,10 @@ mod tests {
         m2.reset_measurement();
         let mut pf = Shim::new(ShimConfig::default(), true, b"p");
         pf.file_transfer(&mut m2, t2, 1 << 20, true).unwrap();
-        assert!(m2.mem().cycles_of(t2) > 2 * plain_cycles, "PF must be much slower");
+        assert!(
+            m2.mem().cycles_of(t2) > 2 * plain_cycles,
+            "PF must be much slower"
+        );
         assert!(m2.sgx_counters().ocalls > plain_ocalls);
         assert_eq!(pf.stats().pf_blocks, 256);
     }

@@ -29,7 +29,9 @@ impl L1Cache {
     /// two).
     pub fn new(lines: usize) -> Self {
         let n = lines.next_power_of_two().max(1);
-        L1Cache { tags: vec![u64::MAX; n] }
+        L1Cache {
+            tags: vec![u64::MAX; n],
+        }
     }
 
     #[inline]

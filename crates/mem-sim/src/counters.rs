@@ -129,8 +129,16 @@ mod tests {
 
     #[test]
     fn add_and_sub_roundtrip() {
-        let a = Counters { dtlb_misses: 5, walk_cycles: 100, ..Default::default() };
-        let b = Counters { dtlb_misses: 2, walk_cycles: 40, ..Default::default() };
+        let a = Counters {
+            dtlb_misses: 5,
+            walk_cycles: 100,
+            ..Default::default()
+        };
+        let b = Counters {
+            dtlb_misses: 2,
+            walk_cycles: 40,
+            ..Default::default()
+        };
         let sum = a + b;
         assert_eq!(sum.dtlb_misses, 7);
         assert_eq!(sum - b, a);
@@ -138,7 +146,11 @@ mod tests {
 
     #[test]
     fn fields_cover_all_counters() {
-        let c = Counters { mem_reads: 1, tlb_flushes: 2, ..Default::default() };
+        let c = Counters {
+            mem_reads: 1,
+            tlb_flushes: 2,
+            ..Default::default()
+        };
         let f = c.fields();
         assert_eq!(f.len(), 11);
         assert_eq!(f[0], ("mem_reads", 1));
@@ -148,7 +160,10 @@ mod tests {
     #[test]
     fn saturating_sub_never_underflows() {
         let a = Counters::default();
-        let b = Counters { llc_misses: 9, ..Default::default() };
+        let b = Counters {
+            llc_misses: 9,
+            ..Default::default()
+        };
         assert_eq!(a.saturating_sub(&b).llc_misses, 0);
     }
 
@@ -161,7 +176,10 @@ mod tests {
     #[test]
     fn add_assign_accumulates() {
         let mut a = Counters::default();
-        let b = Counters { stall_cycles: 3, ..Default::default() };
+        let b = Counters {
+            stall_cycles: 3,
+            ..Default::default()
+        };
         a += b;
         a += b;
         assert_eq!(a.stall_cycles, 6);

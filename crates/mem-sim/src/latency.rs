@@ -78,13 +78,20 @@ mod tests {
 
     #[test]
     fn mee_multiplier_scales_dram() {
-        let l = LatencyModel { dram: 100, mee_mult_x100: 250, ..Default::default() };
+        let l = LatencyModel {
+            dram: 100,
+            mee_mult_x100: 250,
+            ..Default::default()
+        };
         assert_eq!(l.dram_encrypted(), 250);
     }
 
     #[test]
     fn identity_multiplier_is_noop() {
-        let l = LatencyModel { mee_mult_x100: 100, ..Default::default() };
+        let l = LatencyModel {
+            mee_mult_x100: 100,
+            ..Default::default()
+        };
         assert_eq!(l.dram_encrypted(), l.dram);
     }
 }

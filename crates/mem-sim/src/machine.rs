@@ -38,10 +38,16 @@ pub struct AccessAttrs {
 
 impl AccessAttrs {
     /// Attributes of an ordinary, non-enclave access.
-    pub const PLAIN: AccessAttrs = AccessAttrs { epcm_check: false, encrypted_dram: false };
+    pub const PLAIN: AccessAttrs = AccessAttrs {
+        epcm_check: false,
+        encrypted_dram: false,
+    };
 
     /// Attributes of an access to an EPC-resident enclave page.
-    pub const EPC: AccessAttrs = AccessAttrs { epcm_check: true, encrypted_dram: true };
+    pub const EPC: AccessAttrs = AccessAttrs {
+        epcm_check: true,
+        encrypted_dram: true,
+    };
 }
 
 /// What happened during one [`Machine::access`] call.
@@ -74,6 +80,9 @@ pub struct MachineConfig {
     pub llc_bytes: usize,
     /// Shared LLC associativity.
     pub llc_ways: usize,
+    /// Core clock frequency in Hz, for converting cycle counts to
+    /// wall-clock time (Table 3: Xeon E-2186G @ 3.8 GHz).
+    pub clock_hz: u64,
     /// Latency constants.
     pub latency: LatencyModel,
 }
@@ -88,6 +97,7 @@ impl Default for MachineConfig {
             l1_cache_lines: 512,
             llc_bytes: 12 << 20,
             llc_ways: 16,
+            clock_hz: 3_800_000_000,
             latency: LatencyModel::default(),
         }
     }
@@ -120,7 +130,13 @@ impl Machine {
     /// before issuing accesses.
     pub fn new(cfg: MachineConfig) -> Self {
         let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
-        Machine { cfg, threads: Vec::new(), llc, page_table: PageTable::new(), counters: Counters::new() }
+        Machine {
+            cfg,
+            threads: Vec::new(),
+            llc,
+            page_table: PageTable::new(),
+            counters: Counters::new(),
+        }
     }
 
     /// Adds a hardware thread and returns its id. Thread ids are dense,
@@ -157,7 +173,14 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if `tid` was not returned by [`Machine::add_thread`].
-    pub fn access(&mut self, tid: ThreadId, vaddr: u64, len: u64, kind: AccessKind, attrs: &AccessAttrs) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        tid: ThreadId,
+        vaddr: u64,
+        len: u64,
+        kind: AccessKind,
+        attrs: &AccessAttrs,
+    ) -> AccessOutcome {
         let mut out = AccessOutcome::default();
         if len == 0 {
             return out;

@@ -99,7 +99,11 @@ impl WalkCache {
     /// two).
     pub fn new(entries: usize) -> Self {
         let n = entries.next_power_of_two().max(1);
-        WalkCache { tags: vec![u64::MAX; n], epochs: vec![0; n], epoch: 1 }
+        WalkCache {
+            tags: vec![u64::MAX; n],
+            epochs: vec![0; n],
+            epoch: 1,
+        }
     }
 
     /// Records a walk of `page`; returns `true` when the upper levels were

@@ -194,7 +194,9 @@ mod tests {
         ];
         // Initial counter block f0f1...fcfdfeff: nonce = first 12 bytes,
         // ctr0 = last 4 bytes big-endian.
-        let nonce: [u8; 12] = [0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb];
+        let nonce: [u8; 12] = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb,
+        ];
         let ctr0 = u32::from_be_bytes([0xfc, 0xfd, 0xfe, 0xff]);
         let mut data = [
             0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
@@ -229,8 +231,14 @@ mod tests {
             0x4f, 0x3c,
         ];
         let aes = Aes128::new(&key);
-        assert_eq!(to_hex(&aes.round_keys[1]), "a0fafe1788542cb123a339392a6c7605");
-        assert_eq!(to_hex(&aes.round_keys[10]), "d014f9a8c9ee2589e13f0cc8b6630ca6");
+        assert_eq!(
+            to_hex(&aes.round_keys[1]),
+            "a0fafe1788542cb123a339392a6c7605"
+        );
+        assert_eq!(
+            to_hex(&aes.round_keys[10]),
+            "d014f9a8c9ee2589e13f0cc8b6630ca6"
+        );
     }
 
     #[test]

@@ -32,8 +32,12 @@ impl ChaCha20 {
         }
         let mut n = [0u32; 3];
         for i in 0..3 {
-            n[i] =
-                u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+            n[i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
         }
         ChaCha20 { key: k, nonce: n }
     }
@@ -118,10 +122,7 @@ mod tests {
         let key: [u8; 32] = core::array::from_fn(|i| i as u8);
         let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let block = ChaCha20::new(&key, &nonce).block(1);
-        assert_eq!(
-            to_hex(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(to_hex(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
         assert_eq!(to_hex(&block[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");
     }
 

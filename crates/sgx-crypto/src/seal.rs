@@ -66,7 +66,11 @@ impl SealingKey {
         let mut mac_input = nonce.to_vec();
         mac_input.extend_from_slice(&ct);
         let tag = hmac_sha256(&self.mac_key, &mac_input);
-        SealedBlob { nonce, ciphertext: ct, tag }
+        SealedBlob {
+            nonce,
+            ciphertext: ct,
+            tag,
+        }
     }
 
     /// Unseals a blob, verifying its MAC first.
@@ -123,7 +127,11 @@ impl SealedBlob {
         nonce.copy_from_slice(&bytes[..12]);
         let mut tag = [0u8; 32];
         tag.copy_from_slice(&bytes[12..44]);
-        Ok(SealedBlob { nonce, tag, ciphertext: bytes[44..].to_vec() })
+        Ok(SealedBlob {
+            nonce,
+            tag,
+            ciphertext: bytes[44..].to_vec(),
+        })
     }
 }
 
@@ -177,7 +185,10 @@ mod tests {
 
     #[test]
     fn short_blob_malformed() {
-        assert_eq!(SealedBlob::from_bytes(&[0u8; 43]), Err(SealError::Malformed));
+        assert_eq!(
+            SealedBlob::from_bytes(&[0u8; 43]),
+            Err(SealError::Malformed)
+        );
     }
 
     #[test]

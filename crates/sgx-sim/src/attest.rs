@@ -40,7 +40,12 @@ fn report_key(target_measurement: &[u8; 32]) -> [u8; 32] {
     hmac_sha256(PLATFORM_ATTESTATION_SECRET, target_measurement)
 }
 
-fn report_mac(key: &[u8; 32], measurement: &[u8; 32], report_data: &[u8; 64], target: &[u8; 32]) -> [u8; 32] {
+fn report_mac(
+    key: &[u8; 32],
+    measurement: &[u8; 32],
+    report_data: &[u8; 64],
+    target: &[u8; 32],
+) -> [u8; 32] {
     let mut body = Vec::with_capacity(128);
     body.extend_from_slice(measurement);
     body.extend_from_slice(report_data);
@@ -70,7 +75,12 @@ pub fn ereport(
     let target_m = machine.enclave(target).measurement();
     let key = report_key(&target_m);
     let mac = report_mac(&key, &measurement, &report_data, &target_m);
-    Ok(Report { measurement, report_data, target: target_m, mac })
+    Ok(Report {
+        measurement,
+        report_data,
+        target: target_m,
+        mac,
+    })
 }
 
 /// Verifies a report inside its target enclave (EGETKEY + MAC check).
@@ -95,7 +105,12 @@ pub fn verify_report(
         return Ok(false); // addressed to someone else: wrong report key
     }
     let key = report_key(&my_measurement);
-    let expect = report_mac(&key, &report.measurement, &report.report_data, &report.target);
+    let expect = report_mac(
+        &key,
+        &report.measurement,
+        &report.report_data,
+        &report.target,
+    );
     Ok(verify_tag(&expect, &report.mac))
 }
 
@@ -153,10 +168,16 @@ mod tests {
     #[test]
     fn ereport_requires_being_inside() {
         let (mut m, t, a, b) = platform();
-        assert_eq!(ereport(&mut m, t, a, b, [0u8; 64]), Err(SgxError::NotInEnclave));
+        assert_eq!(
+            ereport(&mut m, t, a, b, [0u8; 64]),
+            Err(SgxError::NotInEnclave)
+        );
         m.ecall_enter(t, b).unwrap();
         // Inside b, cannot report as a.
-        assert_eq!(ereport(&mut m, t, a, b, [0u8; 64]), Err(SgxError::NotInEnclave));
+        assert_eq!(
+            ereport(&mut m, t, a, b, [0u8; 64]),
+            Err(SgxError::NotInEnclave)
+        );
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub enum DriverOp {
 
 impl DriverOp {
     /// All operations, in display order.
-    pub const ALL: [DriverOp; 4] = [DriverOp::AllocPage, DriverOp::Ewb, DriverOp::Eldu, DriverOp::DoFault];
+    pub const ALL: [DriverOp; 4] = [
+        DriverOp::AllocPage,
+        DriverOp::Ewb,
+        DriverOp::Eldu,
+        DriverOp::DoFault,
+    ];
 
     /// The driver-source function name, as the paper reports it.
     pub fn function_name(&self) -> &'static str {

@@ -47,8 +47,14 @@ impl Enclave {
     ///
     /// Panics if `content_bytes > size` or the range is not page-aligned.
     pub fn create(id: EnclaveId, base: u64, size: u64, content_bytes: u64) -> Self {
-        assert!(base.is_multiple_of(PAGE_SIZE) && size.is_multiple_of(PAGE_SIZE), "ELRANGE must be page aligned");
-        assert!(content_bytes <= size, "content cannot exceed the enclave size");
+        assert!(
+            base.is_multiple_of(PAGE_SIZE) && size.is_multiple_of(PAGE_SIZE),
+            "ELRANGE must be page aligned"
+        );
+        assert!(
+            content_bytes <= size,
+            "content cannot exceed the enclave size"
+        );
         // MRENCLAVE starts from the ECREATE attributes (size, SSA layout,
         // ...); seed it with the geometry so differently-built enclaves
         // measure differently while identical binaries measure alike.
@@ -154,7 +160,11 @@ impl Enclave {
     ///
     /// Panics if the enclave is not in the building state.
     pub(crate) fn initialize(&mut self) {
-        assert_eq!(self.state, EnclaveState::Building, "EINIT on non-building enclave");
+        assert_eq!(
+            self.state,
+            EnclaveState::Building,
+            "EINIT on non-building enclave"
+        );
         self.state = EnclaveState::Initialized;
     }
 

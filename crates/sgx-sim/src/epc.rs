@@ -50,6 +50,11 @@ pub struct EpcEvent {
 struct FrameMeta {
     key: PageKey,
     referenced: bool,
+    /// Transient mark used by [`Epc::evict_batch`] so a clock sweep can
+    /// skip already-selected victims in O(1) instead of scanning the
+    /// victim list. Always false outside `evict_batch` (victims are
+    /// removed before it returns).
+    victim: bool,
 }
 
 /// The EPC frame pool with a clock (second-chance) replacement policy.
@@ -77,6 +82,9 @@ pub struct Epc {
     /// Pages currently swapped out to untrusted memory (encrypted).
     evicted_set: HashMap<PageKey, ()>,
     clock_hand: usize,
+    /// Lookups into the residency map, for asserting probe budgets in
+    /// tests (the resident fast path must cost exactly one).
+    probes: u64,
 }
 
 impl Epc {
@@ -96,6 +104,7 @@ impl Epc {
             resident: HashMap::new(),
             evicted_set: HashMap::new(),
             clock_hand: 0,
+            probes: 0,
         }
     }
 
@@ -114,9 +123,30 @@ impl Epc {
         self.evicted_set.len()
     }
 
-    /// Whether `key` is resident.
+    /// Whether `key` is resident (diagnostic query; not probe-counted).
     pub fn is_resident(&self, key: PageKey) -> bool {
         self.resident.contains_key(&key)
+    }
+
+    /// Single-probe resident fast path: if `key` is resident, refreshes
+    /// its clock reference bit and returns true; otherwise returns false
+    /// without changing any state. Exactly one residency-map lookup
+    /// either way — the common-case replacement for the
+    /// `is_resident` + `ensure_resident` double probe.
+    pub fn touch(&mut self, key: PageKey) -> bool {
+        self.probes += 1;
+        if let Some(&idx) = self.resident.get(&key) {
+            self.frames[idx].referenced = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cumulative residency-map lookups (see [`Epc::touch`]); a test
+    /// hook, never reset.
+    pub fn probe_count(&self) -> u64 {
+        self.probes
     }
 
     /// Whether `key` has been evicted (encrypted in untrusted DRAM).
@@ -128,9 +158,13 @@ impl Epc {
     /// reports what happened. Touching a resident page refreshes its
     /// clock reference bit.
     pub fn ensure_resident(&mut self, key: PageKey) -> EpcEvent {
+        self.probes += 1;
         if let Some(&idx) = self.resident.get(&key) {
             self.frames[idx].referenced = true;
-            return EpcEvent { kind: EpcFaultKind::Resident, evicted: Vec::new() };
+            return EpcEvent {
+                kind: EpcFaultKind::Resident,
+                evicted: Vec::new(),
+            };
         }
         let mut evicted = Vec::new();
         if self.frames.len() >= self.capacity {
@@ -141,7 +175,11 @@ impl Epc {
         } else {
             EpcFaultKind::Alloc
         };
-        let meta = FrameMeta { key, referenced: true };
+        let meta = FrameMeta {
+            key,
+            referenced: true,
+            victim: false,
+        };
         // Reuse a hole left by eviction if one exists, else push.
         if self.frames.len() < self.capacity {
             self.frames.push(meta);
@@ -164,15 +202,34 @@ impl Epc {
 
     /// Removes every page owned by `enclave` (EREMOVE at teardown),
     /// returning how many frames were freed.
+    ///
+    /// Frames of *other* enclaves are untouched: when `enclave` owns no
+    /// frames this is a no-op, and otherwise the clock hand keeps its
+    /// position relative to the surviving frames, so tearing one enclave
+    /// down does not perturb the replacement order of its neighbours.
     pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
+        self.evicted_set.retain(|k, _| k.enclave != enclave);
+        if !self.frames.iter().any(|f| f.key.enclave == enclave) {
+            return 0;
+        }
+        // The hand should next sweep the same surviving frame it would
+        // have swept before: count survivors strictly before it.
+        let hand = self.clock_hand % self.frames.len();
+        let new_hand = self.frames[..hand]
+            .iter()
+            .filter(|f| f.key.enclave != enclave)
+            .count();
         let before = self.frames.len();
         self.frames.retain(|f| f.key.enclave != enclave);
-        self.resident.clear();
+        self.resident.retain(|k, _| k.enclave != enclave);
         for (i, f) in self.frames.iter().enumerate() {
             self.resident.insert(f.key, i);
         }
-        self.evicted_set.retain(|k, _| k.enclave != enclave);
-        self.clock_hand = 0;
+        self.clock_hand = if self.frames.is_empty() {
+            0
+        } else {
+            new_hand % self.frames.len()
+        };
         before - self.frames.len()
     }
 
@@ -188,13 +245,14 @@ impl Epc {
             let idx = self.clock_hand % len;
             self.clock_hand = (self.clock_hand + 1) % len;
             scanned += 1;
-            if victim_idxs.contains(&idx) {
+            let frame = &mut self.frames[idx];
+            if frame.victim {
                 continue;
             }
-            let frame = &mut self.frames[idx];
             if frame.referenced {
                 frame.referenced = false;
             } else {
+                frame.victim = true;
                 victims.push(frame.key);
                 victim_idxs.push(idx);
             }
@@ -205,8 +263,10 @@ impl Epc {
         while victims.len() < n {
             let idx = fallback % len;
             fallback += 1;
-            if !victim_idxs.contains(&idx) {
-                victims.push(self.frames[idx].key);
+            let frame = &mut self.frames[idx];
+            if !frame.victim {
+                frame.victim = true;
+                victims.push(frame.key);
                 victim_idxs.push(idx);
             }
         }
@@ -236,7 +296,10 @@ mod tests {
     use super::*;
 
     fn k(p: u64) -> PageKey {
-        PageKey { enclave: EnclaveId(0), page: p }
+        PageKey {
+            enclave: EnclaveId(0),
+            page: p,
+        }
     }
 
     #[test]
@@ -319,7 +382,10 @@ mod tests {
                 }
             }
         }
-        assert!(loadbacks > 0, "sweeping a 2x working set must load back pages");
+        assert!(
+            loadbacks > 0,
+            "sweeping a 2x working set must load back pages"
+        );
     }
 
     #[test]
@@ -341,16 +407,85 @@ mod tests {
     fn remove_enclave_frees_frames() {
         let mut epc = Epc::new(4, 2);
         epc.ensure_resident(k(0));
-        epc.ensure_resident(PageKey { enclave: EnclaveId(1), page: 0 });
+        epc.ensure_resident(PageKey {
+            enclave: EnclaveId(1),
+            page: 0,
+        });
         let freed = epc.remove_enclave(EnclaveId(0));
         assert_eq!(freed, 1);
         assert!(!epc.is_resident(k(0)));
-        assert!(epc.is_resident(PageKey { enclave: EnclaveId(1), page: 0 }));
+        assert!(epc.is_resident(PageKey {
+            enclave: EnclaveId(1),
+            page: 0
+        }));
     }
 
     #[test]
     #[should_panic]
     fn zero_capacity_rejected() {
         let _ = Epc::new(0, 1);
+    }
+
+    #[test]
+    fn touch_is_single_probe_and_refreshes_reference_bit() {
+        let mut epc = Epc::new(3, 1);
+        epc.ensure_resident(k(0));
+        epc.ensure_resident(k(1));
+        epc.ensure_resident(k(2));
+        epc.ensure_resident(k(3)); // clears all ref bits, evicts page 0
+        assert!(epc.is_resident(k(1)));
+        let before = epc.probe_count();
+        assert!(epc.touch(k(1)));
+        assert_eq!(epc.probe_count(), before + 1, "touch costs one probe");
+        assert!(!epc.touch(k(0)), "evicted page is a miss");
+        assert_eq!(epc.probe_count(), before + 2);
+        // The touch refreshed page 1's reference bit: the next eviction
+        // must give it a second chance and take unreferenced page 2.
+        epc.ensure_resident(k(4));
+        assert!(epc.is_resident(k(1)), "touched page survives the sweep");
+        assert!(!epc.is_resident(k(2)));
+    }
+
+    #[test]
+    fn remove_enclave_without_frames_is_noop() {
+        let mut epc = Epc::new(4, 1);
+        for p in 0..5 {
+            epc.ensure_resident(k(p)); // last insert moves the clock hand
+        }
+        let control = epc.clone();
+        assert_eq!(epc.remove_enclave(EnclaveId(9)), 0);
+        // Replacement decisions must be unchanged by the no-op removal.
+        let mut epc2 = control;
+        for p in 5..12 {
+            let a = epc.ensure_resident(k(p));
+            let b = epc2.ensure_resident(k(p));
+            assert_eq!(a.evicted, b.evicted, "page {p}");
+        }
+    }
+
+    #[test]
+    fn remove_enclave_preserves_clock_hand_position() {
+        let e1 = EnclaveId(1);
+        let mut epc = Epc::new(4, 1);
+        epc.ensure_resident(k(0));
+        epc.ensure_resident(k(1));
+        epc.ensure_resident(PageKey {
+            enclave: e1,
+            page: 0,
+        });
+        epc.ensure_resident(k(2));
+        // Evicts page 0 and leaves the hand one past it.
+        epc.ensure_resident(k(3));
+        // Refresh the survivors so every frame is referenced again.
+        epc.ensure_resident(k(2));
+        epc.ensure_resident(k(1));
+        assert_eq!(epc.remove_enclave(e1), 1);
+        epc.ensure_resident(k(4)); // refills the freed frame, no eviction
+                                   // All frames referenced: the sweep clears bits starting at the
+                                   // preserved hand, so the victim is the frame *under* the hand —
+                                   // page 1, not page 2 (which a hand reset to 0 would have taken).
+        let ev = epc.ensure_resident(k(5));
+        assert_eq!(ev.evicted, vec![k(1)]);
+        assert!(epc.is_resident(k(2)));
     }
 }

@@ -24,9 +24,17 @@ pub struct PagePerms {
 
 impl PagePerms {
     /// Read-write data page (the common case for heap pages).
-    pub const RW: PagePerms = PagePerms { read: true, write: true, execute: false };
+    pub const RW: PagePerms = PagePerms {
+        read: true,
+        write: true,
+        execute: false,
+    };
     /// Read-execute code page.
-    pub const RX: PagePerms = PagePerms { read: true, write: false, execute: true };
+    pub const RX: PagePerms = PagePerms {
+        read: true,
+        write: false,
+        execute: true,
+    };
 }
 
 /// One EPCM entry.
@@ -80,7 +88,14 @@ impl Epcm {
 
     /// Records (or updates) the entry for virtual page `vpage`.
     pub fn record(&mut self, owner: EnclaveId, vpage: u64, perms: PagePerms) {
-        self.entries.insert(vpage, EpcmEntry { owner, vpage, perms });
+        self.entries.insert(
+            vpage,
+            EpcmEntry {
+                owner,
+                vpage,
+                perms,
+            },
+        );
     }
 
     /// Removes the entry for `vpage` (EREMOVE).

@@ -11,7 +11,9 @@ use crate::enclave::{Enclave, EnclaveId, EnclaveState};
 use crate::epc::{Epc, EpcFaultKind, PageKey};
 use crate::epcm::{Epcm, PagePerms};
 use crate::switchless::SwitchlessPool;
-use mem_sim::{AccessAttrs, AccessKind, AccessOutcome, Machine, MachineConfig, ThreadId, PAGE_SHIFT, PAGE_SIZE};
+use mem_sim::{
+    AccessAttrs, AccessKind, AccessOutcome, Machine, MachineConfig, ThreadId, PAGE_SHIFT, PAGE_SIZE,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -233,6 +235,13 @@ pub struct SgxMachine {
     init_stats: Vec<InitStats>,
     trace: Option<Vec<EpcTraceSample>>,
     jitter: u64,
+    /// Memo of the last enclave page confirmed resident by
+    /// [`SgxMachine::access`], so streaming accesses within one page skip
+    /// the residency map entirely. Invariant: when set, the page is
+    /// resident with its reference bit set and no eviction sweep has run
+    /// since — every event that could break that (an EPC fault, an
+    /// enclave build or teardown) clears or overwrites the memo.
+    last_touched: Option<(EnclaveId, u64)>,
 }
 
 impl SgxMachine {
@@ -241,7 +250,10 @@ impl SgxMachine {
         let frames = (cfg.epc_bytes.saturating_sub(cfg.epc_reserved_bytes) >> PAGE_SHIFT) as usize;
         let epc = Epc::new(frames.max(1), cfg.evict_batch.max(1));
         let switchless = if cfg.switchless_workers > 0 {
-            Some(SwitchlessPool::new(cfg.switchless_workers, cfg.switchless_channel_cycles))
+            Some(SwitchlessPool::new(
+                cfg.switchless_workers,
+                cfg.switchless_channel_cycles,
+            ))
         } else {
             None
         };
@@ -262,6 +274,7 @@ impl SgxMachine {
             init_stats: Vec::new(),
             trace: None,
             jitter: 0x9e3779b97f4a7c15,
+            last_touched: None,
         }
     }
 
@@ -313,7 +326,11 @@ impl SgxMachine {
     ///
     /// Returns [`SgxError::ContentTooLarge`] when `content_bytes`
     /// exceeds `size_bytes`.
-    pub fn create_enclave(&mut self, size_bytes: u64, content_bytes: u64) -> Result<EnclaveId, SgxError> {
+    pub fn create_enclave(
+        &mut self,
+        size_bytes: u64,
+        content_bytes: u64,
+    ) -> Result<EnclaveId, SgxError> {
         if content_bytes > size_bytes {
             return Err(SgxError::ContentTooLarge);
         }
@@ -321,7 +338,8 @@ impl SgxMachine {
         let size = size_bytes.next_multiple_of(PAGE_SIZE);
         let base = self.enclave_next;
         self.enclave_next += size + (1 << 30); // 1 GiB guard between ELRANGEs
-        let mut enclave = Enclave::create(id, base, size, content_bytes.next_multiple_of(PAGE_SIZE));
+        let mut enclave =
+            Enclave::create(id, base, size, content_bytes.next_multiple_of(PAGE_SIZE));
         let mut init = InitStats::default();
 
         // Measurement pass: stream every page of the ELRANGE through the
@@ -335,7 +353,10 @@ impl SgxMachine {
             enclave.total_pages()
         };
         for i in 0..total {
-            let key = PageKey { enclave: id, page: first + i };
+            let key = PageKey {
+                enclave: id,
+                page: first + i,
+            };
             let ev = self.epc.ensure_resident(key);
             debug_assert!(ev.kind != EpcFaultKind::LoadBack, "build pages are fresh");
             init.pages_measured += 1;
@@ -364,7 +385,10 @@ impl SgxMachine {
         self.epc.remove_enclave(id);
         let content_pages = enclave.content_bytes() >> PAGE_SHIFT;
         for i in 0..content_pages {
-            self.epc.mark_evicted(PageKey { enclave: id, page: first + i });
+            self.epc.mark_evicted(PageKey {
+                enclave: id,
+                page: first + i,
+            });
         }
         if self.mem.thread_count() > 0 {
             self.mem.charge(ThreadId(0), init.cycles);
@@ -373,6 +397,9 @@ impl SgxMachine {
         self.enclaves.push(enclave);
         self.active_tcs.push(0);
         self.init_stats.push(init);
+        // The measurement pass churned the EPC behind secure_access's
+        // back; the memoized page may have been evicted.
+        self.last_touched = None;
         Ok(id)
     }
 
@@ -381,6 +408,7 @@ impl SgxMachine {
         self.epc.remove_enclave(id);
         self.epcm.remove_enclave(id);
         self.enclaves[id.0].destroy();
+        self.last_touched = None;
     }
 
     /// Immutable view of an enclave.
@@ -405,7 +433,9 @@ impl SgxMachine {
     /// exhausted (the SGX v1 condition that forces generous enclave
     /// sizes).
     pub fn alloc_enclave_heap(&mut self, id: EnclaveId, bytes: u64) -> Result<u64, SgxError> {
-        self.enclaves[id.0].alloc_heap(bytes).ok_or(SgxError::OutOfEnclaveMemory)
+        self.enclaves[id.0]
+            .alloc_heap(bytes)
+            .ok_or(SgxError::OutOfEnclaveMemory)
     }
 
     /// Performs an ECALL: EENTER plus the mandatory TLB flush.
@@ -494,7 +524,13 @@ impl SgxMachine {
     /// Panics if a thread *outside* any enclave touches an ELRANGE — the
     /// hardware would return abort-page semantics; in the simulator this
     /// is always a harness bug worth failing loudly on.
-    pub fn access(&mut self, tid: ThreadId, vaddr: u64, len: u64, kind: AccessKind) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        tid: ThreadId,
+        vaddr: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         if len == 0 {
             return AccessOutcome::default();
         }
@@ -504,9 +540,12 @@ impl SgxMachine {
             }
             _ => {
                 debug_assert!(
-                    !self.enclaves.iter().any(|e| e.state() == EnclaveState::Initialized
-                        && e.contains(vaddr)
-                        && self.in_enclave[tid.0].is_none_or(|c| c != e.id())),
+                    !self
+                        .enclaves
+                        .iter()
+                        .any(|e| e.state() == EnclaveState::Initialized
+                            && e.contains(vaddr)
+                            && self.in_enclave[tid.0].is_none_or(|c| c != e.id())),
                     "untrusted access to ELRANGE at {vaddr:#x}"
                 );
                 self.mem.access(tid, vaddr, len, kind, &AccessAttrs::PLAIN)
@@ -514,14 +553,29 @@ impl SgxMachine {
         }
     }
 
-    fn secure_access(&mut self, tid: ThreadId, eid: EnclaveId, vaddr: u64, len: u64, kind: AccessKind) -> AccessOutcome {
+    fn secure_access(
+        &mut self,
+        tid: ThreadId,
+        eid: EnclaveId,
+        vaddr: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         let first_page = vaddr >> PAGE_SHIFT;
         let last_page = (vaddr + len - 1) >> PAGE_SHIFT;
         let mut extra = 0u64;
         for page in first_page..=last_page {
+            // Streaming fast path: repeated touches of the memoized page
+            // skip the residency map entirely (its reference bit is
+            // already set and no sweep has cleared it since).
+            if self.last_touched == Some((eid, page)) {
+                continue;
+            }
             let key = PageKey { enclave: eid, page };
-            if self.epc.is_resident(key) {
-                self.epc.ensure_resident(key); // refresh reference bit
+            if self.epc.touch(key) {
+                // Resident path: exactly one residency-map probe, which
+                // also refreshed the clock reference bit.
+                self.last_touched = Some((eid, page));
                 continue;
             }
             // EPC fault: AEX out, driver handles it, ERESUME back.
@@ -556,11 +610,18 @@ impl SgxMachine {
                 }
                 EpcFaultKind::Resident => unreachable!("page checked non-resident above"),
             }
-            self.driver.record(DriverOp::DoFault, self.cfg.fault_base_cycles + fault_cycles / 4);
+            self.driver.record(
+                DriverOp::DoFault,
+                self.cfg.fault_base_cycles + fault_cycles / 4,
+            );
             fault_cycles += self.cfg.eresume_cycles;
             self.counters.fault_cycles += fault_cycles;
             self.mem.charge(tid, fault_cycles);
             extra += fault_cycles;
+            // The faulted page is now the only one known resident with a
+            // fresh reference bit (the eviction sweep may have cleared
+            // or evicted anything else, including the old memo).
+            self.last_touched = Some((eid, page));
             if let Some(trace) = self.trace.as_mut() {
                 trace.push(EpcTraceSample {
                     cycles: self.mem.cycles_of(tid),
@@ -689,6 +750,39 @@ mod tests {
     }
 
     #[test]
+    fn resident_access_probes_residency_map_once_per_page() {
+        let (mut m, t) = small_machine(64);
+        let e = m.create_enclave(32 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 2 * PAGE_SIZE).unwrap();
+        // Warm both pages (faults; several probes each is fine).
+        m.access(t, heap, 8, AccessKind::Write);
+        m.access(t, heap + PAGE_SIZE, 8, AccessKind::Write);
+        // Streaming within the memoized page: zero map probes.
+        let p0 = m.epc().probe_count();
+        for i in 0..16 {
+            m.access(t, heap + PAGE_SIZE + i * 8, 8, AccessKind::Read);
+        }
+        assert_eq!(
+            m.epc().probe_count(),
+            p0,
+            "same-page stream must skip the map"
+        );
+        // Alternating between warm pages defeats the memo: exactly one
+        // probe per page touched, not two.
+        let p1 = m.epc().probe_count();
+        for i in 0..8u64 {
+            m.access(t, heap + (i % 2) * PAGE_SIZE, 8, AccessKind::Read);
+        }
+        assert_eq!(
+            m.epc().probe_count(),
+            p1 + 8,
+            "resident path is single-probe"
+        );
+        assert_eq!(m.sgx_counters().epc_faults, 2, "no spurious faults");
+    }
+
+    #[test]
     fn working_set_beyond_epc_thrashes() {
         let (mut m, t) = small_machine(8); // 8-frame EPC
         let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
@@ -775,7 +869,11 @@ mod tests {
         m.ecall_enter(t, e).unwrap();
         let faults = m.sgx_counters().epc_faults;
         m.access(t, buf, 64, AccessKind::Read);
-        assert_eq!(m.sgx_counters().epc_faults, faults, "untrusted access must not touch EPC");
+        assert_eq!(
+            m.sgx_counters().epc_faults,
+            faults,
+            "untrusted access must not touch EPC"
+        );
     }
 
     #[test]
@@ -826,7 +924,11 @@ mod tests {
         assert_eq!(m.sgx_counters().epc_faults, 0);
         let before = m.sgx_counters().epc_faults;
         m.access(t, heap, 8, AccessKind::Read);
-        assert_eq!(m.sgx_counters().epc_faults, before, "page stayed resident across reset");
+        assert_eq!(
+            m.sgx_counters().epc_faults,
+            before,
+            "page stayed resident across reset"
+        );
     }
 
     #[test]

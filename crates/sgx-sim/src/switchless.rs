@@ -38,8 +38,15 @@ impl SwitchlessPool {
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize, channel_cycles: u64) -> Self {
-        assert!(workers > 0, "switchless pool needs at least one proxy thread");
-        SwitchlessPool { busy_until: vec![0; workers], channel_cycles, served: 0 }
+        assert!(
+            workers > 0,
+            "switchless pool needs at least one proxy thread"
+        );
+        SwitchlessPool {
+            busy_until: vec![0; workers],
+            channel_cycles,
+            served: 0,
+        }
     }
 
     /// Number of proxy threads.

@@ -7,7 +7,10 @@ use sgx_sim::epc::{Epc, EpcFaultKind, PageKey};
 use sgx_sim::{EnclaveId, SgxConfig, SgxMachine};
 
 fn key(p: u64) -> PageKey {
-    PageKey { enclave: EnclaveId(0), page: p }
+    PageKey {
+        enclave: EnclaveId(0),
+        page: p,
+    }
 }
 
 proptest! {

@@ -10,7 +10,9 @@
 
 use crate::util::{fold, scale_down, SplitMix64};
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Per-node record bytes (Rodinia `Node` struct padded to a line).
 const NODE_BYTES: u64 = 64;
@@ -32,7 +34,9 @@ impl Bfs {
 
     /// Instance with graph sizes divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        Bfs { divisor: divisor.max(1) }
+        Bfs {
+            divisor: divisor.max(1),
+        }
     }
 
     /// `(nodes, edges)` for `setting` (Table 2).
@@ -42,7 +46,10 @@ impl Bfs {
             InputSetting::Medium => (100_000, 1_300_000),
             InputSetting::High => (150_000, 1_900_000),
         };
-        (scale_down(n, self.divisor, 64), scale_down(e, self.divisor, 256))
+        (
+            scale_down(n, self.divisor, 64),
+            scale_down(e, self.divisor, 256),
+        )
     }
 }
 
@@ -114,70 +121,76 @@ impl Workload for Bfs {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let (n, _) = self.graph_size(setting);
 
-        let (visited_count, checksum) = env.secure_call(move |env| -> Result<(u64, u64), WorkloadError> {
-            // Parse the header from the input file (unmodeled scratch),
-            // then build the in-EPC structures with padded records.
-            let raw = env.read_file("graph.bin")?;
-            let nodes = u32::from_le_bytes(raw[0..4].try_into().expect("4 bytes")) as u64;
-            let total_dirs = u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes")) as u64;
-            debug_assert_eq!(nodes, n);
+        let (visited_count, checksum) =
+            env.secure_call(move |env| -> Result<(u64, u64), WorkloadError> {
+                // Parse the header from the input file (unmodeled scratch),
+                // then build the in-EPC structures with padded records.
+                let raw = env.read_file("graph.bin")?;
+                let nodes = u32::from_le_bytes(raw[0..4].try_into().expect("4 bytes")) as u64;
+                let total_dirs = u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes")) as u64;
+                debug_assert_eq!(nodes, n);
 
-            let node_region = env.alloc(nodes * NODE_BYTES, Placement::Protected)?;
-            let edge_region = env.alloc(total_dirs * EDGE_BYTES, Placement::Protected)?;
-            let level_region = env.alloc(nodes * 8, Placement::Protected)?;
+                let node_region = env.alloc(nodes * NODE_BYTES, Placement::Protected)?;
+                let edge_region = env.alloc(total_dirs * EDGE_BYTES, Placement::Protected)?;
+                let level_region = env.alloc(nodes * 8, Placement::Protected)?;
 
-            // Load phase ("first reads the input graph to the EPC").
-            let hdr = 8usize;
-            for i in 0..nodes as usize {
-                let off = hdr + i * 8;
-                let start = u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes"));
-                let deg = u32::from_le_bytes(raw[off + 4..off + 8].try_into().expect("4 bytes"));
-                env.write_u64(node_region, i as u64 * NODE_BYTES, start as u64);
-                env.write_u64(node_region, i as u64 * NODE_BYTES + 8, deg as u64);
-                env.write_u64(level_region, i as u64 * 8, u64::MAX);
-            }
-            let edges_base = hdr + nodes as usize * 8;
-            for j in 0..total_dirs as usize {
-                let off = edges_base + j * 4;
-                let dest = u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes"));
-                env.write_u64(edge_region, j as u64 * EDGE_BYTES, dest as u64);
-            }
-            env.compute(total_dirs * 4);
-
-            // Traverse all connected components.
-            let mut queue: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
-            let mut visited_count = 0u64;
-            let mut checksum = 0u64;
-            let mut level_sum = 0u64;
-            for root in 0..nodes {
-                if env.read_u64(level_region, root * 8) != u64::MAX {
-                    continue;
+                // Load phase ("first reads the input graph to the EPC").
+                let hdr = 8usize;
+                for i in 0..nodes as usize {
+                    let off = hdr + i * 8;
+                    let start = u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes"));
+                    let deg =
+                        u32::from_le_bytes(raw[off + 4..off + 8].try_into().expect("4 bytes"));
+                    env.write_u64(node_region, i as u64 * NODE_BYTES, start as u64);
+                    env.write_u64(node_region, i as u64 * NODE_BYTES + 8, deg as u64);
+                    env.write_u64(level_region, i as u64 * 8, u64::MAX);
                 }
-                env.write_u64(level_region, root * 8, 0);
-                queue.push_back(root);
-                while let Some(u) = queue.pop_front() {
-                    visited_count += 1;
-                    let lvl = env.read_u64(level_region, u * 8);
-                    level_sum += lvl;
-                    let start = env.read_u64(node_region, u * NODE_BYTES);
-                    let deg = env.read_u64(node_region, u * NODE_BYTES + 8);
-                    for j in start..start + deg {
-                        let v = env.read_u64(edge_region, j * EDGE_BYTES);
-                        if env.read_u64(level_region, v * 8) == u64::MAX {
-                            env.write_u64(level_region, v * 8, lvl + 1);
-                            queue.push_back(v);
-                        }
+                let edges_base = hdr + nodes as usize * 8;
+                for j in 0..total_dirs as usize {
+                    let off = edges_base + j * 4;
+                    let dest = u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes"));
+                    env.write_u64(edge_region, j as u64 * EDGE_BYTES, dest as u64);
+                }
+                env.compute(total_dirs * 4);
+
+                // Traverse all connected components.
+                let mut queue: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+                let mut visited_count = 0u64;
+                let mut checksum = 0u64;
+                let mut level_sum = 0u64;
+                for root in 0..nodes {
+                    if env.read_u64(level_region, root * 8) != u64::MAX {
+                        continue;
                     }
-                    env.compute(8 + deg * 4);
+                    env.write_u64(level_region, root * 8, 0);
+                    queue.push_back(root);
+                    while let Some(u) = queue.pop_front() {
+                        visited_count += 1;
+                        let lvl = env.read_u64(level_region, u * 8);
+                        level_sum += lvl;
+                        let start = env.read_u64(node_region, u * NODE_BYTES);
+                        let deg = env.read_u64(node_region, u * NODE_BYTES + 8);
+                        for j in start..start + deg {
+                            let v = env.read_u64(edge_region, j * EDGE_BYTES);
+                            if env.read_u64(level_region, v * 8) == u64::MAX {
+                                env.write_u64(level_region, v * 8, lvl + 1);
+                                queue.push_back(v);
+                            }
+                        }
+                        env.compute(8 + deg * 4);
+                    }
                 }
-            }
-            checksum = fold(checksum, visited_count);
-            checksum = fold(checksum, level_sum);
-            Ok((visited_count, checksum))
-        })??;
+                checksum = fold(checksum, visited_count);
+                checksum = fold(checksum, level_sum);
+                Ok((visited_count, checksum))
+            })??;
 
         if visited_count != n {
             return Err(WorkloadError::Validation(format!(
@@ -201,7 +214,9 @@ mod tests {
     fn visits_every_node() {
         let wl = Bfs::scaled(256);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let r = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let r = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         let (n, _) = wl.graph_size(InputSetting::Low);
         assert_eq!(r.output.ops, n);
     }
@@ -212,7 +227,13 @@ mod tests {
         let runner = Runner::new(RunnerConfig::quick_test());
         let mut sums = Vec::new();
         for mode in ExecMode::ALL {
-            sums.push(runner.run_once(&wl, mode, InputSetting::Low).unwrap().output.checksum);
+            sums.push(
+                runner
+                    .run_once(&wl, mode, InputSetting::Low)
+                    .unwrap()
+                    .output
+                    .checksum,
+            );
         }
         assert!(sums.windows(2).all(|w| w[0] == w[1]));
     }
@@ -233,8 +254,12 @@ mod tests {
         // the High/Low fault ratio stays moderate.
         let wl = Bfs::scaled(64);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let low = runner.run_once(&wl, ExecMode::Native, InputSetting::Low).unwrap();
-        let high = runner.run_once(&wl, ExecMode::Native, InputSetting::High).unwrap();
+        let low = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .unwrap();
+        let high = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::High)
+            .unwrap();
         let ratio = high.sgx.epc_faults as f64 / low.sgx.epc_faults.max(1) as f64;
         assert!(ratio < 50.0, "fault ratio {ratio}");
     }

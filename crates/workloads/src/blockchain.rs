@@ -12,7 +12,9 @@
 use crate::util::{fold, scale_down, SplitMix64};
 use sgx_crypto::Sha256;
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Cycles one mining attempt costs on the modeled core: SHA-256 over the
 /// block header plus a few hundred bytes of payload (~15 cycles/byte)
@@ -37,7 +39,9 @@ impl Blockchain {
 
     /// Instance with input sizes divided by `divisor` (for tests).
     pub fn scaled(divisor: u64) -> Self {
-        Blockchain { divisor: divisor.max(1) }
+        Blockchain {
+            divisor: divisor.max(1),
+        }
     }
 
     /// Blocks to mine for `setting` (Table 2: 3 / 5 / 8).
@@ -122,7 +126,11 @@ impl Workload for Blockchain {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let blocks = self.blocks(setting);
         let difficulty = self.difficulty();
         let payload_len = 256usize;
@@ -180,9 +188,16 @@ impl Workload for Blockchain {
             });
 
             // Commit the mined block (untrusted side bookkeeping).
-            env.write_bytes(chain, b * (payload_len as u64 + 64) + payload_len as u64, &hash[..32]);
+            env.write_bytes(
+                chain,
+                b * (payload_len as u64 + 64) + payload_len as u64,
+                &hash[..32],
+            );
             checksum = fold(checksum, nonce);
-            checksum = fold(checksum, u64::from_le_bytes(hash[..8].try_into().expect("8 bytes")));
+            checksum = fold(
+                checksum,
+                u64::from_le_bytes(hash[..8].try_into().expect("8 bytes")),
+            );
             prev_hash = hash;
         }
 
@@ -195,10 +210,16 @@ impl Workload for Blockchain {
                 *byte = rng2.next_u64() as u8;
             }
             let mut stored = vec![0u8; 32];
-            env.read_bytes(chain, b * (payload_len as u64 + 64) + payload_len as u64, &mut stored);
+            env.read_bytes(
+                chain,
+                b * (payload_len as u64 + 64) + payload_len as u64,
+                &mut stored,
+            );
             let (_, expect, _) = Blockchain::mine(&verify_prev, &payload, difficulty);
             if stored != expect {
-                return Err(WorkloadError::Validation(format!("block {b} hash mismatch")));
+                return Err(WorkloadError::Validation(format!(
+                    "block {b} hash mismatch"
+                )));
             }
             verify_prev = expect;
         }
@@ -261,10 +282,19 @@ mod tests {
     fn native_mode_is_ecall_heavy() {
         let wl = Blockchain::scaled(1024);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let r = runner.run_once(&wl, ExecMode::Native, InputSetting::Low).unwrap();
+        let r = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .unwrap();
         // Every hash attempt is an ECALL (plus thread bookkeeping).
-        assert!(r.sgx.ecalls >= r.output.ops, "ecalls {} < attempts {}", r.sgx.ecalls, r.output.ops);
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        assert!(
+            r.sgx.ecalls >= r.output.ops,
+            "ecalls {} < attempts {}",
+            r.sgx.ecalls,
+            r.output.ops
+        );
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         assert!(r.counters.tlb_flushes > v.counters.tlb_flushes);
     }
 
@@ -272,8 +302,12 @@ mod tests {
     fn more_blocks_more_work() {
         let wl = Blockchain::scaled(1024);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let low = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let high = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::High).unwrap();
+        let low = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let high = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::High)
+            .unwrap();
         assert!(high.output.ops > low.output.ops);
     }
 

@@ -12,7 +12,9 @@
 
 use crate::util::{fold, scale_down, SplitMix64};
 use sgxgauge_core::env::{Placement, Region};
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Keys per node (fan-out - 1). 64 keys keeps nodes at two cache lines
 /// of keys plus children: realistic pointer-chasing behaviour.
@@ -45,7 +47,9 @@ impl BTree {
 
     /// Instance with element counts divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        BTree { divisor: divisor.max(1) }
+        BTree {
+            divisor: divisor.max(1),
+        }
     }
 
     /// Elements for `setting` (Table 2).
@@ -89,7 +93,12 @@ struct RegionTree<'a> {
 
 impl<'a> RegionTree<'a> {
     fn create(env: &'a mut Env, arena: Region) -> Result<Self, WorkloadError> {
-        let mut t = RegionTree { env, arena, next_node: 0, root: 0 };
+        let mut t = RegionTree {
+            env,
+            arena,
+            next_node: 0,
+            root: 0,
+        };
         let root = t.alloc_node(true)?;
         t.root = root;
         Ok(t)
@@ -119,19 +128,23 @@ impl<'a> RegionTree<'a> {
     }
 
     fn key(&mut self, node: u64, i: usize) -> u64 {
-        self.env.read_u64(self.arena, node + KEYS_OFF + (i as u64) * 8)
+        self.env
+            .read_u64(self.arena, node + KEYS_OFF + (i as u64) * 8)
     }
 
     fn set_key(&mut self, node: u64, i: usize, k: u64) {
-        self.env.write_u64(self.arena, node + KEYS_OFF + (i as u64) * 8, k);
+        self.env
+            .write_u64(self.arena, node + KEYS_OFF + (i as u64) * 8, k);
     }
 
     fn child(&mut self, node: u64, i: usize) -> u64 {
-        self.env.read_u64(self.arena, node + PTRS_OFF + (i as u64) * 8)
+        self.env
+            .read_u64(self.arena, node + PTRS_OFF + (i as u64) * 8)
     }
 
     fn set_child(&mut self, node: u64, i: usize, c: u64) {
-        self.env.write_u64(self.arena, node + PTRS_OFF + (i as u64) * 8, c);
+        self.env
+            .write_u64(self.arena, node + PTRS_OFF + (i as u64) * 8, c);
     }
 
     fn value_off(node: u64, i: usize) -> u64 {
@@ -140,7 +153,8 @@ impl<'a> RegionTree<'a> {
 
     fn write_value(&mut self, node: u64, i: usize, key: u64) {
         let off = Self::value_off(node, i);
-        self.env.write_u64(self.arena, off, key.wrapping_mul(0x9e37_79b9));
+        self.env
+            .write_u64(self.arena, off, key.wrapping_mul(0x9e37_79b9));
         // Touch the rest of the payload.
         self.env.touch(self.arena, off + 8, VALUE_BYTES - 8, true);
     }
@@ -177,7 +191,11 @@ impl<'a> RegionTree<'a> {
                 }
                 return None;
             }
-            let idx = if pos < self.count(node) && self.key(node, pos) == k { pos + 1 } else { pos };
+            let idx = if pos < self.count(node) && self.key(node, pos) == k {
+                pos + 1
+            } else {
+                pos
+            };
             node = self.child(node, idx);
         }
     }
@@ -214,7 +232,11 @@ impl<'a> RegionTree<'a> {
             }
             let pos = self.lower_bound(node, k);
             // Router semantics: equal keys live in the right subtree.
-            let mut idx = if pos < self.count(node) && self.key(node, pos) == k { pos + 1 } else { pos };
+            let mut idx = if pos < self.count(node) && self.key(node, pos) == k {
+                pos + 1
+            } else {
+                pos
+            };
             let child = self.child(node, idx);
             if self.count(child) == ORDER {
                 self.split_child(node, idx)?;
@@ -301,42 +323,47 @@ impl Workload for BTree {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let n = self.elements(setting);
         let finds = self.finds(setting);
         let arena = env.alloc(self.arena_bytes(setting), Placement::Protected)?;
 
-        let (checksum, hits) = env.secure_call(move |env| -> Result<(u64, u64), WorkloadError> {
-            let mut tree = RegionTree::create(env, arena)?;
-            // Build: keys are a deterministic permutation-ish stream.
-            let mut rng = SplitMix64::new(0xb7ee_5eed);
-            for _ in 0..n {
-                let k = rng.next_u64() % (n * 4);
-                tree.insert(k | 1)?; // odd keys only
-            }
-            tree.env.compute(n * 20); // comparison ALU work
-
-            // Probe: half the probes for existing-ish keys, half misses.
-            let mut rng = SplitMix64::new(0xf1d5_eed0);
-            let mut checksum = 0u64;
-            let mut hits = 0u64;
-            for i in 0..finds {
-                let k = if i % 2 == 0 {
-                    (rng.next_u64() % (n * 4)) | 1
-                } else {
-                    (rng.next_u64() % (n * 4)) & !1 // even: guaranteed miss
-                };
-                match tree.find(k) {
-                    Some(v) => {
-                        hits += 1;
-                        checksum = fold(checksum, v);
-                    }
-                    None => checksum = fold(checksum, 0),
+        let (checksum, hits) =
+            env.secure_call(move |env| -> Result<(u64, u64), WorkloadError> {
+                let mut tree = RegionTree::create(env, arena)?;
+                // Build: keys are a deterministic permutation-ish stream.
+                let mut rng = SplitMix64::new(0xb7ee_5eed);
+                for _ in 0..n {
+                    let k = rng.next_u64() % (n * 4);
+                    tree.insert(k | 1)?; // odd keys only
                 }
-            }
-            tree.env.compute(finds * 20);
-            Ok((checksum, hits))
-        })??;
+                tree.env.compute(n * 20); // comparison ALU work
+
+                // Probe: half the probes for existing-ish keys, half misses.
+                let mut rng = SplitMix64::new(0xf1d5_eed0);
+                let mut checksum = 0u64;
+                let mut hits = 0u64;
+                for i in 0..finds {
+                    let k = if i % 2 == 0 {
+                        (rng.next_u64() % (n * 4)) | 1
+                    } else {
+                        (rng.next_u64() % (n * 4)) & !1 // even: guaranteed miss
+                    };
+                    match tree.find(k) {
+                        Some(v) => {
+                            hits += 1;
+                            checksum = fold(checksum, v);
+                        }
+                        None => checksum = fold(checksum, 0),
+                    }
+                }
+                tree.env.compute(finds * 20);
+                Ok((checksum, hits))
+            })??;
 
         if hits == 0 {
             return Err(WorkloadError::Validation("no find ever hit".into()));
@@ -418,8 +445,12 @@ mod tests {
     fn high_setting_faults_more() {
         let wl = BTree::scaled(2048);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let low = runner.run_once(&wl, ExecMode::Native, InputSetting::Low).unwrap();
-        let high = runner.run_once(&wl, ExecMode::Native, InputSetting::High).unwrap();
+        let low = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .unwrap();
+        let high = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::High)
+            .unwrap();
         assert!(high.sgx.epc_faults >= low.sgx.epc_faults);
     }
 }

@@ -9,7 +9,9 @@
 
 use crate::util::{fold, scale_down, SplitMix64};
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Bytes per row: 8-byte key + 8-byte payload.
 const ROW_BYTES: u64 = 16;
@@ -34,7 +36,9 @@ impl HashJoin {
 
     /// Instance with table sizes divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        HashJoin { divisor: divisor.max(1) }
+        HashJoin {
+            divisor: divisor.max(1),
+        }
     }
 
     /// Build-table bytes for `setting` (Table 2).
@@ -92,76 +96,84 @@ impl Workload for HashJoin {
     fn spec(&self, setting: InputSetting) -> WorkloadSpec {
         let rows = self.build_rows(setting);
         let bytes = rows * ROW_BYTES + self.slots(setting) * SLOT_BYTES;
-        WorkloadSpec::new(bytes, format!("Data Table Size {} MB", self.table_bytes(setting) >> 20))
+        WorkloadSpec::new(
+            bytes,
+            format!("Data Table Size {} MB", self.table_bytes(setting) >> 20),
+        )
     }
 
     fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let rows = self.build_rows(setting);
         let slots = self.slots(setting);
         let table = env.alloc(rows * ROW_BYTES, Placement::Protected)?;
         let ht = env.alloc(slots * SLOT_BYTES, Placement::Protected)?;
 
-        let (matches, checksum) = env.secure_call(move |env| -> Result<(u64, u64), WorkloadError> {
-            // Materialize table R (sequential writes).
-            let mut rng = SplitMix64::new(0x7_ab1e_5eed % 0xffff_ffff);
-            for i in 0..rows {
-                let key = rng.next_u64() | 1; // non-zero keys
-                env.write_u64(table, i * ROW_BYTES, key);
-                env.write_u64(table, i * ROW_BYTES + 8, i);
-            }
-
-            // Build phase: open addressing, linear probing.
-            for i in 0..rows {
-                let key = env.read_u64(table, i * ROW_BYTES);
-                let payload = env.read_u64(table, i * ROW_BYTES + 8);
-                let mut s = hash_key(key) % slots;
-                loop {
-                    let existing = env.read_u64(ht, s * SLOT_BYTES);
-                    if existing == 0 {
-                        env.write_u64(ht, s * SLOT_BYTES, key);
-                        env.write_u64(ht, s * SLOT_BYTES + 8, payload);
-                        break;
-                    }
-                    s = (s + 1) % slots;
+        let (matches, checksum) =
+            env.secure_call(move |env| -> Result<(u64, u64), WorkloadError> {
+                // Materialize table R (sequential writes).
+                let mut rng = SplitMix64::new(0x7_ab1e_5eed % 0xffff_ffff);
+                for i in 0..rows {
+                    let key = rng.next_u64() | 1; // non-zero keys
+                    env.write_u64(table, i * ROW_BYTES, key);
+                    env.write_u64(table, i * ROW_BYTES + 8, i);
                 }
-                env.compute(12);
-            }
 
-            // Probe phase: table S rows, half of which hit.
-            let mut probe_rng = SplitMix64::new(0x7_ab1e_5eed % 0xffff_ffff);
-            let mut miss_rng = SplitMix64::new(0xdeed);
-            let probes = rows * PROBE_FACTOR;
-            let mut matches = 0u64;
-            let mut checksum = 0u64;
-            for i in 0..probes {
-                let key = if i % 2 == 0 {
-                    probe_rng.next_u64() | 1 // replays a build key
-                } else {
-                    miss_rng.next_u64() & !1 // even keys never inserted
-                };
-                let mut s = hash_key(key) % slots;
-                loop {
-                    let existing = env.read_u64(ht, s * SLOT_BYTES);
-                    if existing == 0 {
-                        checksum = fold(checksum, 0);
-                        break;
+                // Build phase: open addressing, linear probing.
+                for i in 0..rows {
+                    let key = env.read_u64(table, i * ROW_BYTES);
+                    let payload = env.read_u64(table, i * ROW_BYTES + 8);
+                    let mut s = hash_key(key) % slots;
+                    loop {
+                        let existing = env.read_u64(ht, s * SLOT_BYTES);
+                        if existing == 0 {
+                            env.write_u64(ht, s * SLOT_BYTES, key);
+                            env.write_u64(ht, s * SLOT_BYTES + 8, payload);
+                            break;
+                        }
+                        s = (s + 1) % slots;
                     }
-                    if existing == key {
-                        let payload = env.read_u64(ht, s * SLOT_BYTES + 8);
-                        matches += 1;
-                        checksum = fold(checksum, payload);
-                        break;
-                    }
-                    s = (s + 1) % slots;
+                    env.compute(12);
                 }
-                env.compute(12);
-            }
-            Ok((matches, checksum))
-        })??;
+
+                // Probe phase: table S rows, half of which hit.
+                let mut probe_rng = SplitMix64::new(0x7_ab1e_5eed % 0xffff_ffff);
+                let mut miss_rng = SplitMix64::new(0xdeed);
+                let probes = rows * PROBE_FACTOR;
+                let mut matches = 0u64;
+                let mut checksum = 0u64;
+                for i in 0..probes {
+                    let key = if i % 2 == 0 {
+                        probe_rng.next_u64() | 1 // replays a build key
+                    } else {
+                        miss_rng.next_u64() & !1 // even keys never inserted
+                    };
+                    let mut s = hash_key(key) % slots;
+                    loop {
+                        let existing = env.read_u64(ht, s * SLOT_BYTES);
+                        if existing == 0 {
+                            checksum = fold(checksum, 0);
+                            break;
+                        }
+                        if existing == key {
+                            let payload = env.read_u64(ht, s * SLOT_BYTES + 8);
+                            matches += 1;
+                            checksum = fold(checksum, payload);
+                            break;
+                        }
+                        s = (s + 1) % slots;
+                    }
+                    env.compute(12);
+                }
+                Ok((matches, checksum))
+            })??;
 
         if matches < self.build_rows(setting) / 2 {
             return Err(WorkloadError::Validation(format!(
@@ -186,7 +198,9 @@ mod tests {
     fn join_matches_expected_count() {
         let wl = HashJoin::scaled(1024);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let r = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let r = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         let rows = wl.build_rows(InputSetting::Low);
         // Every even-indexed probe replays a build key: exactly `rows`
         // hits (collisions between the two rngs are vanishingly rare).
@@ -200,7 +214,13 @@ mod tests {
         let runner = Runner::new(RunnerConfig::quick_test());
         let mut sums = Vec::new();
         for mode in ExecMode::ALL {
-            sums.push(runner.run_once(&wl, mode, InputSetting::Low).unwrap().output.checksum);
+            sums.push(
+                runner
+                    .run_once(&wl, mode, InputSetting::Low)
+                    .unwrap()
+                    .output
+                    .checksum,
+            );
         }
         assert!(sums.windows(2).all(|w| w[0] == w[1]));
     }
@@ -219,8 +239,12 @@ mod tests {
     fn random_probes_blow_up_dtlb_in_native() {
         let wl = HashJoin::scaled(24);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::High).unwrap();
-        let n = runner.run_once(&wl, ExecMode::Native, InputSetting::High).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::High)
+            .unwrap();
+        let n = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::High)
+            .unwrap();
         assert!(n.counters.dtlb_misses > v.counters.dtlb_misses);
         assert!(n.sgx.epc_evictions > 0);
     }

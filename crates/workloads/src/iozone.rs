@@ -9,7 +9,9 @@
 
 use crate::util::{fold, scale_down};
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Record (block) size: 4 MB, as in the paper.
 const RECORD_BYTES: u64 = 4 << 20;
@@ -28,7 +30,9 @@ impl Iozone {
 
     /// Instance with the total size divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        Iozone { divisor: divisor.max(1) }
+        Iozone {
+            divisor: divisor.max(1),
+        }
     }
 
     /// Total bytes transferred in each direction.
@@ -63,7 +67,11 @@ impl Workload for Iozone {
     fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
         WorkloadSpec::new(
             self.record_bytes() + (1 << 20),
-            format!("Size {} MB Record {} MB", self.total_bytes() >> 20, self.record_bytes() >> 20),
+            format!(
+                "Size {} MB Record {} MB",
+                self.total_bytes() >> 20,
+                self.record_bytes() >> 20
+            ),
         )
     }
 
@@ -71,7 +79,11 @@ impl Workload for Iozone {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, _setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        _setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let total = self.total_bytes();
         let record = self.record_bytes();
         let records = total / record;
@@ -95,7 +107,9 @@ impl Workload for Iozone {
         for r in 0..records {
             let n = env.read_file_into(&format!("iozone.{r}"), buf, 0)?;
             if n != record {
-                return Err(WorkloadError::Validation(format!("record {r}: {n} != {record}")));
+                return Err(WorkloadError::Validation(format!(
+                    "record {r}: {n} != {record}"
+                )));
             }
             checksum = fold(checksum, env.read_u64(buf, 0));
             checksum = fold(checksum, env.read_u64(buf, record - 8));
@@ -122,8 +136,12 @@ mod tests {
     fn roundtrip_checksum_stable_across_modes() {
         let wl = Iozone::scaled(256);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let l = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let l = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
         assert_eq!(v.output.checksum, l.output.checksum);
     }
 
@@ -132,12 +150,18 @@ mod tests {
         // Fig 10 ordering: Vanilla < LibOS < LibOS+PF.
         let wl = Iozone::scaled(256);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let l = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let l = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
 
         let mut pf_cfg = RunnerConfig::quick_test();
         pf_cfg.env = EnvConfig::quick_test(ExecMode::LibOs).with_protected_files();
-        let pf = Runner::new(pf_cfg).run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let pf = Runner::new(pf_cfg)
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
 
         assert!(l.runtime_cycles > v.runtime_cycles);
         assert!(pf.runtime_cycles > l.runtime_cycles);
@@ -149,7 +173,9 @@ mod tests {
     fn read_and_write_metrics_present() {
         let wl = Iozone::scaled(512);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let r = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let r = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         assert!(r.output.metric("write_cycles").unwrap() > 0.0);
         assert!(r.output.metric("read_cycles").unwrap() > 0.0);
     }

@@ -110,14 +110,27 @@ mod tests {
         let names: Vec<_> = s.iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            ["Blockchain", "OpenSSL", "BTree", "HashJoin", "BFS", "PageRank",
-             "Memcached", "XSBench", "Lighttpd", "SVM"]
+            [
+                "Blockchain",
+                "OpenSSL",
+                "BTree",
+                "HashJoin",
+                "BFS",
+                "PageRank",
+                "Memcached",
+                "XSBench",
+                "Lighttpd",
+                "SVM"
+            ]
         );
     }
 
     #[test]
     fn six_support_native_four_do_not() {
-        let native: Vec<_> = suite().into_iter().filter(|w| w.supports(ExecMode::Native)).collect();
+        let native: Vec<_> = suite()
+            .into_iter()
+            .filter(|w| w.supports(ExecMode::Native))
+            .collect();
         assert_eq!(native.len(), 6);
         for w in suite() {
             assert!(w.supports(ExecMode::Vanilla));

@@ -10,7 +10,9 @@
 
 use crate::util::{fold, scale_down};
 use sgxgauge_core::env::{Placement, SimThread};
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Served page size (paper: "a web-page of size 20 KB").
 const PAGE_BYTES: u64 = 20 << 10;
@@ -34,12 +36,18 @@ pub struct Lighttpd {
 impl Lighttpd {
     /// Paper-scale instance (50 K/60 K/70 K requests, 16 client threads).
     pub fn new() -> Self {
-        Lighttpd { divisor: 1, threads: 16 }
+        Lighttpd {
+            divisor: 1,
+            threads: 16,
+        }
     }
 
     /// Instance with request counts divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        Lighttpd { divisor: divisor.max(1), threads: 16 }
+        Lighttpd {
+            divisor: divisor.max(1),
+            threads: 16,
+        }
     }
 
     /// Overrides the number of concurrent `ab` client threads (Fig 3
@@ -88,7 +96,11 @@ impl Workload for Lighttpd {
     fn spec(&self, setting: InputSetting) -> WorkloadSpec {
         WorkloadSpec::new(
             8 << 20,
-            format!("Requests: {} Threads: {}", self.requests(setting), self.threads),
+            format!(
+                "Requests: {} Threads: {}",
+                self.requests(setting),
+                self.threads
+            ),
         )
     }
 
@@ -99,7 +111,11 @@ impl Workload for Lighttpd {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let requests = self.requests(setting);
         let server = env.main_thread();
 
@@ -109,10 +125,13 @@ impl Workload for Lighttpd {
         let page_len = env.read_file_into("htdocs/index.html", cache, 0)?;
 
         // ab clients.
-        let clients: Vec<SimThread> = (0..self.threads).map(|_| env.spawn_driver_thread()).collect();
+        let clients: Vec<SimThread> = (0..self.threads)
+            .map(|_| env.spawn_driver_thread())
+            .collect();
 
         let per_client = requests / clients.len() as u64;
-        let mut latencies: Vec<u64> = Vec::with_capacity((per_client * clients.len() as u64) as usize);
+        let mut latencies: Vec<u64> =
+            Vec::with_capacity((per_client * clients.len() as u64) as usize);
         let mut checksum = 0u64;
 
         // Closed loop: each client issues its next request as soon as the
@@ -128,23 +147,24 @@ impl Workload for Lighttpd {
                 })?;
                 // Server accepts when free and the request has arrived.
                 env.sync_to(server, issue + NET_DELAY);
-                let done = env.with_thread(server, |env| {
-                    env.io_transfer(REQ_BYTES, false)?; // read request
-                    env.compute(PARSE_CYCLES);
-                    // Serve the page from the in-memory cache.
-                    let mut acc = 0u64;
-                    let mut off = 0u64;
-                    while off < page_len {
-                        acc = acc.wrapping_add(env.read_u64(cache, off));
-                        off += 64;
-                    }
-                    env.io_transfer(page_len, true)?; // sendfile
-                    Ok::<(u64, u64), WorkloadError>((env.now(), acc))
-                })
-                .map(|(t, acc)| {
-                    checksum = fold(checksum, acc);
-                    t
-                })?;
+                let done = env
+                    .with_thread(server, |env| {
+                        env.io_transfer(REQ_BYTES, false)?; // read request
+                        env.compute(PARSE_CYCLES);
+                        // Serve the page from the in-memory cache.
+                        let mut acc = 0u64;
+                        let mut off = 0u64;
+                        while off < page_len {
+                            acc = acc.wrapping_add(env.read_u64(cache, off));
+                            off += 64;
+                        }
+                        env.io_transfer(page_len, true)?; // sendfile
+                        Ok::<(u64, u64), WorkloadError>((env.now(), acc))
+                    })
+                    .map(|(t, acc)| {
+                        checksum = fold(checksum, acc);
+                        t
+                    })?;
                 let ready = done + NET_DELAY;
                 env.sync_to(client, ready);
                 latencies.push(ready - issue);
@@ -156,7 +176,8 @@ impl Workload for Lighttpd {
         let mut sorted = latencies.clone();
         sorted.sort_unstable();
         let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)] as f64;
-        let throughput = n as f64 / (env.elapsed_cycles() as f64 / 3.8e9);
+        let clock_hz = env.machine().config().mem.clock_hz.max(1) as f64;
+        let throughput = n as f64 / (env.elapsed_cycles() as f64 / clock_hz);
 
         Ok(WorkloadOutput {
             ops: n,
@@ -179,7 +200,9 @@ mod tests {
     fn serves_all_requests() {
         let wl = Lighttpd::scaled(512);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let r = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let r = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         let expect = (wl.requests(InputSetting::Low) / 16) * 16;
         assert_eq!(r.output.ops, expect);
         assert!(r.output.metric("mean_latency_cycles").unwrap() > 0.0);
@@ -200,15 +223,22 @@ mod tests {
         };
         let one = lat(1);
         let sixteen = lat(16);
-        assert!(sixteen > 2.0 * one, "16-thread latency {sixteen} vs 1-thread {one}");
+        assert!(
+            sixteen > 2.0 * one,
+            "16-thread latency {sixteen} vs 1-thread {one}"
+        );
     }
 
     #[test]
     fn libos_slower_than_vanilla_per_request() {
         let wl = Lighttpd::scaled(512);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let l = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let l = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
         assert!(
             l.output.metric("mean_latency_cycles").unwrap()
                 > v.output.metric("mean_latency_cycles").unwrap()

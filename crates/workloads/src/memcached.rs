@@ -10,7 +10,9 @@
 
 use crate::util::{fold, scale_down};
 use sgxgauge_core::env::{Placement, Region, SimThread};
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 use ycsb_gen::{Distribution, OpKind, WorkloadMix};
 
 /// Value bytes per record (sized so the Table 2 record counts straddle
@@ -35,12 +37,18 @@ impl Memcached {
     /// Paper-scale instance (50 K/100 K/200 K records, 800 K ops,
     /// YCSB workload A).
     pub fn new() -> Self {
-        Memcached { divisor: 1, mix: WorkloadMix::A }
+        Memcached {
+            divisor: 1,
+            mix: WorkloadMix::A,
+        }
     }
 
     /// Instance with sizes divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        Memcached { divisor: divisor.max(1), mix: WorkloadMix::A }
+        Memcached {
+            divisor: divisor.max(1),
+            mix: WorkloadMix::A,
+        }
     }
 
     /// Selects a different YCSB core mix (B–F).
@@ -182,7 +190,11 @@ impl Workload for Memcached {
         let bytes = self.records(setting) * VALUE_BYTES + self.slots(setting) * 16;
         WorkloadSpec::new(
             bytes,
-            format!("Records: {} Operations: {}", self.records(setting), self.operations()),
+            format!(
+                "Records: {} Operations: {}",
+                self.records(setting),
+                self.operations()
+            ),
         )
     }
 
@@ -190,13 +202,22 @@ impl Workload for Memcached {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let records = self.records(setting);
         let ops = self.operations();
         let slots = self.slots(setting);
         let index = env.alloc(slots * 16, Placement::Protected)?;
         let arena = env.alloc(records * VALUE_BYTES, Placement::Protected)?;
-        let store = Store { index, arena, slots, records };
+        let store = Store {
+            index,
+            arena,
+            slots,
+            records,
+        };
 
         let server = env.main_thread();
         let client = env.spawn_driver_thread();
@@ -253,7 +274,10 @@ impl Workload for Memcached {
             checksum,
             metrics: vec![
                 ("read_hits".into(), hits as f64),
-                ("mean_latency_cycles".into(), latency_sum as f64 / ops as f64),
+                (
+                    "mean_latency_cycles".into(),
+                    latency_sum as f64 / ops as f64,
+                ),
             ],
         })
     }
@@ -269,7 +293,12 @@ mod tests {
         let mut env = Env::new(sgxgauge_core::EnvConfig::quick_test(ExecMode::Vanilla)).unwrap();
         let index = env.alloc(1024 * 16, Placement::Untrusted).unwrap();
         let arena = env.alloc(512 * VALUE_BYTES, Placement::Untrusted).unwrap();
-        let store = Store { index, arena, slots: 1024, records: 512 };
+        let store = Store {
+            index,
+            arena,
+            slots: 1024,
+            records: 512,
+        };
         store.upsert(&mut env, 42, 7);
         store.upsert(&mut env, 43, 8);
         assert_eq!(store.get(&mut env, 42), Some(7));
@@ -283,12 +312,20 @@ mod tests {
     fn runs_in_vanilla_and_libos() {
         let wl = Memcached::scaled(512);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let l = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let l = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
         assert!(v.output.metric("read_hits").unwrap() > 0.0);
         assert_eq!(v.output.checksum, l.output.checksum);
         // LibOS: every request is shim syscalls => OCALLs.
-        assert!(l.sgx.ocalls > 2 * (v.output.ops / 2), "ocalls {}", l.sgx.ocalls);
+        assert!(
+            l.sgx.ocalls > 2 * (v.output.ops / 2),
+            "ocalls {}",
+            l.sgx.ocalls
+        );
     }
 
     #[test]
@@ -296,15 +333,21 @@ mod tests {
         let wl = Memcached::new();
         assert!(!wl.supports(ExecMode::Native));
         let runner = Runner::new(RunnerConfig::quick_test());
-        assert!(runner.run_once(&wl, ExecMode::Native, InputSetting::Low).is_err());
+        assert!(runner
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .is_err());
     }
 
     #[test]
     fn latency_higher_under_libos() {
         let wl = Memcached::scaled(512);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let l = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let l = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
         assert!(
             l.output.metric("mean_latency_cycles").unwrap()
                 > v.output.metric("mean_latency_cycles").unwrap()
@@ -314,12 +357,22 @@ mod tests {
     #[test]
     fn all_ycsb_mixes_run() {
         let runner = Runner::new(RunnerConfig::quick_test());
-        for mix in [WorkloadMix::A, WorkloadMix::B, WorkloadMix::C, WorkloadMix::D, WorkloadMix::E, WorkloadMix::F] {
+        for mix in [
+            WorkloadMix::A,
+            WorkloadMix::B,
+            WorkloadMix::C,
+            WorkloadMix::D,
+            WorkloadMix::E,
+            WorkloadMix::F,
+        ] {
             let wl = Memcached::scaled(1024).with_mix(mix);
             let r = runner
                 .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
                 .unwrap_or_else(|e| panic!("{mix:?}: {e}"));
-            assert!(r.output.metric("read_hits").unwrap() > 0.0, "{mix:?} had no hits");
+            assert!(
+                r.output.metric("read_hits").unwrap() > 0.0,
+                "{mix:?} had no hits"
+            );
         }
     }
 
@@ -327,8 +380,12 @@ mod tests {
     fn read_only_mix_never_writes_after_load() {
         let runner = Runner::new(RunnerConfig::quick_test());
         let wl = Memcached::scaled(1024).with_mix(WorkloadMix::C);
-        let a = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let b = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let a = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let b = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         // Workload C is 100% reads: re-running yields the same checksum
         // (and the same hit count) since nothing mutates.
         assert_eq!(a.output.checksum, b.output.checksum);

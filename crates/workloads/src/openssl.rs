@@ -10,7 +10,9 @@
 use crate::util::{fold, scale_down};
 use sgx_crypto::{hmac_sha256, ChaCha20};
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Software ChaCha20 throughput on the modeled core, cycles per byte.
 const CRYPTO_CYCLES_PER_BYTE: u64 = 4;
@@ -35,7 +37,9 @@ impl OpenSsl {
 
     /// Instance with file sizes divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        OpenSsl { divisor: divisor.max(1) }
+        OpenSsl {
+            divisor: divisor.max(1),
+        }
     }
 
     /// Input file size for `setting` (Table 2).
@@ -86,7 +90,11 @@ impl Workload for OpenSsl {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let bytes = self.file_bytes(setting);
         let buf = env.alloc(bytes, Placement::Protected)?;
 
@@ -146,7 +154,11 @@ impl Workload for OpenSsl {
             Ok(checksum)
         })??;
 
-        Ok(WorkloadOutput { ops: bytes / CHUNK as u64, checksum, metrics: vec![] })
+        Ok(WorkloadOutput {
+            ops: bytes / CHUNK as u64,
+            checksum,
+            metrics: vec![],
+        })
     }
 }
 
@@ -168,7 +180,10 @@ mod tests {
             sums.push(r.output.checksum);
             assert!(r.output.ops > 0);
         }
-        assert!(sums.windows(2).all(|w| w[0] == w[1]), "decryption result differs across modes");
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "decryption result differs across modes"
+        );
     }
 
     #[test]
@@ -186,7 +201,9 @@ mod tests {
         for h in hist {
             expect = fold(expect, h);
         }
-        let r = runner().run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let r = runner()
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         assert_eq!(r.output.checksum, expect);
     }
 
@@ -216,8 +233,12 @@ mod tests {
     #[test]
     fn sgx_mode_pays_for_data_movement() {
         let wl = OpenSsl::scaled(512);
-        let v = runner().run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let n = runner().run_once(&wl, ExecMode::Native, InputSetting::Low).unwrap();
+        let v = runner()
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let n = runner()
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .unwrap();
         assert!(n.runtime_cycles > v.runtime_cycles);
         assert!(n.sgx.epc_faults > 0);
     }

@@ -8,7 +8,9 @@
 
 use crate::util::{fold, scale_down, SplitMix64};
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Damping factor.
 const DAMPING: f64 = 0.85;
@@ -30,7 +32,9 @@ impl PageRank {
 
     /// Instance with edge counts divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        PageRank { divisor: divisor.max(1) }
+        PageRank {
+            divisor: divisor.max(1),
+        }
     }
 
     /// `(nodes, edges)` for `setting` (Table 2).
@@ -40,7 +44,10 @@ impl PageRank {
             InputSetting::Medium => (4_750, 11_200_000),
             InputSetting::High => (5_000, 12_500_000),
         };
-        (scale_down(n, self.divisor, 32), scale_down(e, self.divisor, 512))
+        (
+            scale_down(n, self.divisor, 32),
+            scale_down(e, self.divisor, 512),
+        )
     }
 }
 
@@ -73,7 +80,11 @@ impl Workload for PageRank {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let (n, e) = self.graph_size(setting);
 
         // CSR-ish layout in protected memory: per-node edge offsets and
@@ -159,8 +170,12 @@ mod tests {
     fn rank_mass_conserved_and_deterministic() {
         let wl = PageRank::scaled(2048);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let a = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let b = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let a = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let b = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         assert_eq!(a.output.checksum, b.output.checksum);
     }
 
@@ -170,7 +185,13 @@ mod tests {
         let runner = Runner::new(RunnerConfig::quick_test());
         let mut sums = Vec::new();
         for mode in ExecMode::ALL {
-            sums.push(runner.run_once(&wl, mode, InputSetting::Low).unwrap().output.checksum);
+            sums.push(
+                runner
+                    .run_once(&wl, mode, InputSetting::Low)
+                    .unwrap()
+                    .output
+                    .checksum,
+            );
         }
         assert!(sums.windows(2).all(|w| w[0] == w[1]));
     }
@@ -192,8 +213,12 @@ mod tests {
         // below a pointer-chasing workload's.
         let wl = PageRank::scaled(512);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let n = runner.run_once(&wl, ExecMode::Native, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let n = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .unwrap();
         let ratio = n.counters.dtlb_misses as f64 / v.counters.dtlb_misses.max(1) as f64;
         assert!(ratio < 500.0, "dTLB ratio {ratio}");
     }

@@ -10,7 +10,9 @@
 
 use crate::util::{fold, scale_down, SplitMix64};
 use sgxgauge_core::env::Placement;
-use sgxgauge_core::{Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
 
 /// Nuclides per material.
 const NUCLIDES: u64 = 16;
@@ -38,7 +40,9 @@ impl XsBench {
 
     /// Instance with grid sizes divided by `divisor`.
     pub fn scaled(divisor: u64) -> Self {
-        XsBench { divisor: divisor.max(1) }
+        XsBench {
+            divisor: divisor.max(1),
+        }
     }
 
     /// Grid points for `setting` (Table 2).
@@ -81,7 +85,11 @@ impl Workload for XsBench {
     fn spec(&self, setting: InputSetting) -> WorkloadSpec {
         WorkloadSpec::new(
             self.gridpoints(setting) * POINT_STRIDE,
-            format!("Points: {} Lookups: {}", self.gridpoints(setting), self.lookups()),
+            format!(
+                "Points: {} Lookups: {}",
+                self.gridpoints(setting),
+                self.lookups()
+            ),
         )
     }
 
@@ -89,7 +97,11 @@ impl Workload for XsBench {
         Ok(())
     }
 
-    fn execute(&self, env: &mut Env, setting: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         let points = self.gridpoints(setting);
         let lookups = self.lookups();
         let grid = env.alloc(points * POINT_STRIDE, Placement::Protected)?;
@@ -164,8 +176,12 @@ mod tests {
     fn checksums_agree_across_modes() {
         let wl = XsBench::scaled(256);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let v = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
-        let l = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
+        let v = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
+        let l = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
         assert_eq!(v.output.checksum, l.output.checksum);
     }
 
@@ -184,8 +200,12 @@ mod tests {
     fn high_setting_thrashes_epc_under_libos() {
         let wl = XsBench::scaled(256);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let low = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).unwrap();
-        let high = runner.run_once(&wl, ExecMode::LibOs, InputSetting::High).unwrap();
+        let low = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+            .unwrap();
+        let high = runner
+            .run_once(&wl, ExecMode::LibOs, InputSetting::High)
+            .unwrap();
         assert!(high.sgx.epc_evictions > low.sgx.epc_evictions);
     }
 
@@ -193,7 +213,9 @@ mod tests {
     fn lookup_count_is_ops() {
         let wl = XsBench::scaled(256);
         let runner = Runner::new(RunnerConfig::quick_test());
-        let r = runner.run_once(&wl, ExecMode::Vanilla, InputSetting::Low).unwrap();
+        let r = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap();
         assert_eq!(r.output.ops, wl.lookups());
     }
 }

@@ -48,7 +48,10 @@ impl Uniform {
     /// Panics if `n` is zero.
     pub fn new(n: u64, seed: u64) -> Self {
         assert!(n > 0, "keyspace must be non-empty");
-        Uniform { n, rng: StdRng::seed_from_u64(seed) }
+        Uniform {
+            n,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -102,7 +105,14 @@ impl Zipfian {
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, rng: StdRng::seed_from_u64(seed) }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -111,7 +121,9 @@ impl Zipfian {
         if n <= 1_000_000 {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=1_000_000u64)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             let a = 1_000_000f64;
             let b = n as f64;
             head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
@@ -166,7 +178,9 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Creates a scrambled-zipfian generator over `0..n`.
     pub fn new(n: u64, seed: u64) -> Self {
-        ScrambledZipfian { inner: Zipfian::new(n, seed) }
+        ScrambledZipfian {
+            inner: Zipfian::new(n, seed),
+        }
     }
 }
 
@@ -192,7 +206,10 @@ pub struct Latest {
 impl Latest {
     /// Creates a latest-skewed generator; `max_key` is the newest record.
     pub fn new(n: u64, seed: u64) -> Self {
-        Latest { inner: Zipfian::new(n, seed), max_key: n - 1 }
+        Latest {
+            inner: Zipfian::new(n, seed),
+            max_key: n - 1,
+        }
     }
 
     /// Informs the generator that a new record was inserted.
@@ -236,8 +253,14 @@ impl Hotspot {
     /// Panics if `n` is zero or a fraction is out of range.
     pub fn with_fractions(n: u64, hot_fraction: f64, hot_opn_fraction: f64, seed: u64) -> Self {
         assert!(n > 0, "keyspace must be non-empty");
-        assert!(hot_fraction > 0.0 && hot_fraction <= 1.0, "hot fraction out of range");
-        assert!(hot_opn_fraction > 0.0 && hot_opn_fraction <= 1.0, "hot op fraction out of range");
+        assert!(
+            hot_fraction > 0.0 && hot_fraction <= 1.0,
+            "hot fraction out of range"
+        );
+        assert!(
+            hot_opn_fraction > 0.0 && hot_opn_fraction <= 1.0,
+            "hot op fraction out of range"
+        );
         Hotspot {
             n,
             hot_keys: ((n as f64 * hot_fraction) as u64).max(1),
@@ -279,7 +302,11 @@ impl Exponential {
         let percentile = 95.0;
         let gamma = -(1.0f64 - percentile / 100.0).ln() / (n as f64 * frac);
         assert!(n > 0, "keyspace must be non-empty");
-        Exponential { n, gamma, rng: StdRng::seed_from_u64(seed) }
+        Exponential {
+            n,
+            gamma,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -327,7 +354,10 @@ mod tests {
         }
         // With theta=0.99, the top 1% of ranks draw well over a third of
         // the mass.
-        assert!(head as f64 / total as f64 > 0.35, "head share {head}/{total}");
+        assert!(
+            head as f64 / total as f64 > 0.35,
+            "head share {head}/{total}"
+        );
     }
 
     #[test]

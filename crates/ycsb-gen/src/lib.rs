@@ -21,5 +21,7 @@
 pub mod dist;
 pub mod workload;
 
-pub use dist::{Distribution, Exponential, Generator, Hotspot, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use dist::{
+    Distribution, Exponential, Generator, Hotspot, Latest, ScrambledZipfian, Uniform, Zipfian,
+};
 pub use workload::{OpKind, Operation, Workload, WorkloadMix};

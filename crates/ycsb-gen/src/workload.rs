@@ -1,6 +1,8 @@
 //! YCSB core workload mixes and the operation stream.
 
-use crate::dist::{Distribution, Exponential, Generator, Hotspot, Latest, ScrambledZipfian, Uniform, Zipfian};
+use crate::dist::{
+    Distribution, Exponential, Generator, Hotspot, Latest, ScrambledZipfian, Uniform, Zipfian,
+};
 
 /// Kind of a generated store operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +80,12 @@ impl Workload {
     /// Panics if `records` is zero.
     pub fn new(mix: WorkloadMix, dist: Distribution, records: u64, seed: u64) -> Self {
         assert!(records > 0, "need at least one record");
-        Workload { mix, dist, records, seed }
+        Workload {
+            mix,
+            dist,
+            records,
+            seed,
+        }
     }
 
     /// Number of records loaded in the load phase.
@@ -101,7 +108,9 @@ impl Workload {
         let gen: Box<dyn Generator> = match self.dist {
             Distribution::Uniform => Box::new(Uniform::new(self.records, self.seed)),
             Distribution::Zipfian => Box::new(Zipfian::new(self.records, self.seed)),
-            Distribution::ScrambledZipfian => Box::new(ScrambledZipfian::new(self.records, self.seed)),
+            Distribution::ScrambledZipfian => {
+                Box::new(ScrambledZipfian::new(self.records, self.seed))
+            }
             Distribution::Latest => Box::new(Latest::new(self.records, self.seed)),
             Distribution::Hotspot => Box::new(Hotspot::new(self.records, self.seed)),
             Distribution::Exponential => Box::new(Exponential::new(self.records, self.seed)),
@@ -155,14 +164,22 @@ impl Iterator for OperationStream {
             OpKind::Insert => {
                 let key = self.next_insert;
                 self.next_insert += 1;
-                Operation { kind, key, scan_len: 0 }
+                Operation {
+                    kind,
+                    key,
+                    scan_len: 0,
+                }
             }
             OpKind::Scan => Operation {
                 kind,
                 key: self.gen.next_key(),
                 scan_len: 1 + self.scan_len.next_key() as u32,
             },
-            _ => Operation { kind, key: self.gen.next_key(), scan_len: 0 },
+            _ => Operation {
+                kind,
+                key: self.gen.next_key(),
+                scan_len: 0,
+            },
         };
         Some(op)
     }
@@ -174,7 +191,14 @@ mod tests {
 
     #[test]
     fn mix_proportions_sum_to_100() {
-        for mix in [WorkloadMix::A, WorkloadMix::B, WorkloadMix::C, WorkloadMix::D, WorkloadMix::E, WorkloadMix::F] {
+        for mix in [
+            WorkloadMix::A,
+            WorkloadMix::B,
+            WorkloadMix::C,
+            WorkloadMix::D,
+            WorkloadMix::E,
+            WorkloadMix::F,
+        ] {
             let (r, u, i, s, m) = mix.proportions();
             assert_eq!(r + u + i + s + m, 100, "{mix:?}");
         }

@@ -12,7 +12,11 @@ use sgxgauge::sgx::{SgxConfig, SgxMachine};
 fn main() {
     // A small EPC keeps the sweep fast; ratios are what matter.
     let epc_pages: u64 = 4_096; // 16 MB
-    println!("EPC: {} pages ({} MB). Sweeping working sets from 25% to 250% of it.", epc_pages, (epc_pages * PAGE_SIZE) >> 20);
+    println!(
+        "EPC: {} pages ({} MB). Sweeping working sets from 25% to 250% of it.",
+        epc_pages,
+        (epc_pages * PAGE_SIZE) >> 20
+    );
     println!();
     println!(
         "{:>10} {:>9} {:>12} {:>12} {:>12} {:>12}",

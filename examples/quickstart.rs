@@ -27,7 +27,15 @@ fn main() {
 
     let mut table = ReportTable::new(
         &format!("BTree ({setting}) across execution modes"),
-        &["mode", "runtime_Mcycles", "dtlb_misses", "walk_Mcycles", "llc_misses", "epc_faults", "ecalls"],
+        &[
+            "mode",
+            "runtime_Mcycles",
+            "dtlb_misses",
+            "walk_Mcycles",
+            "llc_misses",
+            "epc_faults",
+            "ecalls",
+        ],
     );
     let mut vanilla_cycles = 0;
     for mode in ExecMode::ALL {

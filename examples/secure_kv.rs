@@ -15,14 +15,27 @@ fn main() {
         repetitions: 1,
     });
 
-    println!("Memcached + YCSB (zipfian, 50/50 read/update), {} records, {} ops", wl.records(InputSetting::Medium), wl.operations());
+    println!(
+        "Memcached + YCSB (zipfian, 50/50 read/update), {} records, {} ops",
+        wl.records(InputSetting::Medium),
+        wl.operations()
+    );
     println!();
     for mode in [ExecMode::Vanilla, ExecMode::LibOs] {
-        let r = runner.run_once(&wl, mode, InputSetting::Medium).expect("run");
-        let lat = r.output.metric("mean_latency_cycles").expect("latency metric");
+        let r = runner
+            .run_once(&wl, mode, InputSetting::Medium)
+            .expect("run");
+        let lat = r
+            .output
+            .metric("mean_latency_cycles")
+            .expect("latency metric");
         let hits = r.output.metric("read_hits").expect("hits metric");
         println!("{mode:>8}:");
-        println!("  mean request latency : {:>10.0} cycles ({:.1} us at 3.8 GHz)", lat, lat / 3800.0);
+        println!(
+            "  mean request latency : {:>10.0} cycles ({:.1} us at 3.8 GHz)",
+            lat,
+            lat / 3800.0
+        );
         println!("  read hits            : {hits}");
         println!("  OCALLs (shim)        : {}", r.sgx.ocalls);
         println!("  EPC faults           : {}", r.sgx.epc_faults);

@@ -12,7 +12,10 @@ use sgxgauge::sgx::{SgxConfig, SgxMachine};
 fn main() {
     println!("Launching a Graphene-style LibOS process (1 GB enclave) on both platforms:\n");
     for (name, edmm) in [("SGX1 (paper's platform)", false), ("SGX2 with EDMM", true)] {
-        let cfg = SgxConfig { sgx2_edmm: edmm, ..Default::default() };
+        let cfg = SgxConfig {
+            sgx2_edmm: edmm,
+            ..Default::default()
+        };
         let mut m = SgxMachine::new(cfg);
         let t = m.add_thread();
         let manifest = Manifest::builder("app").enclave_size(1 << 30).build();
@@ -31,7 +34,10 @@ fn main() {
         println!("{name}:");
         println!("  start-up EPC evictions : {:>9}", s.epc_evictions);
         println!("  start-up cycles        : {:>9} M", s.cycles / 1_000_000);
-        println!("  steady-state cycles    : {:>9} M", m.mem().cycles_of(t) / 1_000_000);
+        println!(
+            "  steady-state cycles    : {:>9} M",
+            m.mem().cycles_of(t) / 1_000_000
+        );
         println!();
     }
     println!("EDMM removes the whole-enclave measurement pass (Appendix D's ~1M");

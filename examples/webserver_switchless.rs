@@ -12,8 +12,16 @@ fn main() {
     let wl = Lighttpd::scaled(32);
 
     let configs = [
-        ("Vanilla (no SGX)", EnvConfig::paper(ExecMode::Vanilla, 0), ExecMode::Vanilla),
-        ("LibOS, classic OCALLs", EnvConfig::paper(ExecMode::LibOs, 0), ExecMode::LibOs),
+        (
+            "Vanilla (no SGX)",
+            EnvConfig::paper(ExecMode::Vanilla, 0),
+            ExecMode::Vanilla,
+        ),
+        (
+            "LibOS, classic OCALLs",
+            EnvConfig::paper(ExecMode::LibOs, 0),
+            ExecMode::LibOs,
+        ),
         (
             "LibOS, switchless (8 proxies)",
             EnvConfig::paper(ExecMode::LibOs, 0).with_switchless(8),
@@ -28,13 +36,20 @@ fn main() {
     println!();
     let mut base_latency = None;
     for (name, env, mode) in configs {
-        let runner = Runner::new(RunnerConfig { env, repetitions: 1 });
+        let runner = Runner::new(RunnerConfig {
+            env,
+            repetitions: 1,
+        });
         let r = runner.run_once(&wl, mode, InputSetting::Low).expect("run");
         let lat = r.output.metric("mean_latency_cycles").expect("latency");
         let p95 = r.output.metric("p95_latency_cycles").expect("p95");
         let base = *base_latency.get_or_insert(lat);
         println!("{name}:");
-        println!("  mean latency : {:>10.0} cycles ({:.2}x vanilla)", lat, lat / base);
+        println!(
+            "  mean latency : {:>10.0} cycles ({:.2}x vanilla)",
+            lat,
+            lat / base
+        );
         println!("  p95 latency  : {:>10.0} cycles", p95);
         println!("  dTLB misses  : {:>10}", r.counters.dtlb_misses);
         println!("  TLB flushes  : {:>10}", r.counters.tlb_flushes);

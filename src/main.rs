@@ -7,9 +7,11 @@
 //! sgxgauge suite [--setting low] [--scale 16] [--modes vanilla,libos]
 //! ```
 
-use sgxgauge::core::report::{cycle_breakdown, humanize, RatioRow, ReportTable};
+use sgxgauge::core::report::{cycle_breakdown, humanize, sweep_table, RatioRow, ReportTable};
+use sgxgauge::core::{
+    EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, SuiteRunner, Workload,
+};
 use sgxgauge::stats::BarChart;
-use sgxgauge::core::{EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, Workload};
 use sgxgauge::workloads::{suite, suite_scaled};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -21,7 +23,8 @@ fn usage() -> ExitCode {
   sgxgauge run     --workload <name> --mode <vanilla|native|libos> --setting <low|medium|high>
                    [--scale <divisor>] [--switchless <workers>] [--pf]
   sgxgauge compare --workload <name> --setting <low|medium|high> [--scale <divisor>]
-  sgxgauge suite   [--setting <low|medium|high>] [--scale <divisor>] [--modes <m1,m2,..>]"
+  sgxgauge suite   [--setting <low|medium|high>] [--scale <divisor>] [--modes <m1,m2,..>]
+                   [--reps <n>] [--jobs <n>]"
     );
     ExitCode::from(2)
 }
@@ -36,7 +39,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 flags.insert("pf".to_owned(), "true".to_owned());
                 i += 1;
             } else {
-                let v = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.insert(name.to_owned(), v.clone());
                 i += 2;
             }
@@ -86,20 +91,30 @@ fn find_workload(scale: u64, name: &str) -> Result<Box<dyn Workload>, String> {
 fn runner(flags: &HashMap<String, String>) -> Result<Runner, String> {
     let mut env = EnvConfig::paper(ExecMode::Vanilla, 0);
     if let Some(w) = flags.get("switchless") {
-        let workers: usize = w.parse().map_err(|_| "--switchless needs a number".to_owned())?;
+        let workers: usize = w
+            .parse()
+            .map_err(|_| "--switchless needs a number".to_owned())?;
         env = env.with_switchless(workers);
     }
     if flags.contains_key("pf") {
         env = env.with_protected_files();
     }
-    Ok(Runner::new(RunnerConfig { env, repetitions: 1 }))
+    Ok(Runner::new(RunnerConfig {
+        env,
+        repetitions: 1,
+    }))
 }
 
 fn print_report(r: &RunReport) {
     println!("workload : {}", r.workload);
     println!("mode     : {}", r.mode);
     println!("setting  : {}", r.setting);
-    println!("runtime  : {} cycles ({:.3} s at 3.8 GHz)", r.runtime_cycles, r.runtime_seconds());
+    println!(
+        "runtime  : {} cycles ({:.3} s at {:.1} GHz)",
+        r.runtime_cycles,
+        r.runtime_seconds(),
+        r.clock_ghz()
+    );
     println!("ops      : {}", r.output.ops);
     println!("checksum : {:#018x}", r.output.checksum);
     println!("-- hardware counters --");
@@ -112,8 +127,14 @@ fn print_report(r: &RunReport) {
     }
     if let Some(s) = r.libos_startup {
         println!("-- libos startup (excluded from runtime) --");
-        println!("  ecalls {} | ocalls {} | aex {} | evictions {} | loadbacks {}",
-            s.ecalls, s.ocalls, s.aex_exits, humanize(s.epc_evictions), s.epc_loadbacks);
+        println!(
+            "  ecalls {} | ocalls {} | aex {} | evictions {} | loadbacks {}",
+            s.ecalls,
+            s.ocalls,
+            s.aex_exits,
+            humanize(s.epc_evictions),
+            s.epc_loadbacks
+        );
     }
     for (name, v) in &r.output.metrics {
         println!("metric   : {name} = {v:.2}");
@@ -151,7 +172,10 @@ fn cmd_list() -> Result<(), String> {
 }
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
-    let scale: u64 = flags.get("scale").map_or(Ok(1), |s| s.parse()).map_err(|_| "bad --scale")?;
+    let scale: u64 = flags
+        .get("scale")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|_| "bad --scale")?;
     let name = flags.get("workload").ok_or("--workload is required")?;
     let mode = parse_mode(flags.get("mode").ok_or("--mode is required")?)?;
     let setting = parse_setting(flags.get("setting").ok_or("--setting is required")?)?;
@@ -164,16 +188,30 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
-    let scale: u64 = flags.get("scale").map_or(Ok(1), |s| s.parse()).map_err(|_| "bad --scale")?;
+    let scale: u64 = flags
+        .get("scale")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|_| "bad --scale")?;
     let name = flags.get("workload").ok_or("--workload is required")?;
     let setting = parse_setting(flags.get("setting").ok_or("--setting is required")?)?;
     let wl = find_workload(scale, name)?;
     let runner = runner(flags)?;
-    let vanilla = runner.run_once(wl.as_ref(), ExecMode::Vanilla, setting).map_err(|e| e.to_string())?;
+    let vanilla = runner
+        .run_once(wl.as_ref(), ExecMode::Vanilla, setting)
+        .map_err(|e| e.to_string())?;
     let mut chart = BarChart::new("runtime overhead vs Vanilla (x)", 40);
     let mut table = ReportTable::new(
         &format!("{} ({setting}) across modes, ratios vs Vanilla", wl.name()),
-        &["mode", "runtime", "overhead", "dtlb", "walk", "stall", "llc", "evictions"],
+        &[
+            "mode",
+            "runtime",
+            "overhead",
+            "dtlb",
+            "walk",
+            "stall",
+            "llc",
+            "evictions",
+        ],
     );
     for mode in ExecMode::ALL {
         if !wl.supports(mode) {
@@ -182,7 +220,9 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         let r = if mode == ExecMode::Vanilla {
             vanilla.clone()
         } else {
-            runner.run_once(wl.as_ref(), mode, setting).map_err(|e| e.to_string())?
+            runner
+                .run_once(wl.as_ref(), mode, setting)
+                .map_err(|e| e.to_string())?
         };
         let ratio = RatioRow::from_reports(&r, &vanilla);
         chart.push(&mode.to_string(), ratio.overhead);
@@ -203,8 +243,21 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
-    let scale: u64 = flags.get("scale").map_or(Ok(1), |s| s.parse()).map_err(|_| "bad --scale")?;
-    let setting = flags.get("setting").map_or(Ok(InputSetting::Low), |s| parse_setting(s))?;
+    let scale: u64 = flags
+        .get("scale")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|_| "bad --scale")?;
+    let setting = flags
+        .get("setting")
+        .map_or(Ok(InputSetting::Low), |s| parse_setting(s))?;
+    let reps: usize = flags
+        .get("reps")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|_| "bad --reps")?;
+    let jobs: usize = flags
+        .get("jobs")
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|_| "bad --jobs")?;
     let modes: Vec<ExecMode> = match flags.get("modes") {
         None => ExecMode::ALL.to_vec(),
         Some(spec) => spec
@@ -213,30 +266,49 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
             .collect::<Result<Vec<_>, _>>()?,
     };
     let runner = runner(flags)?;
+    let mut cfg = runner.config().clone();
+    cfg.repetitions = reps.max(1);
+    let suite_runner = SuiteRunner::new(cfg)
+        .modes(&modes)
+        .settings(&[setting])
+        .threads(jobs);
+    let workloads = workloads_for(scale);
+    let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    let sweep = suite_runner.run(&refs);
+    for (cell, err) in sweep.errors() {
+        eprintln!("{} in {}: {err}", cell.workload, cell.cell.mode);
+    }
     let mut table = ReportTable::new(
         &format!("Suite at {setting} (scale 1/{scale})"),
-        &["workload", "mode", "runtime", "dtlb_misses", "epc_evictions", "ecalls", "ocalls"],
+        &[
+            "workload",
+            "mode",
+            "runtime",
+            "dtlb_misses",
+            "epc_evictions",
+            "ecalls",
+            "ocalls",
+        ],
     );
-    for wl in workloads_for(scale) {
-        for &mode in &modes {
-            if !wl.supports(mode) {
-                continue;
-            }
-            match runner.run_once(wl.as_ref(), mode, setting) {
-                Ok(r) => table.push_row(vec![
-                    wl.name().to_owned(),
-                    mode.to_string(),
-                    humanize(r.runtime_cycles),
-                    humanize(r.counters.dtlb_misses),
-                    humanize(r.sgx.epc_evictions),
-                    humanize(r.sgx.ecalls),
-                    humanize(r.sgx.ocalls + r.sgx.switchless_ocalls),
-                ]),
-                Err(e) => eprintln!("{} in {mode}: {e}", wl.name()),
-            }
-        }
+    for cell in &sweep.cells {
+        let Ok(r) = &cell.result else { continue };
+        table.push_row(vec![
+            cell.workload.to_owned(),
+            cell.cell.mode.to_string(),
+            humanize(r.runtime_cycles),
+            humanize(r.counters.dtlb_misses),
+            humanize(r.sgx.epc_evictions),
+            humanize(r.sgx.ecalls),
+            humanize(r.sgx.ocalls + r.sgx.switchless_ocalls),
+        ]);
     }
     println!("{table}");
+    if reps > 1 {
+        println!(
+            "{}",
+            sweep_table("Suite aggregate (geomean over reps)", &sweep)
+        );
+    }
     Ok(())
 }
 

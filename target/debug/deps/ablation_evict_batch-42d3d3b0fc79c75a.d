@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_evict_batch-42d3d3b0fc79c75a.d: crates/bench/benches/ablation_evict_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_evict_batch-42d3d3b0fc79c75a.rmeta: crates/bench/benches/ablation_evict_batch.rs Cargo.toml
+
+crates/bench/benches/ablation_evict_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_evict_batch-68d788f7870ae70f.d: crates/bench/benches/ablation_evict_batch.rs
+
+/root/repo/target/debug/deps/ablation_evict_batch-68d788f7870ae70f: crates/bench/benches/ablation_evict_batch.rs
+
+crates/bench/benches/ablation_evict_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hugepages-31267bac34d16001.d: crates/bench/benches/ablation_hugepages.rs
+
+/root/repo/target/debug/deps/ablation_hugepages-31267bac34d16001: crates/bench/benches/ablation_hugepages.rs
+
+crates/bench/benches/ablation_hugepages.rs:

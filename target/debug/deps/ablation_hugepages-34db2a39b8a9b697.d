@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hugepages-34db2a39b8a9b697.d: crates/bench/benches/ablation_hugepages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hugepages-34db2a39b8a9b697.rmeta: crates/bench/benches/ablation_hugepages.rs Cargo.toml
+
+crates/bench/benches/ablation_hugepages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mee-3b3cd89ef22ec4b1.d: crates/bench/benches/ablation_mee.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mee-3b3cd89ef22ec4b1.rmeta: crates/bench/benches/ablation_mee.rs Cargo.toml
+
+crates/bench/benches/ablation_mee.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

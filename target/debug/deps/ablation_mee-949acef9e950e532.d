@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mee-949acef9e950e532.d: crates/bench/benches/ablation_mee.rs
+
+/root/repo/target/debug/deps/ablation_mee-949acef9e950e532: crates/bench/benches/ablation_mee.rs
+
+crates/bench/benches/ablation_mee.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_multi_enclave-52c2d79db0f89a81.d: crates/bench/benches/ablation_multi_enclave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_multi_enclave-52c2d79db0f89a81.rmeta: crates/bench/benches/ablation_multi_enclave.rs Cargo.toml
+
+crates/bench/benches/ablation_multi_enclave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_multi_enclave-ccfbbbbb7089a434.d: crates/bench/benches/ablation_multi_enclave.rs
+
+/root/repo/target/debug/deps/ablation_multi_enclave-ccfbbbbb7089a434: crates/bench/benches/ablation_multi_enclave.rs
+
+crates/bench/benches/ablation_multi_enclave.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sgx2_edmm-bb92ac8431fe7b0f.d: crates/bench/benches/ablation_sgx2_edmm.rs
+
+/root/repo/target/debug/deps/ablation_sgx2_edmm-bb92ac8431fe7b0f: crates/bench/benches/ablation_sgx2_edmm.rs
+
+crates/bench/benches/ablation_sgx2_edmm.rs:

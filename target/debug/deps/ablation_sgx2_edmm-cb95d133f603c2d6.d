@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sgx2_edmm-cb95d133f603c2d6.d: crates/bench/benches/ablation_sgx2_edmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sgx2_edmm-cb95d133f603c2d6.rmeta: crates/bench/benches/ablation_sgx2_edmm.rs Cargo.toml
+
+crates/bench/benches/ablation_sgx2_edmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/counters_consistency-340268f35d4e839c.d: tests/counters_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcounters_consistency-340268f35d4e839c.rmeta: tests/counters_consistency.rs Cargo.toml
+
+tests/counters_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

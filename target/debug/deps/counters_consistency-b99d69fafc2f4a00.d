@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counters_consistency-b99d69fafc2f4a00.d: tests/counters_consistency.rs
+
+/root/repo/target/debug/deps/counters_consistency-b99d69fafc2f4a00: tests/counters_consistency.rs
+
+tests/counters_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f335ee1f63e4535e.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f335ee1f63e4535e: tests/extensions.rs
+
+tests/extensions.rs:

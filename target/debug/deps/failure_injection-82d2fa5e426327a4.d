@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-82d2fa5e426327a4.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-82d2fa5e426327a4: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_epc_boundary-868489908db36dc5.d: crates/bench/benches/fig02_epc_boundary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_epc_boundary-868489908db36dc5.rmeta: crates/bench/benches/fig02_epc_boundary.rs Cargo.toml
+
+crates/bench/benches/fig02_epc_boundary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_epc_boundary-c748d5b8663f4062.d: crates/bench/benches/fig02_epc_boundary.rs
+
+/root/repo/target/debug/deps/fig02_epc_boundary-c748d5b8663f4062: crates/bench/benches/fig02_epc_boundary.rs
+
+crates/bench/benches/fig02_epc_boundary.rs:

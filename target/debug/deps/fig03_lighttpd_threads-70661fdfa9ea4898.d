@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_lighttpd_threads-70661fdfa9ea4898.d: crates/bench/benches/fig03_lighttpd_threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_lighttpd_threads-70661fdfa9ea4898.rmeta: crates/bench/benches/fig03_lighttpd_threads.rs Cargo.toml
+
+crates/bench/benches/fig03_lighttpd_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

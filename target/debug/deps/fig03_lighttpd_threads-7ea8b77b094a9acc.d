@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_lighttpd_threads-7ea8b77b094a9acc.d: crates/bench/benches/fig03_lighttpd_threads.rs
+
+/root/repo/target/debug/deps/fig03_lighttpd_threads-7ea8b77b094a9acc: crates/bench/benches/fig03_lighttpd_threads.rs
+
+crates/bench/benches/fig03_lighttpd_threads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_libos_vs_native-90555703d3487403.d: crates/bench/benches/fig04_libos_vs_native.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_libos_vs_native-90555703d3487403.rmeta: crates/bench/benches/fig04_libos_vs_native.rs Cargo.toml
+
+crates/bench/benches/fig04_libos_vs_native.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_libos_vs_native-ee686da6dbcd9a80.d: crates/bench/benches/fig04_libos_vs_native.rs
+
+/root/repo/target/debug/deps/fig04_libos_vs_native-ee686da6dbcd9a80: crates/bench/benches/fig04_libos_vs_native.rs
+
+crates/bench/benches/fig04_libos_vs_native.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_native_mode-7873e7e582768a6f.d: crates/bench/benches/fig05_native_mode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_native_mode-7873e7e582768a6f.rmeta: crates/bench/benches/fig05_native_mode.rs Cargo.toml
+
+crates/bench/benches/fig05_native_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_native_mode-9027bb5f67dd4842.d: crates/bench/benches/fig05_native_mode.rs
+
+/root/repo/target/debug/deps/fig05_native_mode-9027bb5f67dd4842: crates/bench/benches/fig05_native_mode.rs
+
+crates/bench/benches/fig05_native_mode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06a_graphene_empty-41403c488c3383ab.d: crates/bench/benches/fig06a_graphene_empty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06a_graphene_empty-41403c488c3383ab.rmeta: crates/bench/benches/fig06a_graphene_empty.rs Cargo.toml
+
+crates/bench/benches/fig06a_graphene_empty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

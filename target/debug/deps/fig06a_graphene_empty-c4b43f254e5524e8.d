@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06a_graphene_empty-c4b43f254e5524e8.d: crates/bench/benches/fig06a_graphene_empty.rs
+
+/root/repo/target/debug/deps/fig06a_graphene_empty-c4b43f254e5524e8: crates/bench/benches/fig06a_graphene_empty.rs
+
+crates/bench/benches/fig06a_graphene_empty.rs:

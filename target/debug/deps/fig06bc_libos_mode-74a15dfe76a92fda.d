@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06bc_libos_mode-74a15dfe76a92fda.d: crates/bench/benches/fig06bc_libos_mode.rs
+
+/root/repo/target/debug/deps/fig06bc_libos_mode-74a15dfe76a92fda: crates/bench/benches/fig06bc_libos_mode.rs
+
+crates/bench/benches/fig06bc_libos_mode.rs:

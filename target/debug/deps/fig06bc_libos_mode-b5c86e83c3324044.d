@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06bc_libos_mode-b5c86e83c3324044.d: crates/bench/benches/fig06bc_libos_mode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06bc_libos_mode-b5c86e83c3324044.rmeta: crates/bench/benches/fig06bc_libos_mode.rs Cargo.toml
+
+crates/bench/benches/fig06bc_libos_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

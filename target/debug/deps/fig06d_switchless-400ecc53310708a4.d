@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06d_switchless-400ecc53310708a4.d: crates/bench/benches/fig06d_switchless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06d_switchless-400ecc53310708a4.rmeta: crates/bench/benches/fig06d_switchless.rs Cargo.toml
+
+crates/bench/benches/fig06d_switchless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

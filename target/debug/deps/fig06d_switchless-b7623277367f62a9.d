@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06d_switchless-b7623277367f62a9.d: crates/bench/benches/fig06d_switchless.rs
+
+/root/repo/target/debug/deps/fig06d_switchless-b7623277367f62a9: crates/bench/benches/fig06d_switchless.rs
+
+crates/bench/benches/fig06d_switchless.rs:

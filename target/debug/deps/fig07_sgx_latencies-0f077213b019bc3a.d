@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_sgx_latencies-0f077213b019bc3a.d: crates/bench/benches/fig07_sgx_latencies.rs
+
+/root/repo/target/debug/deps/fig07_sgx_latencies-0f077213b019bc3a: crates/bench/benches/fig07_sgx_latencies.rs
+
+crates/bench/benches/fig07_sgx_latencies.rs:

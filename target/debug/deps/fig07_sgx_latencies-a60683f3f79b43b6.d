@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_sgx_latencies-a60683f3f79b43b6.d: crates/bench/benches/fig07_sgx_latencies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_sgx_latencies-a60683f3f79b43b6.rmeta: crates/bench/benches/fig07_sgx_latencies.rs Cargo.toml
+
+crates/bench/benches/fig07_sgx_latencies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

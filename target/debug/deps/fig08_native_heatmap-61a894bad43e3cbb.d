@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_native_heatmap-61a894bad43e3cbb.d: crates/bench/benches/fig08_native_heatmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_native_heatmap-61a894bad43e3cbb.rmeta: crates/bench/benches/fig08_native_heatmap.rs Cargo.toml
+
+crates/bench/benches/fig08_native_heatmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

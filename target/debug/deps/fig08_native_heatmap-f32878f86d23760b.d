@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_native_heatmap-f32878f86d23760b.d: crates/bench/benches/fig08_native_heatmap.rs
+
+/root/repo/target/debug/deps/fig08_native_heatmap-f32878f86d23760b: crates/bench/benches/fig08_native_heatmap.rs
+
+crates/bench/benches/fig08_native_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_epc_timeline-38dd9a029020da74.d: crates/bench/benches/fig09_epc_timeline.rs
+
+/root/repo/target/debug/deps/fig09_epc_timeline-38dd9a029020da74: crates/bench/benches/fig09_epc_timeline.rs
+
+crates/bench/benches/fig09_epc_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_epc_timeline-811d2e7e66d1d747.d: crates/bench/benches/fig09_epc_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_epc_timeline-811d2e7e66d1d747.rmeta: crates/bench/benches/fig09_epc_timeline.rs Cargo.toml
+
+crates/bench/benches/fig09_epc_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_iozone_pf-b320da5aa7974c9e.d: crates/bench/benches/fig10_iozone_pf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_iozone_pf-b320da5aa7974c9e.rmeta: crates/bench/benches/fig10_iozone_pf.rs Cargo.toml
+
+crates/bench/benches/fig10_iozone_pf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_iozone_pf-ebf21aab5c4bdb7a.d: crates/bench/benches/fig10_iozone_pf.rs
+
+/root/repo/target/debug/deps/fig10_iozone_pf-ebf21aab5c4bdb7a: crates/bench/benches/fig10_iozone_pf.rs
+
+crates/bench/benches/fig10_iozone_pf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gauge_stats-4f8ad51dc72fbce0.d: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgauge_stats-4f8ad51dc72fbce0.rmeta: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs Cargo.toml
+
+crates/gauge-stats/src/lib.rs:
+crates/gauge-stats/src/chart.rs:
+crates/gauge-stats/src/regression.rs:
+crates/gauge-stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

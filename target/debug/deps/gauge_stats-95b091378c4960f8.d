@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gauge_stats-95b091378c4960f8.d: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+/root/repo/target/debug/deps/libgauge_stats-95b091378c4960f8.rlib: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+/root/repo/target/debug/deps/libgauge_stats-95b091378c4960f8.rmeta: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+crates/gauge-stats/src/lib.rs:
+crates/gauge-stats/src/chart.rs:
+crates/gauge-stats/src/regression.rs:
+crates/gauge-stats/src/summary.rs:

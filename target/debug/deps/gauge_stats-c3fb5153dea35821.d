@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gauge_stats-c3fb5153dea35821.d: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+/root/repo/target/debug/deps/gauge_stats-c3fb5153dea35821: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+crates/gauge-stats/src/lib.rs:
+crates/gauge-stats/src/chart.rs:
+crates/gauge-stats/src/regression.rs:
+crates/gauge-stats/src/summary.rs:

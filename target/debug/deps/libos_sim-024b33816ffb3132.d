@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/libos_sim-024b33816ffb3132.d: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblibos_sim-024b33816ffb3132.rmeta: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs Cargo.toml
+
+crates/libos-sim/src/lib.rs:
+crates/libos-sim/src/manifest.rs:
+crates/libos-sim/src/process.rs:
+crates/libos-sim/src/shim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/libos_sim-8cf32a0deb6597e5.d: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/debug/deps/libos_sim-8cf32a0deb6597e5: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+crates/libos-sim/src/lib.rs:
+crates/libos-sim/src/manifest.rs:
+crates/libos-sim/src/process.rs:
+crates/libos-sim/src/shim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/libos_sim-e5cdfca719faebb1.d: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/debug/deps/liblibos_sim-e5cdfca719faebb1.rlib: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/debug/deps/liblibos_sim-e5cdfca719faebb1.rmeta: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+crates/libos-sim/src/lib.rs:
+crates/libos-sim/src/manifest.rs:
+crates/libos-sim/src/process.rs:
+crates/libos-sim/src/shim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mem_sim-27cde45e2db58d36.d: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+/root/repo/target/debug/deps/mem_sim-27cde45e2db58d36: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+crates/mem-sim/src/lib.rs:
+crates/mem-sim/src/cache.rs:
+crates/mem-sim/src/counters.rs:
+crates/mem-sim/src/latency.rs:
+crates/mem-sim/src/machine.rs:
+crates/mem-sim/src/paging.rs:
+crates/mem-sim/src/tlb.rs:

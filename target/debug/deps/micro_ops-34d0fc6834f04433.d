@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_ops-34d0fc6834f04433.d: crates/bench/benches/micro_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_ops-34d0fc6834f04433.rmeta: crates/bench/benches/micro_ops.rs Cargo.toml
+
+crates/bench/benches/micro_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

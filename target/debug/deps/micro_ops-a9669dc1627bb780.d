@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_ops-a9669dc1627bb780.d: crates/bench/benches/micro_ops.rs
+
+/root/repo/target/debug/deps/micro_ops-a9669dc1627bb780: crates/bench/benches/micro_ops.rs
+
+crates/bench/benches/micro_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-470e974ca4603f7c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-470e974ca4603f7c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

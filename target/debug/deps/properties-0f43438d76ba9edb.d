@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0f43438d76ba9edb.d: crates/sgx-crypto/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0f43438d76ba9edb: crates/sgx-crypto/tests/properties.rs
+
+crates/sgx-crypto/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-47a1b7acce4f62cd.d: crates/sgx-crypto/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-47a1b7acce4f62cd.rmeta: crates/sgx-crypto/tests/properties.rs Cargo.toml
+
+crates/sgx-crypto/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7faaebd8612f2b9e.d: crates/mem-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7faaebd8612f2b9e.rmeta: crates/mem-sim/tests/properties.rs Cargo.toml
+
+crates/mem-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8240e00b9111f199.d: crates/sgx-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8240e00b9111f199.rmeta: crates/sgx-sim/tests/properties.rs Cargo.toml
+
+crates/sgx-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bf436266ffa3da1a.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bf436266ffa3da1a: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

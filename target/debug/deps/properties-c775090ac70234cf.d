@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c775090ac70234cf.d: crates/sgx-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c775090ac70234cf: crates/sgx-sim/tests/properties.rs
+
+crates/sgx-sim/tests/properties.rs:

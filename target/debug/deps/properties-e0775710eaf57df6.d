@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e0775710eaf57df6.d: crates/mem-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e0775710eaf57df6: crates/mem-sim/tests/properties.rs
+
+crates/mem-sim/tests/properties.rs:

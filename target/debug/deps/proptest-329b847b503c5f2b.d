@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-329b847b503c5f2b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-329b847b503c5f2b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgx_crypto-6236b0eedc3f67e6.d: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libsgx_crypto-6236b0eedc3f67e6.rlib: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libsgx_crypto-6236b0eedc3f67e6.rmeta: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+crates/sgx-crypto/src/lib.rs:
+crates/sgx-crypto/src/aes.rs:
+crates/sgx-crypto/src/chacha20.rs:
+crates/sgx-crypto/src/hmac.rs:
+crates/sgx-crypto/src/seal.rs:
+crates/sgx-crypto/src/sha256.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sgx_crypto-bb6b73b6b795c18a.d: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgx_crypto-bb6b73b6b795c18a.rmeta: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs Cargo.toml
+
+crates/sgx-crypto/src/lib.rs:
+crates/sgx-crypto/src/aes.rs:
+crates/sgx-crypto/src/chacha20.rs:
+crates/sgx-crypto/src/hmac.rs:
+crates/sgx-crypto/src/seal.rs:
+crates/sgx-crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgx_crypto-ed960bfd89e6393a.d: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/sgx_crypto-ed960bfd89e6393a: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+crates/sgx-crypto/src/lib.rs:
+crates/sgx-crypto/src/aes.rs:
+crates/sgx-crypto/src/chacha20.rs:
+crates/sgx-crypto/src/hmac.rs:
+crates/sgx-crypto/src/seal.rs:
+crates/sgx-crypto/src/sha256.rs:

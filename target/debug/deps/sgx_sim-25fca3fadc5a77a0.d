@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgx_sim-25fca3fadc5a77a0.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+
+/root/repo/target/debug/deps/sgx_sim-25fca3fadc5a77a0: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+
+crates/sgx-sim/src/lib.rs:
+crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/driver.rs:
+crates/sgx-sim/src/enclave.rs:
+crates/sgx-sim/src/epc.rs:
+crates/sgx-sim/src/epcm.rs:
+crates/sgx-sim/src/machine.rs:
+crates/sgx-sim/src/switchless.rs:

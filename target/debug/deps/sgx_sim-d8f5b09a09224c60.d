@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sgx_sim-d8f5b09a09224c60.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgx_sim-d8f5b09a09224c60.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
+
+crates/sgx-sim/src/lib.rs:
+crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/driver.rs:
+crates/sgx-sim/src/enclave.rs:
+crates/sgx-sim/src/epc.rs:
+crates/sgx-sim/src/epcm.rs:
+crates/sgx-sim/src/machine.rs:
+crates/sgx-sim/src/switchless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

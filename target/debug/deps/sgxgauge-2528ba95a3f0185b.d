@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgxgauge-2528ba95a3f0185b.d: src/main.rs
+
+/root/repo/target/debug/deps/sgxgauge-2528ba95a3f0185b: src/main.rs
+
+src/main.rs:

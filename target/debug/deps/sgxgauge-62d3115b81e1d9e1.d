@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgxgauge-62d3115b81e1d9e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/sgxgauge-62d3115b81e1d9e1: src/lib.rs
+
+src/lib.rs:

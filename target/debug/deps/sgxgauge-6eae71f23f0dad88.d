@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgxgauge-6eae71f23f0dad88.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge-6eae71f23f0dad88.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

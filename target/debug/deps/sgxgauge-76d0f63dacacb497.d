@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgxgauge-76d0f63dacacb497.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsgxgauge-76d0f63dacacb497.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsgxgauge-76d0f63dacacb497.rmeta: src/lib.rs
+
+src/lib.rs:

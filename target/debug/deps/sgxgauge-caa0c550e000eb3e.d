@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgxgauge-caa0c550e000eb3e.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge-caa0c550e000eb3e.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgxgauge-db6303716f5070a8.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge-db6303716f5070a8.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

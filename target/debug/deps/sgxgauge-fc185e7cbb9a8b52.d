@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgxgauge-fc185e7cbb9a8b52.d: src/main.rs
+
+/root/repo/target/debug/deps/sgxgauge-fc185e7cbb9a8b52: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgxgauge_bench-997eb6697ffc9351.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge_bench-997eb6697ffc9351.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

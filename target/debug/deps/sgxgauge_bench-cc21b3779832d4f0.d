@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgxgauge_bench-cc21b3779832d4f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sgxgauge_bench-cc21b3779832d4f0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgxgauge_bench-dd696d0a125b97be.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge_bench-dd696d0a125b97be.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

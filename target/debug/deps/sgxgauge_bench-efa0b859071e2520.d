@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgxgauge_bench-efa0b859071e2520.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsgxgauge_bench-efa0b859071e2520.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsgxgauge_bench-efa0b859071e2520.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

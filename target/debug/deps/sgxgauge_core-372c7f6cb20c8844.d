@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgxgauge_core-372c7f6cb20c8844.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/sgxgauge_core-372c7f6cb20c8844: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/modes.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:
+crates/core/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sgxgauge_core-91ab206902b7d301.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge_core-91ab206902b7d301.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/modes.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

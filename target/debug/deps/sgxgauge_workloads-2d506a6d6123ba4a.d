@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sgxgauge_workloads-2d506a6d6123ba4a.d: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/libsgxgauge_workloads-2d506a6d6123ba4a.rlib: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/libsgxgauge_workloads-2d506a6d6123ba4a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/blockchain.rs:
+crates/workloads/src/btree.rs:
+crates/workloads/src/hashjoin.rs:
+crates/workloads/src/iozone.rs:
+crates/workloads/src/lighttpd.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/pagerank.rs:
+crates/workloads/src/svm.rs:
+crates/workloads/src/util.rs:
+crates/workloads/src/xsbench.rs:

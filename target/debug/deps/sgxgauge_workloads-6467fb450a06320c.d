@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/sgxgauge_workloads-6467fb450a06320c.d: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgxgauge_workloads-6467fb450a06320c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/blockchain.rs:
+crates/workloads/src/btree.rs:
+crates/workloads/src/hashjoin.rs:
+crates/workloads/src/iozone.rs:
+crates/workloads/src/lighttpd.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/pagerank.rs:
+crates/workloads/src/svm.rs:
+crates/workloads/src/util.rs:
+crates/workloads/src/xsbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_integration-3015944218011560.d: tests/suite_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_integration-3015944218011560.rmeta: tests/suite_integration.rs Cargo.toml
+
+tests/suite_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

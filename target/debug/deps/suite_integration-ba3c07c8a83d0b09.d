@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_integration-ba3c07c8a83d0b09.d: tests/suite_integration.rs
+
+/root/repo/target/debug/deps/suite_integration-ba3c07c8a83d0b09: tests/suite_integration.rs
+
+tests/suite_integration.rs:

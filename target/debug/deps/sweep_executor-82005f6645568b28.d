@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_executor-82005f6645568b28.d: tests/sweep_executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_executor-82005f6645568b28.rmeta: tests/sweep_executor.rs Cargo.toml
+
+tests/sweep_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_executor-e93670504cd1936f.d: tests/sweep_executor.rs
+
+/root/repo/target/debug/deps/sweep_executor-e93670504cd1936f: tests/sweep_executor.rs
+
+tests/sweep_executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_overheads-01ee4cdfeea34582.d: crates/bench/benches/table4_overheads.rs
+
+/root/repo/target/debug/deps/table4_overheads-01ee4cdfeea34582: crates/bench/benches/table4_overheads.rs
+
+crates/bench/benches/table4_overheads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_regression-4dc3896b41e6b714.d: crates/bench/benches/table5_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_regression-4dc3896b41e6b714.rmeta: crates/bench/benches/table5_regression.rs Cargo.toml
+
+crates/bench/benches/table5_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_regression-d4e26eec1bd964f7.d: crates/bench/benches/table5_regression.rs
+
+/root/repo/target/debug/deps/table5_regression-d4e26eec1bd964f7: crates/bench/benches/table5_regression.rs
+
+crates/bench/benches/table5_regression.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ycsb_gen-4becb24935568050.d: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libycsb_gen-4becb24935568050.rmeta: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs Cargo.toml
+
+crates/ycsb-gen/src/lib.rs:
+crates/ycsb-gen/src/dist.rs:
+crates/ycsb-gen/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ycsb_gen-4dfcd2fe2652173d.d: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+/root/repo/target/debug/deps/ycsb_gen-4dfcd2fe2652173d: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+crates/ycsb-gen/src/lib.rs:
+crates/ycsb-gen/src/dist.rs:
+crates/ycsb-gen/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ycsb_gen-edc77bbad9025a32.d: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+/root/repo/target/debug/deps/libycsb_gen-edc77bbad9025a32.rlib: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+/root/repo/target/debug/deps/libycsb_gen-edc77bbad9025a32.rmeta: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+crates/ycsb-gen/src/lib.rs:
+crates/ycsb-gen/src/dist.rs:
+crates/ycsb-gen/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epc_stress-945da5582cade207.d: examples/epc_stress.rs
+
+/root/repo/target/debug/examples/epc_stress-945da5582cade207: examples/epc_stress.rs
+
+examples/epc_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/epc_stress-e3bea0bc1986f468.d: examples/epc_stress.rs Cargo.toml
+
+/root/repo/target/debug/examples/libepc_stress-e3bea0bc1986f468.rmeta: examples/epc_stress.rs Cargo.toml
+
+examples/epc_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

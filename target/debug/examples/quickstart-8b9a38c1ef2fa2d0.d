@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8b9a38c1ef2fa2d0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8b9a38c1ef2fa2d0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_kv-3a6a4982aea7312f.d: examples/secure_kv.rs
+
+/root/repo/target/debug/examples/secure_kv-3a6a4982aea7312f: examples/secure_kv.rs
+
+examples/secure_kv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_kv-94f5d56633b6b714.d: examples/secure_kv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_kv-94f5d56633b6b714.rmeta: examples/secure_kv.rs Cargo.toml
+
+examples/secure_kv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sgx2_preview-23b5e2977b061f43.d: examples/sgx2_preview.rs
+
+/root/repo/target/debug/examples/sgx2_preview-23b5e2977b061f43: examples/sgx2_preview.rs
+
+examples/sgx2_preview.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sgx2_preview-589ed89cda3f0705.d: examples/sgx2_preview.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsgx2_preview-589ed89cda3f0705.rmeta: examples/sgx2_preview.rs Cargo.toml
+
+examples/sgx2_preview.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webserver_switchless-061c449f51f87831.d: examples/webserver_switchless.rs
+
+/root/repo/target/debug/examples/webserver_switchless-061c449f51f87831: examples/webserver_switchless.rs
+
+examples/webserver_switchless.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/webserver_switchless-8a45d05d66a5aa77.d: examples/webserver_switchless.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwebserver_switchless-8a45d05d66a5aa77.rmeta: examples/webserver_switchless.rs Cargo.toml
+
+examples/webserver_switchless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

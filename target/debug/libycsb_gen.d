@@ -1,0 +1,1 @@
+/root/repo/target/debug/libycsb_gen.rlib: /root/repo/crates/ycsb-gen/src/dist.rs /root/repo/crates/ycsb-gen/src/lib.rs /root/repo/crates/ycsb-gen/src/workload.rs /root/repo/vendor/rand/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_libos_vs_native-ecbe1ceb97dccc27.d: crates/bench/benches/fig04_libos_vs_native.rs
+
+/root/repo/target/release/deps/fig04_libos_vs_native-ecbe1ceb97dccc27: crates/bench/benches/fig04_libos_vs_native.rs
+
+crates/bench/benches/fig04_libos_vs_native.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gauge_stats-ca72b73f0e42c504.d: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+/root/repo/target/release/deps/libgauge_stats-ca72b73f0e42c504.rlib: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+/root/repo/target/release/deps/libgauge_stats-ca72b73f0e42c504.rmeta: crates/gauge-stats/src/lib.rs crates/gauge-stats/src/chart.rs crates/gauge-stats/src/regression.rs crates/gauge-stats/src/summary.rs
+
+crates/gauge-stats/src/lib.rs:
+crates/gauge-stats/src/chart.rs:
+crates/gauge-stats/src/regression.rs:
+crates/gauge-stats/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/libos_sim-36911616ece4755f.d: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/release/deps/liblibos_sim-36911616ece4755f.rlib: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/release/deps/liblibos_sim-36911616ece4755f.rmeta: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+crates/libos-sim/src/lib.rs:
+crates/libos-sim/src/manifest.rs:
+crates/libos-sim/src/process.rs:
+crates/libos-sim/src/shim.rs:

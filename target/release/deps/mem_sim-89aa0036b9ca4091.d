@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mem_sim-89aa0036b9ca4091.d: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+/root/repo/target/release/deps/libmem_sim-89aa0036b9ca4091.rlib: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+/root/repo/target/release/deps/libmem_sim-89aa0036b9ca4091.rmeta: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+crates/mem-sim/src/lib.rs:
+crates/mem-sim/src/cache.rs:
+crates/mem-sim/src/counters.rs:
+crates/mem-sim/src/latency.rs:
+crates/mem-sim/src/machine.rs:
+crates/mem-sim/src/paging.rs:
+crates/mem-sim/src/tlb.rs:

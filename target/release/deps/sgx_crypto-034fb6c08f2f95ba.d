@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sgx_crypto-034fb6c08f2f95ba.d: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libsgx_crypto-034fb6c08f2f95ba.rlib: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libsgx_crypto-034fb6c08f2f95ba.rmeta: crates/sgx-crypto/src/lib.rs crates/sgx-crypto/src/aes.rs crates/sgx-crypto/src/chacha20.rs crates/sgx-crypto/src/hmac.rs crates/sgx-crypto/src/seal.rs crates/sgx-crypto/src/sha256.rs
+
+crates/sgx-crypto/src/lib.rs:
+crates/sgx-crypto/src/aes.rs:
+crates/sgx-crypto/src/chacha20.rs:
+crates/sgx-crypto/src/hmac.rs:
+crates/sgx-crypto/src/seal.rs:
+crates/sgx-crypto/src/sha256.rs:

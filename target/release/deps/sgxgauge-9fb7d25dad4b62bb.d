@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sgxgauge-9fb7d25dad4b62bb.d: src/lib.rs
+
+/root/repo/target/release/deps/libsgxgauge-9fb7d25dad4b62bb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsgxgauge-9fb7d25dad4b62bb.rmeta: src/lib.rs
+
+src/lib.rs:

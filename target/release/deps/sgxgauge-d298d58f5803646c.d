@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sgxgauge-d298d58f5803646c.d: src/main.rs
+
+/root/repo/target/release/deps/sgxgauge-d298d58f5803646c: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sgxgauge_bench-0844525745cdf4b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsgxgauge_bench-0844525745cdf4b4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsgxgauge_bench-0844525745cdf4b4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sgxgauge_core-0d59d5f62712b97b.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libsgxgauge_core-0d59d5f62712b97b.rlib: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+/root/repo/target/release/deps/libsgxgauge_core-0d59d5f62712b97b.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/modes.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:
+crates/core/src/workload.rs:

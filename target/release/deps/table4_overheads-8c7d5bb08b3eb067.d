@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_overheads-8c7d5bb08b3eb067.d: crates/bench/benches/table4_overheads.rs
+
+/root/repo/target/release/deps/table4_overheads-8c7d5bb08b3eb067: crates/bench/benches/table4_overheads.rs
+
+crates/bench/benches/table4_overheads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ycsb_gen-5cbc190c9653d178.d: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+/root/repo/target/release/deps/libycsb_gen-5cbc190c9653d178.rlib: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+/root/repo/target/release/deps/libycsb_gen-5cbc190c9653d178.rmeta: crates/ycsb-gen/src/lib.rs crates/ycsb-gen/src/dist.rs crates/ycsb-gen/src/workload.rs
+
+crates/ycsb-gen/src/lib.rs:
+crates/ycsb-gen/src/dist.rs:
+crates/ycsb-gen/src/workload.rs:

@@ -16,7 +16,9 @@ fn epc_accounting_balances_for_every_workload() {
             if !wl.supports(mode) {
                 continue;
             }
-            let r = runner.run_once(wl.as_ref(), mode, InputSetting::High).expect("run");
+            let r = runner
+                .run_once(wl.as_ref(), mode, InputSetting::High)
+                .expect("run");
             let c = &r.sgx;
             assert_eq!(
                 c.epc_faults,
@@ -31,7 +33,12 @@ fn epc_accounting_balances_for_every_workload() {
                 c.epc_loadbacks,
                 c.epc_evictions
             );
-            assert_eq!(c.aex_exits, c.epc_faults, "{} {mode}: AEX != faults", wl.name());
+            assert_eq!(
+                c.aex_exits,
+                c.epc_faults,
+                "{} {mode}: AEX != faults",
+                wl.name()
+            );
         }
     }
 }
@@ -46,7 +53,9 @@ fn tlb_flushes_cover_transitions() {
             if !wl.supports(mode) {
                 continue;
             }
-            let r = runner.run_once(wl.as_ref(), mode, InputSetting::Low).expect("run");
+            let r = runner
+                .run_once(wl.as_ref(), mode, InputSetting::Low)
+                .expect("run");
             let min_flushes = r.sgx.ecalls + 2 * r.sgx.ocalls + r.sgx.aex_exits;
             assert!(
                 r.counters.tlb_flushes >= min_flushes,
@@ -67,7 +76,9 @@ fn breakdown_bounded_by_clock_mass() {
     use sgxgauge::core::report::cycle_breakdown;
     let runner = Runner::new(RunnerConfig::quick_test());
     for wl in suite_scaled(512) {
-        let r = runner.run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low).expect("run");
+        let r = runner
+            .run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low)
+            .expect("run");
         let accounted: u64 = cycle_breakdown(&r).iter().map(|(_, v)| v).sum();
         // Single-digit thread counts: total mass <= threads * wall-clock.
         let bound = r.runtime_cycles * 64;
@@ -85,7 +96,9 @@ fn breakdown_bounded_by_clock_mass() {
 fn vanilla_never_touches_sgx() {
     let runner = Runner::new(RunnerConfig::quick_test());
     for wl in suite_scaled(512) {
-        let r = runner.run_once(wl.as_ref(), ExecMode::Vanilla, InputSetting::High).expect("run");
+        let r = runner
+            .run_once(wl.as_ref(), ExecMode::Vanilla, InputSetting::High)
+            .expect("run");
         for (name, v) in r.sgx.fields() {
             assert_eq!(v, 0, "{}: vanilla run ticked sgx counter {name}", wl.name());
         }

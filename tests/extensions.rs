@@ -25,7 +25,10 @@ fn edmm_eliminates_startup_evictions() {
     let sgx1 = launch(false);
     let sgx2 = launch(true);
     assert!(sgx1 > 50_000, "SGX1 must stream the 512 MB ELRANGE: {sgx1}");
-    assert!(sgx2 < sgx1 / 10, "EDMM must collapse start-up evictions: {sgx2} vs {sgx1}");
+    assert!(
+        sgx2 < sgx1 / 10,
+        "EDMM must collapse start-up evictions: {sgx2} vs {sgx1}"
+    );
 }
 
 /// EDMM still demand-faults heap pages (EAUG/EACCEPT), costing slightly
@@ -75,7 +78,10 @@ fn tlb_reach_cuts_misses() {
     };
     let base = misses(1);
     let wide = misses(16);
-    assert!(wide < base / 2, "16x reach must cut misses: {wide} vs {base}");
+    assert!(
+        wide < base / 2,
+        "16x reach must cut misses: {wide} vs {base}"
+    );
 }
 
 /// The MEE multiplier only affects EPC-bound traffic: vanilla-region
@@ -93,5 +99,9 @@ fn mee_multiplier_scoped_to_epc() {
         }
         m.mem().cycles_of(t)
     };
-    assert_eq!(run(100), run(500), "untrusted traffic must not pay MEE costs");
+    assert_eq!(
+        run(100),
+        run(500),
+        "untrusted traffic must not pay MEE costs"
+    );
 }

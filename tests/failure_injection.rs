@@ -11,9 +11,11 @@ use sgxgauge::workloads::{Iozone, Memcached};
 /// read time (the PF MAC), not silently decrypted to garbage.
 #[test]
 fn pf_tamper_detected_at_read() {
-    let mut env = Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files()).expect("env");
+    let mut env =
+        Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files()).expect("env");
     env.start_app().expect("start");
-    env.write_file("secret.db", b"records that must not be forged").expect("write");
+    env.write_file("secret.db", b"records that must not be forged")
+        .expect("write");
 
     // Host-side attacker flips one ciphertext bit.
     let mut raw = env.file_raw("secret.db").expect("raw").to_vec();
@@ -32,7 +34,8 @@ fn pf_tamper_detected_at_read() {
             // put_file cleared the sealed flag, so the file is treated as
             // a plaintext trusted file; re-seal and tamper in place to
             // force the MAC path.
-            let mut env2 = Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files()).expect("env");
+            let mut env2 = Env::new(EnvConfig::quick_test(ExecMode::LibOs).with_protected_files())
+                .expect("env");
             env2.start_app().expect("start");
             env2.write_file("s", b"payload").expect("write");
             // Direct blob surgery through the crypto API:
@@ -52,7 +55,11 @@ fn pf_tamper_detected_at_read() {
 fn unsupported_mode_is_an_error() {
     let runner = Runner::new(RunnerConfig::quick_test());
     let err = runner
-        .run_once(&Memcached::scaled(2048), ExecMode::Native, InputSetting::Low)
+        .run_once(
+            &Memcached::scaled(2048),
+            ExecMode::Native,
+            InputSetting::Low,
+        )
         .expect_err("memcached has no native port");
     assert!(err.to_string().contains("does not support"));
 }
@@ -75,7 +82,9 @@ fn enclave_heap_exhaustion_reported() {
     let mut env = Env::new(cfg).expect("env");
     env.start_app().expect("start");
     // Ask for far more than the ELRANGE can hold.
-    let err = env.alloc(1 << 30, Placement::Protected).expect_err("must fail");
+    let err = env
+        .alloc(1 << 30, Placement::Protected)
+        .expect_err("must fail");
     assert!(err.to_string().contains("heap exhausted"), "got: {err}");
 }
 
@@ -87,7 +96,11 @@ fn pf_corruption_does_not_leak_across_files() {
     let mut cfg = RunnerConfig::quick_test();
     cfg.env = cfg.env.with_protected_files();
     let runner = Runner::new(cfg);
-    let a = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).expect("first");
-    let b = runner.run_once(&wl, ExecMode::LibOs, InputSetting::Low).expect("second");
+    let a = runner
+        .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+        .expect("first");
+    let b = runner
+        .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
+        .expect("second");
     assert_eq!(a.output.checksum, b.output.checksum);
 }

@@ -19,10 +19,18 @@ fn checksums_mode_independent_for_all_ten() {
             let r = runner
                 .run_once(wl.as_ref(), mode, InputSetting::Low)
                 .unwrap_or_else(|e| panic!("{} in {mode}: {e}", wl.name()));
-            assert!(r.runtime_cycles > 0, "{} in {mode} took zero time", wl.name());
+            assert!(
+                r.runtime_cycles > 0,
+                "{} in {mode} took zero time",
+                wl.name()
+            );
             checksums.push((mode, r.output.checksum));
         }
-        assert!(checksums.len() >= 2, "{} ran in fewer than two modes", wl.name());
+        assert!(
+            checksums.len() >= 2,
+            "{} ran in fewer than two modes",
+            wl.name()
+        );
         let first = checksums[0].1;
         for (mode, sum) in &checksums {
             assert_eq!(*sum, first, "{} checksum differs in {mode}", wl.name());
@@ -36,12 +44,16 @@ fn checksums_mode_independent_for_all_ten() {
 fn sgx_modes_never_faster_than_vanilla() {
     let runner = Runner::new(RunnerConfig::quick_test());
     for wl in suite_scaled(1024) {
-        let vanilla = runner.run_once(wl.as_ref(), ExecMode::Vanilla, InputSetting::Low).expect("vanilla");
+        let vanilla = runner
+            .run_once(wl.as_ref(), ExecMode::Vanilla, InputSetting::Low)
+            .expect("vanilla");
         for mode in [ExecMode::Native, ExecMode::LibOs] {
             if !wl.supports(mode) {
                 continue;
             }
-            let r = runner.run_once(wl.as_ref(), mode, InputSetting::Low).expect("sgx run");
+            let r = runner
+                .run_once(wl.as_ref(), mode, InputSetting::Low)
+                .expect("sgx run");
             assert!(
                 r.runtime_cycles > vanilla.runtime_cycles,
                 "{} in {mode}: {} <= vanilla {}",
@@ -59,11 +71,25 @@ fn sgx_modes_never_faster_than_vanilla() {
 fn runs_are_deterministic() {
     let runner = Runner::new(RunnerConfig::quick_test());
     for wl in suite_scaled(2048) {
-        let a = runner.run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low).expect("first");
-        let b = runner.run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low).expect("second");
-        assert_eq!(a.runtime_cycles, b.runtime_cycles, "{} runtime differs", wl.name());
+        let a = runner
+            .run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low)
+            .expect("first");
+        let b = runner
+            .run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low)
+            .expect("second");
+        assert_eq!(
+            a.runtime_cycles,
+            b.runtime_cycles,
+            "{} runtime differs",
+            wl.name()
+        );
         assert_eq!(a.counters, b.counters, "{} counters differ", wl.name());
-        assert_eq!(a.output.checksum, b.output.checksum, "{} checksum differs", wl.name());
+        assert_eq!(
+            a.output.checksum,
+            b.output.checksum,
+            "{} checksum differs",
+            wl.name()
+        );
     }
 }
 
@@ -79,8 +105,12 @@ fn input_settings_scale_runtime() {
             if !wl.supports(mode) {
                 continue;
             }
-            let low = runner.run_once(wl.as_ref(), mode, InputSetting::Low).expect("low");
-            let high = runner.run_once(wl.as_ref(), mode, InputSetting::High).expect("high");
+            let low = runner
+                .run_once(wl.as_ref(), mode, InputSetting::Low)
+                .expect("low");
+            let high = runner
+                .run_once(wl.as_ref(), mode, InputSetting::High)
+                .expect("high");
             assert!(
                 high.runtime_cycles > low.runtime_cycles,
                 "{} in {mode}: High ({}) not slower than Low ({})",
@@ -97,9 +127,17 @@ fn input_settings_scale_runtime() {
 fn libos_startup_reported_and_excluded() {
     let runner = Runner::new(RunnerConfig::quick_test());
     for wl in suite_scaled(2048) {
-        let r = runner.run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low).expect("libos");
-        let s = r.libos_startup.unwrap_or_else(|| panic!("{} missing startup stats", wl.name()));
-        assert!(s.epc_evictions > 0, "{}: startup must stream the enclave", wl.name());
+        let r = runner
+            .run_once(wl.as_ref(), ExecMode::LibOs, InputSetting::Low)
+            .expect("libos");
+        let s = r
+            .libos_startup
+            .unwrap_or_else(|| panic!("{} missing startup stats", wl.name()));
+        assert!(
+            s.epc_evictions > 0,
+            "{}: startup must stream the enclave",
+            wl.name()
+        );
         assert!(s.ecalls > 0);
         // Excluded: the measured SGX counters were reset after launch, so
         // measured evictions are well below the startup's full-enclave

@@ -1,0 +1,489 @@
+//! Offline drop-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing engine with the same surface
+//! syntax: the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! [`Strategy`] over integer ranges / tuples / [`Just`] /
+//! [`prop_oneof!`] unions / `prop::collection::vec`, [`any`], and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its values and panics;
+//! * deterministic seeding per test name (cases are reproducible by
+//!   construction, so no persistence files);
+//! * `Strategy` is a plain sampler (`&self -> Value`), not a value tree.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Runtime pieces used by the expanded [`crate::proptest!`] macro.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried with
+        /// fresh ones and does not count toward the case budget.
+        Reject,
+        /// A `prop_assert*` failed with this message.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 stream seeded from the test name, so
+    /// every test function explores its own reproducible input sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for the named test.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name gives well-spread per-test seeds.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-block configuration, settable via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default; our generators are cheap enough.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of arbitrary values: the sampler at the heart of every
+/// `pat in strategy` binding.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Inclusive-start, exclusive-end length band for [`vec`]; built
+    /// from a `usize` (exact length) or a `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, len)`: vectors of `elem` samples.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` path alias used by test code.
+
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property-test file imports.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop, Arbitrary, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests; supports an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    let ($($pat,)+) = ($($crate::Strategy::sample(&($strat), &mut __rng),)+);
+                    let mut __case = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __case()
+                };
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected < 1 << 16,
+                            "prop_assume! rejected {} inputs in a row",
+                            __rejected
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!("property `{}` failed: {}", stringify!($name), __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Asserts inside a property, failing the case (not the process) first.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            __l,
+            __r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            __l,
+            __r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(__options)
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in prop::collection::vec((0u64..10, any::<u8>()), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for &(a, _) in &v {
+                prop_assert!(a < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_and_just(pick in prop_oneof![Just(1u8), Just(2u8)], mut n in 0u32..5) {
+            n += 1;
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn assume_filters(a in any::<u64>(), b in any::<u64>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_applies(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn exact_vec_len() {
+        let s = crate::collection::vec(0u64..5, 22);
+        let mut rng = crate::test_runner::TestRng::deterministic("exact_vec_len");
+        let v = s.sample(&mut rng);
+        assert_eq!(v.len(), 22);
+    }
+
+    proptest! {
+        // No #[test] attribute: expanded as a plain fn so the harness
+        // doesn't run it directly; the should_panic test below drives it.
+        fn always_fails(x in 0u64..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_panics() {
+        always_fails();
+    }
+}
