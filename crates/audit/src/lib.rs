@@ -1,0 +1,310 @@
+//! `gauge-audit`: the workspace model-lint pass.
+//!
+//! A dependency-free static analyzer that keeps the simulator honest
+//! about the paper constants and accounting identities it reproduces.
+//! The dynamic half of the same contract is the `audit` cargo feature of
+//! `sgx-sim`/`mem-sim` (runtime invariant checks); this crate is the
+//! static half, run as `cargo run -p audit -- --check` in CI.
+//!
+//! See [`rules`] for what is enforced and why, and DESIGN.md's
+//! "Invariant catalogue" for the full list with paper citations. Each
+//! rule has an allowlist file under `crates/audit/allowlists/<rule>.allow`
+//! for individually justified exceptions.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::RuleContext;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description; allowlist substrings match against it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Violations that survived the allowlists, in path order.
+    pub findings: Vec<Finding>,
+    /// Number of violations suppressed by allowlist entries.
+    pub suppressed: usize,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+/// One allowlist entry: findings in files ending with `path_suffix`
+/// whose message contains `substring` (empty = any) are suppressed.
+#[derive(Debug, Clone)]
+struct AllowEntry {
+    rule: String,
+    path_suffix: String,
+    substring: String,
+}
+
+/// The merged allowlists of every rule.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Loads `<rule>.allow` files from `dir`. Missing files mean an
+    /// empty allowlist for that rule; unreadable ones are an error.
+    pub fn load(dir: &Path) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for rule in rules::ALL_RULES {
+            let path = dir.join(format!("{rule}.allow"));
+            if !path.exists() {
+                continue;
+            }
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut parts = line.split_whitespace();
+                let path_suffix = parts.next().unwrap_or_default().to_string();
+                let substring = parts.collect::<Vec<_>>().join(" ");
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path_suffix,
+                    substring,
+                });
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Parses allowlist entries for `rule` from a string (for tests).
+    pub fn from_str_for_rule(rule: &'static str, text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|line| {
+                let mut parts = line.split_whitespace();
+                AllowEntry {
+                    rule: rule.to_string(),
+                    path_suffix: parts.next().unwrap_or_default().to_string(),
+                    substring: parts.collect::<Vec<_>>().join(" "),
+                }
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Whether `f` is covered by an entry.
+    pub fn permits(&self, f: &Finding) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == f.rule
+                && f.file.ends_with(&e.path_suffix)
+                && (e.substring.is_empty() || f.message.contains(&e.substring))
+        })
+    }
+}
+
+/// Directories never scanned: vendored stubs, build output, VCS state.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github"];
+
+/// Recursively collects `.rs` files under `root`, skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Loads the canonical modules and builds the rule context from them.
+pub fn load_context(root: &Path) -> Result<RuleContext, String> {
+    let costs = root.join("crates/sgx-sim/src/costs.rs");
+    let counters = root.join("crates/mem-sim/src/counters.rs");
+    let costs_src =
+        fs::read_to_string(&costs).map_err(|e| format!("reading {}: {e}", costs.display()))?;
+    let counters_src = fs::read_to_string(&counters)
+        .map_err(|e| format!("reading {}: {e}", counters.display()))?;
+    let ctx = RuleContext::from_sources(&costs_src, &counters_src);
+    if ctx.cost_values.is_empty() {
+        return Err("no canonical cost constants found in sgx-sim::costs".to_string());
+    }
+    if ctx.counter_fields.is_empty() {
+        return Err("no counter fields found in mem-sim::counters".to_string());
+    }
+    Ok(ctx)
+}
+
+/// Scans the workspace rooted at `root` with every rule, applying the
+/// allowlists under `crates/audit/allowlists/`.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let ctx = load_context(root)?;
+    let allow = Allowlist::load(&root.join("crates/audit/allowlists"))?;
+    let mut report = ScanReport::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        report.files_checked += 1;
+        for finding in rules::check_source(&rel, &src, &ctx) {
+            if allow.permits(&finding) {
+                report.suppressed += 1;
+            } else {
+                report.findings.push(finding);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Process exit code for a report under `--check` semantics: nonzero
+/// iff any violation survived the allowlists.
+pub fn exit_code(report: &ScanReport) -> i32 {
+    i32::from(!report.findings.is_empty())
+}
+
+/// Renders findings as a JSON array (hand-rolled; the build is offline
+/// and serde is not vendored).
+pub fn to_json(report: &ScanReport) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"suppressed\": {},\n  \"files_checked\": {}\n}}",
+        report.suppressed, report.files_checked
+    ));
+    s
+}
+
+/// Escapes a string for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the scan root used when `--root` is not
+/// given.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn exit_code_reflects_findings() {
+        let mut r = ScanReport::default();
+        assert_eq!(exit_code(&r), 0);
+        r.findings.push(Finding {
+            rule: rules::UNWRAP,
+            file: "x.rs".into(),
+            line: 1,
+            message: "m".into(),
+        });
+        assert_eq!(exit_code(&r), 1);
+    }
+
+    #[test]
+    fn allowlist_matches_suffix_and_substring() {
+        let allow = Allowlist::from_str_for_rule(
+            rules::UNWRAP,
+            "# comment\ncrates/libos-sim/src/shim.rs pf_seal\n",
+        );
+        let mut f = Finding {
+            rule: rules::UNWRAP,
+            file: "crates/libos-sim/src/shim.rs".into(),
+            line: 192,
+            message: ".expect(\"pf_seal without protected files\") in non-test code".into(),
+        };
+        assert!(allow.permits(&f));
+        f.message = ".expect(\"pf_open ...\")".into();
+        assert!(!allow.permits(&f), "substring must match");
+        f.file = "crates/sgx-sim/src/machine.rs".into();
+        assert!(!allow.permits(&f), "path suffix must match");
+    }
+}

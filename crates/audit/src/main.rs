@@ -1,0 +1,78 @@
+//! Command-line entry point: `gauge-audit [--check] [--json] [--root DIR]`.
+//!
+//! * `--check` — exit nonzero when any violation survives the
+//!   allowlists (the CI mode).
+//! * `--json` — machine-readable output instead of human lines.
+//! * `--root DIR` — scan the workspace rooted at `DIR` instead of
+//!   discovering it from the current directory.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("gauge-audit: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: gauge-audit [--check] [--json] [--root DIR]");
+                println!("rules: {}", audit::rules::ALL_RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gauge-audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| audit::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("gauge-audit: no workspace root found (try --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match audit::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gauge-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", audit::to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "gauge-audit: {} violation(s), {} suppressed by allowlists, {} files checked",
+            report.findings.len(),
+            report.suppressed,
+            report.files_checked
+        );
+    }
+    if check {
+        ExitCode::from(audit::exit_code(&report) as u8)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

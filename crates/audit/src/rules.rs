@@ -1,0 +1,267 @@
+//! The lint rules `gauge-audit` enforces, and the model-derived context
+//! (canonical cost values, counter field names) they check against.
+//!
+//! Each rule guards one way the simulator has been observed to drift from
+//! the paper it reproduces:
+//!
+//! * [`COST_LITERALS`] — a cycle cost restated as a literal outside
+//!   `sgx-sim::costs` silently decouples from recalibration (§2.2, §2.3,
+//!   Appendix A all cite exact costs).
+//! * [`WALLCLOCK`] — the simulator is a cycle-accurate *model*; reading
+//!   the host clock (`std::time`, `Instant::now`) inside it makes runs
+//!   non-reproducible and corrupts every figure built from cycle counts.
+//! * [`COUNTER_CAST`] — the perf-counter fields are `u64` event totals;
+//!   a truncating `as` cast or float accumulation loses counts exactly
+//!   when workloads are large enough to matter.
+//! * [`UNWRAP`] — simulator code must surface errors as values;
+//!   `unwrap`/`expect` in non-test code turns modeling bugs into aborts
+//!   mid-sweep. Justified panics go in the allowlist with a reason.
+
+use crate::lexer::Tok;
+use crate::lexer::{test_spans, Token};
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Rule id: duplicated canonical cycle-cost literals.
+pub const COST_LITERALS: &str = "cost-literals";
+/// Rule id: wall-clock time sources inside the simulator.
+pub const WALLCLOCK: &str = "wallclock";
+/// Rule id: truncating casts on counter fields.
+pub const COUNTER_CAST: &str = "counter-cast";
+/// Rule id: `unwrap`/`expect` in non-test simulator code.
+pub const UNWRAP: &str = "unwrap";
+
+/// All rule ids, in reporting order.
+pub const ALL_RULES: &[&str] = &[COST_LITERALS, WALLCLOCK, COUNTER_CAST, UNWRAP];
+
+/// Cost literals below this value are too common to claim as canonical
+/// (e.g. the 16-page eviction batch); only the big cycle costs are.
+const MIN_CANONICAL_COST: u64 = 500;
+
+/// Cast targets that can truncate or round a `u64` counter.
+const NARROWING_CASTS: &[&str] = &[
+    "u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize", "usize", "f32", "f64",
+];
+
+/// Crates whose `src/` trees count as simulator code (rules b–d).
+const SIM_SRC: &[&str] = &[
+    "crates/sgx-sim/src/",
+    "crates/mem-sim/src/",
+    "crates/libos-sim/src/",
+];
+
+/// Model-derived context shared by all rules.
+#[derive(Debug, Clone, Default)]
+pub struct RuleContext {
+    /// Canonical cycle-cost value → constant name, extracted from
+    /// `sgx-sim::costs` (the single source of truth; this tool never
+    /// hard-codes the values themselves).
+    pub cost_values: BTreeMap<u64, String>,
+    /// Counter field names extracted from `mem-sim::counters`.
+    pub counter_fields: BTreeSet<String>,
+}
+
+impl RuleContext {
+    /// Builds the context from the sources of the two canonical modules.
+    pub fn from_sources(costs_src: &str, counters_src: &str) -> RuleContext {
+        RuleContext {
+            cost_values: extract_cost_values(costs_src),
+            counter_fields: extract_counter_fields(counters_src),
+        }
+    }
+}
+
+/// Extracts `pub const NAME: <ty> = <int>;` values ≥ [`MIN_CANONICAL_COST`]
+/// from the canonical costs module. Derived constants (initialized by an
+/// expression, not a literal) are intentionally skipped: their *source*
+/// values are the canonical ones.
+pub fn extract_cost_values(src: &str) -> BTreeMap<u64, String> {
+    let toks = crate::lexer::lex(src);
+    let mut out = BTreeMap::new();
+    for w in toks.windows(7) {
+        if let [a, b, name, colon, _ty, eq, val] = w {
+            if a.tok == Tok::Ident("pub".into())
+                && b.tok == Tok::Ident("const".into())
+                && colon.tok == Tok::Punct(':')
+                && eq.tok == Tok::Punct('=')
+            {
+                if let (Tok::Ident(n), Tok::Int(v)) = (&name.tok, &val.tok) {
+                    if *v >= MIN_CANONICAL_COST {
+                        out.insert(*v, n.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the `pub <field>: u64` names from the counters module.
+pub fn extract_counter_fields(src: &str) -> BTreeSet<String> {
+    let toks = crate::lexer::lex(src);
+    let mut out = BTreeSet::new();
+    for w in toks.windows(4) {
+        if let [p, name, colon, ty] = w {
+            if p.tok == Tok::Ident("pub".into())
+                && colon.tok == Tok::Punct(':')
+                && ty.tok == Tok::Ident("u64".into())
+            {
+                if let Tok::Ident(n) = &name.tok {
+                    out.insert(n.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs every rule whose scope covers `rel` (workspace-relative path with
+/// `/` separators) over `src`, returning the raw findings (allowlists are
+/// applied by the caller).
+pub fn check_source(rel: &str, src: &str, ctx: &RuleContext) -> Vec<Finding> {
+    let toks = crate::lexer::lex(src);
+    let spans = test_spans(&toks);
+    let in_test = |idx: usize| spans.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let mut findings = Vec::new();
+
+    if cost_literal_scope(rel) {
+        for (idx, t) in toks.iter().enumerate() {
+            if in_test(idx) {
+                continue;
+            }
+            if let Tok::Int(v) = t.tok {
+                if let Some(name) = ctx.cost_values.get(&v) {
+                    findings.push(Finding {
+                        rule: COST_LITERALS,
+                        file: rel.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "cycle-cost literal {v} duplicates sgx_sim::costs::{name}; \
+                             use the constant"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if wallclock_scope(rel) {
+        for (idx, t) in toks.iter().enumerate() {
+            if in_test(idx) {
+                continue;
+            }
+            if let Tok::Ident(s) = &t.tok {
+                let banned = match s.as_str() {
+                    "Instant" | "SystemTime" => true,
+                    "std" => is_path(&toks, idx, &["std", "time"]),
+                    _ => false,
+                };
+                if banned {
+                    findings.push(Finding {
+                        rule: WALLCLOCK,
+                        file: rel.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "wall-clock time source `{s}` in simulator code; \
+                             the model must be deterministic in simulated cycles"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if sim_src_scope(rel) {
+        for (idx, w) in toks.windows(4).enumerate() {
+            if in_test(idx) {
+                continue;
+            }
+            if let [dot, field, as_kw, ty] = w {
+                if dot.tok == Tok::Punct('.') && as_kw.tok == Tok::Ident("as".into()) {
+                    if let (Tok::Ident(f), Tok::Ident(t)) = (&field.tok, &ty.tok) {
+                        if ctx.counter_fields.contains(f) && NARROWING_CASTS.contains(&t.as_str()) {
+                            findings.push(Finding {
+                                rule: COUNTER_CAST,
+                                file: rel.to_string(),
+                                line: dot.line,
+                                message: format!(
+                                    "counter field `{f}` cast to `{t}` can lose events; \
+                                     keep counters in u64"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (idx, w) in toks.windows(3).enumerate() {
+            if in_test(idx) {
+                continue;
+            }
+            if let [dot, call, paren] = w {
+                if dot.tok == Tok::Punct('.') && paren.tok == Tok::Punct('(') {
+                    if let Tok::Ident(name) = &call.tok {
+                        if name == "unwrap" || name == "expect" {
+                            let arg = match toks.get(idx + 3).map(|t| &t.tok) {
+                                Some(Tok::Str(s)) => format!("(\"{s}\")"),
+                                _ => "()".to_string(),
+                            };
+                            findings.push(Finding {
+                                rule: UNWRAP,
+                                file: rel.to_string(),
+                                line: dot.line,
+                                message: format!(
+                                    ".{name}{arg} in non-test simulator code; \
+                                     return an error instead (or allowlist with a reason)"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+/// Whether `rel` is checked for duplicated cost literals: the whole
+/// workspace minus the canonical module itself and test trees (vendored
+/// stubs and build output never reach this function).
+fn cost_literal_scope(rel: &str) -> bool {
+    rel != "crates/sgx-sim/src/costs.rs" && !rel.starts_with("tests/") && !rel.contains("/tests/")
+}
+
+/// Whether `rel` is simulator code banned from reading wall-clock time:
+/// the simulator crates plus the sweep executor (which aggregates their
+/// cycle outputs).
+fn wallclock_scope(rel: &str) -> bool {
+    sim_src_scope(rel) || rel == "crates/core/src/sweep.rs"
+}
+
+/// Whether `rel` lies in one of the simulator crates' `src/` trees.
+fn sim_src_scope(rel: &str) -> bool {
+    SIM_SRC.iter().any(|p| rel.starts_with(p))
+}
+
+/// Whether the identifier at `idx` begins the `::`-separated path
+/// `segments` (e.g. `std::time`).
+fn is_path(toks: &[Token], idx: usize, segments: &[&str]) -> bool {
+    let mut k = idx;
+    for (n, seg) in segments.iter().enumerate() {
+        if toks.get(k).map(|t| &t.tok) != Some(&Tok::Ident(seg.to_string())) {
+            return false;
+        }
+        k += 1;
+        if n + 1 < segments.len() {
+            if toks.get(k).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+                || toks.get(k + 1).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+            {
+                return false;
+            }
+            k += 2;
+        }
+    }
+    true
+}

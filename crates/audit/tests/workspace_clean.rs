@@ -1,0 +1,31 @@
+//! The real workspace must scan clean: this is `gauge-audit --check`
+//! enforced from the tier-1 test suite, so a violation fails `cargo
+//! test` even when CI's dedicated audit job is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_model_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit sits two levels below the workspace root")
+        .to_path_buf();
+    let report = audit::scan_workspace(&root).expect("scan must succeed");
+    assert!(
+        report.files_checked > 50,
+        "scan looked at too few files ({}) — wrong root?",
+        report.files_checked
+    );
+    assert!(
+        report.findings.is_empty(),
+        "model-lint violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(audit::exit_code(&report), 0);
+}

@@ -13,6 +13,9 @@
 //! quick-test EPC is only used by unit tests, never here: benches always
 //! run against the 92 MB EPC platform of Table 3.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use sgxgauge_core::report::ReportTable;
 use sgxgauge_core::sweep::SweepReport;
 use sgxgauge_core::{

@@ -109,7 +109,7 @@ impl EnvConfig {
             native_content: 4 << 20,
             manifest: None,
             protected_files: false,
-            syscall_cycles: 1_800,
+            syscall_cycles: sgx_sim::costs::HOST_SYSCALL_CYCLES,
             copy_cycles_per_kib: 70,
             io_batch: 64 << 10,
         }

@@ -34,6 +34,9 @@
 //! assert_eq!(env.read_u64(region, 0), 42);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod env;
 pub mod modes;
 pub mod report;

@@ -13,6 +13,9 @@
 //! assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod chart;
 pub mod regression;
 pub mod summary;

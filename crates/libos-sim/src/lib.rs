@@ -32,6 +32,9 @@
 //! assert!(proc_.startup().ecalls > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod manifest;
 pub mod process;
 pub mod shim;

@@ -29,6 +29,9 @@
 //! assert_eq!(m.counters().mem_reads, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod counters;
 pub mod latency;

@@ -103,6 +103,11 @@ impl Default for MachineConfig {
     }
 }
 
+/// Extra cycles of a translation that misses the L1 dTLB but hits the
+/// second-level TLB (Table 3 class platform; small and fixed, so not part
+/// of the tunable [`LatencyModel`]).
+const STLB_HIT_CYCLES: u64 = 7;
+
 /// Per-thread microarchitectural state.
 #[derive(Debug, Clone)]
 struct ThreadCtx {
@@ -186,6 +191,8 @@ impl Machine {
             return out;
         }
         let lat = self.cfg.latency.clone();
+        #[cfg(feature = "audit")]
+        let c0 = self.counters;
         let t = &mut self.threads[tid.0];
         let first_line = vaddr >> LINE_SHIFT;
         let last_line = (vaddr + len - 1) >> LINE_SHIFT;
@@ -200,7 +207,7 @@ impl Machine {
                     TlbOutcome::L1Hit => {}
                     TlbOutcome::StlbHit => {
                         self.counters.stlb_hits += 1;
-                        cycles += 7; // STLB hit penalty
+                        cycles += STLB_HIT_CYCLES;
                     }
                     TlbOutcome::Miss => {
                         self.counters.dtlb_misses += 1;
@@ -248,6 +255,24 @@ impl Machine {
         }
         t.cycles += cycles;
         out.cycles = cycles;
+        // Every cycle this access charged must be accounted to exactly one
+        // counter bucket: STLB-hit penalties, OS fault handling, page
+        // walks, hierarchy stalls, or the L1 baseline per line. A drift
+        // here means the perf-counter decomposition the reports print no
+        // longer sums to the cycles the workloads observe.
+        #[cfg(feature = "audit")]
+        {
+            let d = self.counters - c0;
+            assert_eq!(
+                out.cycles,
+                STLB_HIT_CYCLES * d.stlb_hits
+                    + lat.minor_fault * d.page_faults
+                    + d.walk_cycles
+                    + d.stall_cycles
+                    + lat.l1_hit * (d.mem_reads + d.mem_writes),
+                "access cycles must decompose exactly into counter buckets"
+            );
+        }
         out
     }
 

@@ -23,6 +23,9 @@
 //! assert_eq!(digest[0], 0xba);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod aes;
 pub mod chacha20;
 pub mod hmac;

@@ -154,6 +154,87 @@ impl Epc {
         self.evicted_set.contains_key(&key)
     }
 
+    /// Iterates the keys of every resident page, in frame order.
+    /// Diagnostic view used by the cross-structure audit in
+    /// [`crate::SgxMachine`] and by property tests.
+    pub fn resident_keys(&self) -> impl Iterator<Item = PageKey> + '_ {
+        self.frames.iter().map(|f| f.key)
+    }
+
+    /// Verifies the EPC's structural invariants, returning a description
+    /// of the first violation found:
+    ///
+    /// * **capacity** — never more frames than the EPC holds,
+    /// * **bijection** — the residency map and the frame vector index
+    ///   each other exactly (every frame's key maps back to its index),
+    /// * **disjointness** — no page is both resident and evicted,
+    /// * **victim hygiene** — the transient eviction mark never leaks
+    ///   out of [`Epc::evict_batch`],
+    /// * **clock-hand conservation** — the hand always points at a live
+    ///   frame (or zero when the EPC is empty).
+    ///
+    /// Always compiled; the `audit` cargo feature additionally calls it
+    /// after every mutation and panics on violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.frames.len() > self.capacity {
+            return Err(format!(
+                "{} frames exceed capacity {}",
+                self.frames.len(),
+                self.capacity
+            ));
+        }
+        if self.resident.len() != self.frames.len() {
+            return Err(format!(
+                "residency map has {} entries for {} frames",
+                self.resident.len(),
+                self.frames.len()
+            ));
+        }
+        for (i, f) in self.frames.iter().enumerate() {
+            match self.resident.get(&f.key) {
+                Some(&idx) if idx == i => {}
+                Some(&idx) => {
+                    return Err(format!(
+                        "frame {i} holds {:?} but the map points at frame {idx}",
+                        f.key
+                    ))
+                }
+                None => return Err(format!("frame {i} holds unmapped page {:?}", f.key)),
+            }
+            if f.victim {
+                return Err(format!("victim mark leaked on resident frame {i}"));
+            }
+            if self.evicted_set.contains_key(&f.key) {
+                return Err(format!("page {:?} is both resident and evicted", f.key));
+            }
+        }
+        if self.frames.is_empty() {
+            if self.clock_hand != 0 {
+                return Err(format!("clock hand {} on empty EPC", self.clock_hand));
+            }
+        } else if self.clock_hand >= self.frames.len() {
+            return Err(format!(
+                "clock hand {} out of range for {} frames",
+                self.clock_hand,
+                self.frames.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panics on the first violated invariant (audit builds only).
+    #[cfg(feature = "audit")]
+    fn audit(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("EPC audit: {e}");
+        }
+    }
+
+    /// No-op twin of the audit hook in non-audit builds.
+    #[cfg(not(feature = "audit"))]
+    #[inline(always)]
+    fn audit(&self) {}
+
     /// Makes `key` resident, evicting a batch if the EPC is full, and
     /// reports what happened. Touching a resident page refreshes its
     /// clock reference bit.
@@ -168,7 +249,18 @@ impl Epc {
         }
         let mut evicted = Vec::new();
         if self.frames.len() >= self.capacity {
+            #[cfg(feature = "audit")]
+            let expected = self.batch.min(self.frames.len());
             evicted = self.evict_batch();
+            // The driver always writes back a full batch (16 victims per
+            // fault, Appendix A); a short batch would skew Fig 7's EWB
+            // sample counts and the eviction totals of Fig 6/9.
+            #[cfg(feature = "audit")]
+            assert_eq!(
+                evicted.len(),
+                expected,
+                "EWB batch must be exactly min(batch, frames)"
+            );
         }
         let kind = if self.evicted_set.remove(&key).is_some() {
             EpcFaultKind::LoadBack
@@ -187,6 +279,7 @@ impl Epc {
         } else {
             unreachable!("evict_batch guarantees free space");
         }
+        self.audit();
         EpcEvent { kind, evicted }
     }
 
@@ -198,6 +291,7 @@ impl Epc {
         if !self.resident.contains_key(&key) {
             self.evicted_set.insert(key, ());
         }
+        self.audit();
     }
 
     /// Removes every page owned by `enclave` (EREMOVE at teardown),
@@ -230,6 +324,7 @@ impl Epc {
         } else {
             new_hand % self.frames.len()
         };
+        self.audit();
         before - self.frames.len()
     }
 

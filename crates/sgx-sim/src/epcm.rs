@@ -134,6 +134,12 @@ impl Epcm {
         self.entries.get(&vpage)
     }
 
+    /// Iterates over all live entries (arbitrary order), for invariant
+    /// audits that cross-check the EPCM against EPC residency.
+    pub fn entries(&self) -> impl Iterator<Item = &EpcmEntry> {
+        self.entries.values()
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()

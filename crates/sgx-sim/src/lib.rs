@@ -38,7 +38,11 @@
 //! assert_eq!(m.sgx_counters().ecalls, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod attest;
+pub mod costs;
 pub mod driver;
 pub mod enclave;
 pub mod epc;

@@ -6,6 +6,7 @@
 //! [`SgxCounters`]; all driver-visible paging operations are also sampled
 //! into [`DriverStats`] the way the paper's instrumented driver does.
 
+use crate::costs;
 use crate::driver::{DriverOp, DriverStats};
 use crate::enclave::{Enclave, EnclaveId, EnclaveState};
 use crate::epc::{Epc, EpcFaultKind, PageKey};
@@ -107,21 +108,21 @@ impl Default for SgxConfig {
             mem: MachineConfig::default(),
             epc_bytes: 92 << 20,
             epc_reserved_bytes: 8 << 20,
-            evict_batch: 16,
-            ewb_cycles: 12_000,
-            eldu_cycles: 10_345, // 12_000 / 1.16
-            alloc_page_cycles: 5_300,
-            fault_base_cycles: 2_800,
-            eenter_cycles: 8_500,
-            eexit_cycles: 8_500,
-            aex_cycles: 7_000,
-            eresume_cycles: 3_200,
-            eadd_cycles: 1_400,
+            evict_batch: costs::EVICT_BATCH_PAGES,
+            ewb_cycles: costs::EWB_CYCLES,
+            eldu_cycles: costs::ELDU_CYCLES,
+            alloc_page_cycles: costs::ALLOC_PAGE_CYCLES,
+            fault_base_cycles: costs::FAULT_BASE_CYCLES,
+            eenter_cycles: costs::EENTER_CYCLES,
+            eexit_cycles: costs::EEXIT_CYCLES,
+            aex_cycles: costs::AEX_CYCLES,
+            eresume_cycles: costs::ERESUME_CYCLES,
+            eadd_cycles: costs::EADD_CYCLES,
             tcs_per_enclave: 16,
             switchless_workers: 0,
-            switchless_channel_cycles: 600,
+            switchless_channel_cycles: costs::SWITCHLESS_CHANNEL_CYCLES,
             sgx2_edmm: false,
-            eaccept_cycles: 1_900,
+            eaccept_cycles: costs::EACCEPT_CYCLES,
         }
     }
 }
@@ -400,6 +401,7 @@ impl SgxMachine {
         // The measurement pass churned the EPC behind secure_access's
         // back; the memoized page may have been evicted.
         self.last_touched = None;
+        self.audit();
         Ok(id)
     }
 
@@ -409,6 +411,7 @@ impl SgxMachine {
         self.epcm.remove_enclave(id);
         self.enclaves[id.0].destroy();
         self.last_touched = None;
+        self.audit();
     }
 
     /// Immutable view of an enclave.
@@ -459,7 +462,15 @@ impl SgxMachine {
         self.counters.ecalls += 1;
         self.counters.transition_cycles += self.cfg.eenter_cycles;
         self.mem.charge(tid, self.cfg.eenter_cycles);
+        #[cfg(feature = "audit")]
+        let flushes = self.mem.counters().tlb_flushes;
         self.mem.flush_tlb(tid);
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            self.mem.counters().tlb_flushes,
+            flushes + 1,
+            "EENTER flushes the TLB exactly once (§2.3)"
+        );
         Ok(())
     }
 
@@ -476,7 +487,15 @@ impl SgxMachine {
         self.active_tcs[id.0] -= 1;
         self.counters.transition_cycles += self.cfg.eexit_cycles;
         self.mem.charge(tid, self.cfg.eexit_cycles);
+        #[cfg(feature = "audit")]
+        let flushes = self.mem.counters().tlb_flushes;
         self.mem.flush_tlb(tid);
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            self.mem.counters().tlb_flushes,
+            flushes + 1,
+            "EEXIT flushes the TLB exactly once (§2.3)"
+        );
         Ok(())
     }
 
@@ -493,12 +512,20 @@ impl SgxMachine {
         if self.in_enclave[tid.0].is_none() {
             return Err(SgxError::NotInEnclave);
         }
+        #[cfg(feature = "audit")]
+        let flushes = self.mem.counters().tlb_flushes;
         if let Some(pool) = self.switchless.as_mut() {
             let now = self.mem.cycles_of(tid);
             let done = pool.submit(now, work_cycles);
             self.counters.transition_cycles += done.saturating_sub(now).saturating_sub(work_cycles);
             self.mem.sync_to(tid, done);
             self.counters.switchless_ocalls += 1;
+            #[cfg(feature = "audit")]
+            assert_eq!(
+                self.mem.counters().tlb_flushes,
+                flushes,
+                "switchless OCALLs are exit-less: no TLB flush (§5.6)"
+            );
             return Ok(());
         }
         self.counters.ocalls += 1;
@@ -508,6 +535,12 @@ impl SgxMachine {
         self.mem.charge(tid, work_cycles);
         self.mem.charge(tid, self.cfg.eenter_cycles);
         self.mem.flush_tlb(tid);
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            self.mem.counters().tlb_flushes,
+            flushes + 2,
+            "a classic OCALL flushes on both EEXIT and EENTER (§2.3)"
+        );
         Ok(())
     }
 
@@ -564,6 +597,11 @@ impl SgxMachine {
         let first_page = vaddr >> PAGE_SHIFT;
         let last_page = (vaddr + len - 1) >> PAGE_SHIFT;
         let mut extra = 0u64;
+        // A resident hit mutates only reference bits and the streaming
+        // memo; the full structural sweep is only due after a fault, and
+        // charging it per access would make audit builds O(EPC) per touch.
+        #[cfg(feature = "audit")]
+        let mut faulted = false;
         for page in first_page..=last_page {
             // Streaming fast path: repeated touches of the memoized page
             // skip the residency map entirely (its reference bit is
@@ -579,6 +617,12 @@ impl SgxMachine {
                 continue;
             }
             // EPC fault: AEX out, driver handles it, ERESUME back.
+            #[cfg(feature = "audit")]
+            let (c0, flushes0) = (self.counters, self.mem.counters().tlb_flushes);
+            #[cfg(feature = "audit")]
+            {
+                faulted = true;
+            }
             self.counters.epc_faults += 1;
             self.counters.aex_exits += 1;
             self.mem.flush_tlb(tid);
@@ -622,6 +666,30 @@ impl SgxMachine {
             // fresh reference bit (the eviction sweep may have cleared
             // or evicted anything else, including the old memo).
             self.last_touched = Some((eid, page));
+            // Eventwise conservation: one fault exits (AEX) and flushes
+            // exactly once, is resolved by exactly one alloc or load-back,
+            // and counts one eviction per EWB victim (§2.2/§2.3).
+            #[cfg(feature = "audit")]
+            {
+                let c1 = &self.counters;
+                assert_eq!(c1.epc_faults - c0.epc_faults, 1);
+                assert_eq!(c1.aex_exits - c0.aex_exits, 1, "one AEX per fault");
+                assert_eq!(
+                    (c1.epc_allocs + c1.epc_loadbacks) - (c0.epc_allocs + c0.epc_loadbacks),
+                    1,
+                    "a fault resolves via exactly one alloc or load-back"
+                );
+                assert_eq!(
+                    c1.epc_evictions - c0.epc_evictions,
+                    ev.evicted.len() as u64,
+                    "one eviction counted per EWB victim"
+                );
+                assert_eq!(
+                    self.mem.counters().tlb_flushes - flushes0,
+                    1,
+                    "the AEX flushes the TLB exactly once"
+                );
+            }
             if let Some(trace) = self.trace.as_mut() {
                 trace.push(EpcTraceSample {
                     cycles: self.mem.cycles_of(tid),
@@ -633,6 +701,10 @@ impl SgxMachine {
         }
         let mut out = self.mem.access(tid, vaddr, len, kind, &AccessAttrs::EPC);
         out.cycles += extra;
+        #[cfg(feature = "audit")]
+        if faulted {
+            self.audit();
+        }
         out
     }
 
@@ -675,6 +747,78 @@ impl SgxMachine {
     pub fn config(&self) -> &SgxConfig {
         &self.cfg
     }
+
+    /// Verifies the cross-structure SGX invariants, returning a
+    /// description of the first violation found:
+    ///
+    /// * the EPC's own structural invariants
+    ///   ([`Epc::check_invariants`]),
+    /// * **EPCM coverage** — every resident page has an EPCM entry whose
+    ///   owner and virtual page match (the §2.3 ownership check could not
+    ///   pass otherwise),
+    /// * **memo residency** — the streaming fast-path memo only ever
+    ///   names a resident page,
+    /// * **AEX accounting** — every EPC fault exits the enclave exactly
+    ///   once, so `aex_exits == epc_faults` (§2.3),
+    /// * **fault resolution** — each fault was resolved by an alloc or a
+    ///   load-back, so `epc_allocs + epc_loadbacks >= epc_faults` (build
+    ///   passes allocate without faulting, hence `>=` rather than `==`;
+    ///   the per-fault `==` is asserted eventwise in audit builds).
+    ///
+    /// Always compiled; the `audit` cargo feature additionally calls it
+    /// after every enclave build, teardown, and secure access, and
+    /// panics on violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.epc.check_invariants()?;
+        for key in self.epc.resident_keys() {
+            match self.epcm.entry(key.page) {
+                None => return Err(format!("resident page {key:?} has no EPCM entry")),
+                Some(e) if e.owner != key.enclave => {
+                    return Err(format!(
+                        "resident page {key:?} recorded as owned by {:?}",
+                        e.owner
+                    ))
+                }
+                Some(e) if e.vpage != key.page => {
+                    return Err(format!("EPCM entry for {key:?} records vpage {}", e.vpage))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some((eid, page)) = self.last_touched {
+            let key = PageKey { enclave: eid, page };
+            if !self.epc.is_resident(key) {
+                return Err(format!("fast-path memo names non-resident page {key:?}"));
+            }
+        }
+        let c = &self.counters;
+        if c.aex_exits != c.epc_faults {
+            return Err(format!(
+                "{} AEX exits for {} EPC faults",
+                c.aex_exits, c.epc_faults
+            ));
+        }
+        if c.epc_allocs + c.epc_loadbacks < c.epc_faults {
+            return Err(format!(
+                "{} faults but only {} allocs + {} load-backs",
+                c.epc_faults, c.epc_allocs, c.epc_loadbacks
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panics on the first violated invariant (audit builds only).
+    #[cfg(feature = "audit")]
+    fn audit(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("SGX machine audit: {e}");
+        }
+    }
+
+    /// No-op twin of the audit hook in non-audit builds.
+    #[cfg(not(feature = "audit"))]
+    #[inline(always)]
+    fn audit(&self) {}
 
     /// Resets measurement state (memory counters, SGX counters, driver
     /// samples, thread clocks) while keeping all architectural state —

@@ -4,6 +4,7 @@
 use mem_sim::{AccessKind, PAGE_SIZE};
 use proptest::prelude::*;
 use sgx_sim::epc::{Epc, EpcFaultKind, PageKey};
+use sgx_sim::epcm::{Epcm, PagePerms};
 use sgx_sim::{EnclaveId, SgxConfig, SgxMachine};
 
 fn key(p: u64) -> PageKey {
@@ -75,6 +76,102 @@ proptest! {
             "loadbacks {} > evictions {}", c.epc_loadbacks, c.epc_evictions);
         prop_assert_eq!(c.epc_faults, c.epc_allocs + c.epc_loadbacks);
         prop_assert_eq!(c.aex_exits, c.epc_faults);
+    }
+
+    /// Random alloc / evict / load-back / remove_enclave sequences
+    /// preserve the EPC's structural invariants and the EPC↔EPCM
+    /// ownership bijection: every resident frame has an EPCM entry whose
+    /// owner and virtual page match, exactly as the §2.3 TLB-fill check
+    /// requires. Ops are driven over three enclaves with disjoint page
+    /// ranges (as disjoint ELRANGEs guarantee in the machine).
+    #[test]
+    fn epcm_ownership_bijection_under_random_ops(
+        ops in prop::collection::vec((0u8..8, 0u64..48, 0usize..3), 1..250),
+        cap in 2usize..24, batch in 1usize..8)
+    {
+        let mut epc = Epc::new(cap, batch);
+        let mut epcm = Epcm::new();
+        for &(op, page, owner) in &ops {
+            let k = PageKey {
+                enclave: EnclaveId(owner),
+                page: owner as u64 * 1_000 + page,
+            };
+            match op {
+                0..=5 => {
+                    epcm.record_key(k, PagePerms::RW);
+                    epc.ensure_resident(k);
+                }
+                6 => {
+                    epcm.record_key(k, PagePerms::RW);
+                    epc.mark_evicted(k);
+                }
+                _ => {
+                    epc.remove_enclave(EnclaveId(owner));
+                    epcm.remove_enclave(EnclaveId(owner));
+                }
+            }
+            if let Err(e) = epc.check_invariants() {
+                prop_assert!(false, "EPC invariant violated: {}", e);
+            }
+            for key in epc.resident_keys() {
+                let entry = epcm.entry(key.page);
+                prop_assert!(entry.is_some(), "resident {:?} missing from EPCM", key);
+                let entry = entry.unwrap();
+                prop_assert_eq!(entry.owner, key.enclave);
+                prop_assert_eq!(entry.vpage, key.page);
+            }
+        }
+    }
+
+    /// Removing an enclave that owns no frames is behaviorally invisible:
+    /// every later replacement decision (victim choice included) matches
+    /// a clone that never saw the removal, so the clock hand's position
+    /// is preserved exactly.
+    #[test]
+    fn noop_remove_enclave_preserves_replacement(
+        warm in prop::collection::vec(0u64..32, 1..200),
+        probe in prop::collection::vec(32u64..64, 1..50),
+        cap in 2usize..16, batch in 1usize..4)
+    {
+        let mut a = Epc::new(cap, batch);
+        for &p in &warm {
+            a.ensure_resident(key(p));
+        }
+        let mut b = a.clone();
+        prop_assert_eq!(b.remove_enclave(EnclaveId(7)), 0);
+        for &p in &probe {
+            let ea = a.ensure_resident(key(p));
+            let eb = b.ensure_resident(key(p));
+            prop_assert_eq!(ea.kind, eb.kind);
+            prop_assert_eq!(ea.evicted, eb.evicted);
+        }
+    }
+
+    /// The machine-wide invariant check holds after every access of an
+    /// arbitrary stream that thrashes a tiny EPC (allocs, evictions and
+    /// load-backs all occur), not just at end of run.
+    #[test]
+    fn machine_invariants_hold_under_random_streams(
+        pages in prop::collection::vec(0u64..48, 1..150))
+    {
+        let mut m = SgxMachine::new(SgxConfig::with_tiny_epc(16, 4));
+        let t = m.add_thread();
+        let e = m.create_enclave(64 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 48 * PAGE_SIZE).unwrap();
+        if let Err(err) = m.check_invariants() {
+            prop_assert!(false, "after build: {}", err);
+        }
+        for &p in &pages {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Read);
+            if let Err(err) = m.check_invariants() {
+                prop_assert!(false, "after touching page {}: {}", p, err);
+            }
+        }
+        m.destroy_enclave(e);
+        if let Err(err) = m.check_invariants() {
+            prop_assert!(false, "after teardown: {}", err);
+        }
     }
 
     /// Transition bookkeeping: enters and exits pair up and each flushes

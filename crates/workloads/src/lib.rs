@@ -27,6 +27,9 @@
 //! milliseconds while preserving each Low/Medium/High setting's position
 //! relative to the EPC boundary.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bfs;
 pub mod blockchain;
 pub mod btree;

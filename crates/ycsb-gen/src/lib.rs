@@ -18,6 +18,9 @@
 //! assert!(ops.iter().all(|op| op.key < 1_000));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod dist;
 pub mod workload;
 

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/audit-3137ab718ccc4c7e.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/audit-3137ab718ccc4c7e: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:

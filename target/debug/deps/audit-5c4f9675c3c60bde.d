@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/audit-5c4f9675c3c60bde.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit-5c4f9675c3c60bde.rmeta: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit-e1be9831e8b4f98a.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libaudit-e1be9831e8b4f98a.rlib: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libaudit-e1be9831e8b4f98a.rmeta: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:

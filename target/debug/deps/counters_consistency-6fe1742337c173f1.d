@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counters_consistency-6fe1742337c173f1.d: tests/counters_consistency.rs
+
+/root/repo/target/debug/deps/counters_consistency-6fe1742337c173f1: tests/counters_consistency.rs
+
+tests/counters_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a6c7c889b36bec45.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a6c7c889b36bec45: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-8c2b64d526410ba7.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-8c2b64d526410ba7: tests/failure_injection.rs
+
+tests/failure_injection.rs:

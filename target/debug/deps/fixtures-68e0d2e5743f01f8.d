@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixtures-68e0d2e5743f01f8.d: crates/audit/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-68e0d2e5743f01f8: crates/audit/tests/fixtures.rs
+
+crates/audit/tests/fixtures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixtures-a625b5a3b8e3b321.d: crates/audit/tests/fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-a625b5a3b8e3b321.rmeta: crates/audit/tests/fixtures.rs Cargo.toml
+
+crates/audit/tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gauge_audit-4955f61be7fed330.d: crates/audit/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgauge_audit-4955f61be7fed330.rmeta: crates/audit/src/main.rs Cargo.toml
+
+crates/audit/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

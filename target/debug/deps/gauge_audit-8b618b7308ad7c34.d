@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gauge_audit-8b618b7308ad7c34.d: crates/audit/src/main.rs
+
+/root/repo/target/debug/deps/gauge_audit-8b618b7308ad7c34: crates/audit/src/main.rs
+
+crates/audit/src/main.rs:

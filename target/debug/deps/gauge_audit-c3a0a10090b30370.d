@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gauge_audit-c3a0a10090b30370.d: crates/audit/src/main.rs
+
+/root/repo/target/debug/deps/gauge_audit-c3a0a10090b30370: crates/audit/src/main.rs
+
+crates/audit/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/libos_sim-634b3fca91f4a2b7.d: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/debug/deps/liblibos_sim-634b3fca91f4a2b7.rlib: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+/root/repo/target/debug/deps/liblibos_sim-634b3fca91f4a2b7.rmeta: crates/libos-sim/src/lib.rs crates/libos-sim/src/manifest.rs crates/libos-sim/src/process.rs crates/libos-sim/src/shim.rs
+
+crates/libos-sim/src/lib.rs:
+crates/libos-sim/src/manifest.rs:
+crates/libos-sim/src/process.rs:
+crates/libos-sim/src/shim.rs:

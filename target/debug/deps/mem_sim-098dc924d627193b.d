@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mem_sim-098dc924d627193b.d: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+/root/repo/target/debug/deps/libmem_sim-098dc924d627193b.rlib: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+/root/repo/target/debug/deps/libmem_sim-098dc924d627193b.rmeta: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+crates/mem-sim/src/lib.rs:
+crates/mem-sim/src/cache.rs:
+crates/mem-sim/src/counters.rs:
+crates/mem-sim/src/latency.rs:
+crates/mem-sim/src/machine.rs:
+crates/mem-sim/src/paging.rs:
+crates/mem-sim/src/tlb.rs:

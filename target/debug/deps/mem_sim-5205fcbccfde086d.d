@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mem_sim-5205fcbccfde086d.d: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+/root/repo/target/debug/deps/mem_sim-5205fcbccfde086d: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs
+
+crates/mem-sim/src/lib.rs:
+crates/mem-sim/src/cache.rs:
+crates/mem-sim/src/counters.rs:
+crates/mem-sim/src/latency.rs:
+crates/mem-sim/src/machine.rs:
+crates/mem-sim/src/paging.rs:
+crates/mem-sim/src/tlb.rs:

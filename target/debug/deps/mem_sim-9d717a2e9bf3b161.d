@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mem_sim-9d717a2e9bf3b161.d: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem_sim-9d717a2e9bf3b161.rmeta: crates/mem-sim/src/lib.rs crates/mem-sim/src/cache.rs crates/mem-sim/src/counters.rs crates/mem-sim/src/latency.rs crates/mem-sim/src/machine.rs crates/mem-sim/src/paging.rs crates/mem-sim/src/tlb.rs Cargo.toml
+
+crates/mem-sim/src/lib.rs:
+crates/mem-sim/src/cache.rs:
+crates/mem-sim/src/counters.rs:
+crates/mem-sim/src/latency.rs:
+crates/mem-sim/src/machine.rs:
+crates/mem-sim/src/paging.rs:
+crates/mem-sim/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5138f9d0db6c9d0c.d: crates/mem-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5138f9d0db6c9d0c.rmeta: crates/mem-sim/tests/properties.rs Cargo.toml
+
+crates/mem-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

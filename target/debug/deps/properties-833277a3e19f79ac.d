@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-833277a3e19f79ac.d: crates/sgx-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-833277a3e19f79ac: crates/sgx-sim/tests/properties.rs
+
+crates/sgx-sim/tests/properties.rs:

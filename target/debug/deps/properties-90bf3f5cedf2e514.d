@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-90bf3f5cedf2e514.d: crates/mem-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-90bf3f5cedf2e514: crates/mem-sim/tests/properties.rs
+
+crates/mem-sim/tests/properties.rs:

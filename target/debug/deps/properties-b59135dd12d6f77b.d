@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b59135dd12d6f77b.d: crates/sgx-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b59135dd12d6f77b.rmeta: crates/sgx-sim/tests/properties.rs Cargo.toml
+
+crates/sgx-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sgx_sim-000fe9bf12c2728a.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgx_sim-000fe9bf12c2728a.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
+
+crates/sgx-sim/src/lib.rs:
+crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/costs.rs:
+crates/sgx-sim/src/driver.rs:
+crates/sgx-sim/src/enclave.rs:
+crates/sgx-sim/src/epc.rs:
+crates/sgx-sim/src/epcm.rs:
+crates/sgx-sim/src/machine.rs:
+crates/sgx-sim/src/switchless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/sgx_sim-28980f76a96a360c.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+/root/repo/target/debug/deps/sgx_sim-28980f76a96a360c.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
 
-/root/repo/target/debug/deps/libsgx_sim-28980f76a96a360c.rlib: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+/root/repo/target/debug/deps/libsgx_sim-28980f76a96a360c.rlib: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
 
-/root/repo/target/debug/deps/libsgx_sim-28980f76a96a360c.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+/root/repo/target/debug/deps/libsgx_sim-28980f76a96a360c.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
 
 crates/sgx-sim/src/lib.rs:
 crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/costs.rs:
 crates/sgx-sim/src/driver.rs:
 crates/sgx-sim/src/enclave.rs:
 crates/sgx-sim/src/epc.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgx_sim-c57b551d2e7afaab.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+
+/root/repo/target/debug/deps/sgx_sim-c57b551d2e7afaab: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+
+crates/sgx-sim/src/lib.rs:
+crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/costs.rs:
+crates/sgx-sim/src/driver.rs:
+crates/sgx-sim/src/enclave.rs:
+crates/sgx-sim/src/epc.rs:
+crates/sgx-sim/src/epcm.rs:
+crates/sgx-sim/src/machine.rs:
+crates/sgx-sim/src/switchless.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/sgx_sim-fa354307c0826690.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
+/root/repo/target/debug/deps/sgx_sim-fa354307c0826690.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsgx_sim-fa354307c0826690.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
+/root/repo/target/debug/deps/libsgx_sim-fa354307c0826690.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs Cargo.toml
 
 crates/sgx-sim/src/lib.rs:
 crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/costs.rs:
 crates/sgx-sim/src/driver.rs:
 crates/sgx-sim/src/enclave.rs:
 crates/sgx-sim/src/epc.rs:

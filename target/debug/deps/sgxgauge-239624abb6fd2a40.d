@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgxgauge-239624abb6fd2a40.d: src/main.rs
+
+/root/repo/target/debug/deps/sgxgauge-239624abb6fd2a40: src/main.rs
+
+src/main.rs:

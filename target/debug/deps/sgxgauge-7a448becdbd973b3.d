@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgxgauge-7a448becdbd973b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/sgxgauge-7a448becdbd973b3: src/lib.rs
+
+src/lib.rs:

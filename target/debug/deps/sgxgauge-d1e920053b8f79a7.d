@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgxgauge-d1e920053b8f79a7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsgxgauge-d1e920053b8f79a7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsgxgauge-d1e920053b8f79a7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgxgauge-e3e9dc3b5ca8eeb9.d: src/main.rs
+
+/root/repo/target/debug/deps/sgxgauge-e3e9dc3b5ca8eeb9: src/main.rs
+
+src/main.rs:

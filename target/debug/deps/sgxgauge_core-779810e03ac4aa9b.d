@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgxgauge_core-779810e03ac4aa9b.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libsgxgauge_core-779810e03ac4aa9b.rlib: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+/root/repo/target/debug/deps/libsgxgauge_core-779810e03ac4aa9b.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/modes.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs crates/core/src/workload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/modes.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:
+crates/core/src/workload.rs:

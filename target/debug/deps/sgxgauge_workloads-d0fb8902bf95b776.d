@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sgxgauge_workloads-d0fb8902bf95b776.d: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/libsgxgauge_workloads-d0fb8902bf95b776.rlib: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs
+
+/root/repo/target/debug/deps/libsgxgauge_workloads-d0fb8902bf95b776.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/blockchain.rs crates/workloads/src/btree.rs crates/workloads/src/hashjoin.rs crates/workloads/src/iozone.rs crates/workloads/src/lighttpd.rs crates/workloads/src/memcached.rs crates/workloads/src/openssl.rs crates/workloads/src/pagerank.rs crates/workloads/src/svm.rs crates/workloads/src/util.rs crates/workloads/src/xsbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/blockchain.rs:
+crates/workloads/src/btree.rs:
+crates/workloads/src/hashjoin.rs:
+crates/workloads/src/iozone.rs:
+crates/workloads/src/lighttpd.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/pagerank.rs:
+crates/workloads/src/svm.rs:
+crates/workloads/src/util.rs:
+crates/workloads/src/xsbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_integration-6a173fe8654a0f1f.d: tests/suite_integration.rs
+
+/root/repo/target/debug/deps/suite_integration-6a173fe8654a0f1f: tests/suite_integration.rs
+
+tests/suite_integration.rs:

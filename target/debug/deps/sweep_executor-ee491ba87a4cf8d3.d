@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_executor-ee491ba87a4cf8d3.d: tests/sweep_executor.rs
+
+/root/repo/target/debug/deps/sweep_executor-ee491ba87a4cf8d3: tests/sweep_executor.rs
+
+tests/sweep_executor.rs:

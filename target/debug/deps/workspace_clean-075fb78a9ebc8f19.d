@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workspace_clean-075fb78a9ebc8f19.d: crates/audit/tests/workspace_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_clean-075fb78a9ebc8f19.rmeta: crates/audit/tests/workspace_clean.rs Cargo.toml
+
+crates/audit/tests/workspace_clean.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

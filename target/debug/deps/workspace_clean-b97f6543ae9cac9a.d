@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-b97f6543ae9cac9a.d: crates/audit/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/workspace_clean-b97f6543ae9cac9a: crates/audit/tests/workspace_clean.rs
+
+crates/audit/tests/workspace_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

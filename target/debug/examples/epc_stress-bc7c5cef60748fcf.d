@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epc_stress-bc7c5cef60748fcf.d: examples/epc_stress.rs
+
+/root/repo/target/debug/examples/epc_stress-bc7c5cef60748fcf: examples/epc_stress.rs
+
+examples/epc_stress.rs:

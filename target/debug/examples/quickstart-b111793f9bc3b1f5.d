@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b111793f9bc3b1f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b111793f9bc3b1f5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_kv-2a4135173f2fa981.d: examples/secure_kv.rs
+
+/root/repo/target/debug/examples/secure_kv-2a4135173f2fa981: examples/secure_kv.rs
+
+examples/secure_kv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sgx2_preview-bc6493bfd9abaa4a.d: examples/sgx2_preview.rs
+
+/root/repo/target/debug/examples/sgx2_preview-bc6493bfd9abaa4a: examples/sgx2_preview.rs
+
+examples/sgx2_preview.rs:

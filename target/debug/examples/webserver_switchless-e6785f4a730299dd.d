@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webserver_switchless-e6785f4a730299dd.d: examples/webserver_switchless.rs
+
+/root/repo/target/debug/examples/webserver_switchless-e6785f4a730299dd: examples/webserver_switchless.rs
+
+examples/webserver_switchless.rs:

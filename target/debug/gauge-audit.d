@@ -1,0 +1,1 @@
+/root/repo/target/debug/gauge-audit: /root/repo/crates/audit/src/lexer.rs /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/main.rs /root/repo/crates/audit/src/rules.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libaudit.rlib: /root/repo/crates/audit/src/lexer.rs /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/rules.rs

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/sgx_sim-bb1e2fcb2f3d543d.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+/root/repo/target/release/deps/sgx_sim-bb1e2fcb2f3d543d.d: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
 
-/root/repo/target/release/deps/libsgx_sim-bb1e2fcb2f3d543d.rlib: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+/root/repo/target/release/deps/libsgx_sim-bb1e2fcb2f3d543d.rlib: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
 
-/root/repo/target/release/deps/libsgx_sim-bb1e2fcb2f3d543d.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
+/root/repo/target/release/deps/libsgx_sim-bb1e2fcb2f3d543d.rmeta: crates/sgx-sim/src/lib.rs crates/sgx-sim/src/attest.rs crates/sgx-sim/src/costs.rs crates/sgx-sim/src/driver.rs crates/sgx-sim/src/enclave.rs crates/sgx-sim/src/epc.rs crates/sgx-sim/src/epcm.rs crates/sgx-sim/src/machine.rs crates/sgx-sim/src/switchless.rs
 
 crates/sgx-sim/src/lib.rs:
 crates/sgx-sim/src/attest.rs:
+crates/sgx-sim/src/costs.rs:
 crates/sgx-sim/src/driver.rs:
 crates/sgx-sim/src/enclave.rs:
 crates/sgx-sim/src/epc.rs:
