@@ -234,10 +234,11 @@ fn cost_literal_scope(rel: &str) -> bool {
 }
 
 /// Whether `rel` is simulator code banned from reading wall-clock time:
-/// the simulator crates plus the sweep executor (which aggregates their
-/// cycle outputs).
+/// the simulator crates, the fault-injection plane (its schedules and
+/// backoff must be pure simulated cycles), and the sweep executor
+/// (which aggregates their cycle outputs).
 fn wallclock_scope(rel: &str) -> bool {
-    sim_src_scope(rel) || rel == "crates/core/src/sweep.rs"
+    sim_src_scope(rel) || rel.starts_with("crates/faults/src/") || rel == "crates/core/src/sweep.rs"
 }
 
 /// Whether `rel` lies in one of the simulator crates' `src/` trees.

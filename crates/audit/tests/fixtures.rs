@@ -101,6 +101,18 @@ fn seeded_wallclock_read_is_caught_in_sim_crates_only() {
     assert!(rules::check_source("crates/core/src/sweep.rs", src, &ctx())
         .iter()
         .any(|f| f.rule == rules::WALLCLOCK));
+    // The fault-injection plane schedules in simulated cycles only.
+    assert!(
+        rules::check_source("crates/faults/src/hook.rs", src, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::WALLCLOCK)
+    );
+    // Checkpoint IO is host-side harness code, out of scope.
+    assert!(
+        rules::check_source("crates/core/src/checkpoint.rs", src, &ctx())
+            .iter()
+            .all(|f| f.rule != rules::WALLCLOCK)
+    );
 }
 
 #[test]

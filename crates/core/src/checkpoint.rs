@@ -1,0 +1,906 @@
+//! Checkpoint/resume for sweep execution.
+//!
+//! Long sweeps die for boring reasons — a killed CI job, a full disk, a
+//! rebooted host — and re-running every completed cell wastes exactly
+//! the cycles the harness exists to measure. [`SuiteRunner::run_with_checkpoint`]
+//! persists every completed cell to a JSON file (atomically: temp file +
+//! rename) and, on resume, re-loads the completed cells and executes
+//! only the remainder, producing a [`SweepReport`] whose
+//! [`fingerprint`](SweepReport::fingerprint) is identical to an
+//! uninterrupted run.
+//!
+//! The file embeds a *grid fingerprint* — a digest of the workload
+//! names, the enumerated grid, the fault plan, the retry budget and the
+//! cell budget — so a checkpoint can never be resumed against a sweep
+//! it does not describe. The format is a dependency-free JSON dialect
+//! (all numbers are unsigned 64-bit decimals; `f64` metrics are stored
+//! as their IEEE-754 bit patterns) written and parsed entirely by this
+//! module.
+
+use crate::modes::{ExecMode, InputSetting};
+use crate::runner::RunReport;
+use crate::sweep::{CellError, CellErrorKind, Fnv, SuiteRunner, SweepCell, SweepReport};
+use crate::workload::{Workload, WorkloadOutput};
+use mem_sim::Counters;
+use sgx_sim::{DriverStats, SgxCounters};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Checkpoint file format version; bumped on incompatible layout change.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+impl SuiteRunner {
+    /// Runs the grid like [`SuiteRunner::run`], persisting every
+    /// completed cell to `path`. When `resume` is true and `path` holds
+    /// a checkpoint of the *same* sweep (grid fingerprint match), its
+    /// completed cells are adopted instead of re-run.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description when the checkpoint cannot be read,
+    /// parsed, verified against this sweep, or written.
+    pub fn run_with_checkpoint(
+        &self,
+        workloads: &[&dyn Workload],
+        path: &Path,
+        resume: bool,
+    ) -> Result<SweepReport, String> {
+        let grid = self.grid(workloads);
+        let grid_fp = grid_fingerprint(self, workloads);
+        let mut prefilled = Vec::new();
+        let mut retained = BTreeMap::new();
+        if resume && path.exists() {
+            let stored = load_checkpoint(path)?;
+            if stored.grid_fp != grid_fp {
+                return Err(format!(
+                    "checkpoint {} describes a different sweep \
+                     (grid fingerprint {:#018x}, expected {:#018x})",
+                    path.display(),
+                    stored.grid_fp,
+                    grid_fp
+                ));
+            }
+            for cell in stored.cells {
+                let index = cell.index;
+                let adopted = adopt_cell(cell, &grid, workloads)?;
+                retained.insert(index, cell_json(index, &adopted));
+                prefilled.push((index, adopted));
+            }
+        }
+        let sink = CheckpointSink {
+            path: path.to_path_buf(),
+            state: Mutex::new(SinkState {
+                grid_fp,
+                cells: retained,
+                error: None,
+            }),
+        };
+        // Write the header (plus any adopted cells) up front so even a
+        // sweep killed before its first completed cell leaves a valid,
+        // resumable file behind.
+        sink.flush()?;
+        let report = self.execute_resumable(workloads, self.thread_count(), prefilled, Some(&sink));
+        sink.take_error()?;
+        Ok(report)
+    }
+}
+
+/// Digest of everything that determines the sweep's shape and policy:
+/// adopting a cell from a checkpoint is only sound when all of it
+/// matches.
+fn grid_fingerprint(suite: &SuiteRunner, workloads: &[&dyn Workload]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(CHECKPOINT_VERSION);
+    h.u64(workloads.len() as u64);
+    for w in workloads {
+        h.str(w.name());
+    }
+    for c in suite.grid(workloads) {
+        h.u64(c.workload as u64);
+        h.u64(c.mode as u64);
+        h.u64(c.setting as u64);
+        h.u64(c.rep as u64);
+    }
+    h.u64(
+        suite
+            .runner()
+            .fault_plan()
+            .map_or(0, faults::FaultPlan::digest),
+    );
+    h.u64(suite.retry_budget() as u64);
+    h.u64(suite.runner().cell_budget_cycles().unwrap_or(0));
+    h.finish()
+}
+
+/// Accumulates completed cells and rewrites the checkpoint file after
+/// each one. Shared across sweep workers behind its internal mutex.
+pub(crate) struct CheckpointSink {
+    path: PathBuf,
+    state: Mutex<SinkState>,
+}
+
+struct SinkState {
+    grid_fp: u64,
+    /// Grid index → serialized cell JSON, kept sorted for stable files.
+    cells: BTreeMap<usize, String>,
+    /// First write failure, surfaced when the sweep finishes (workers
+    /// cannot propagate it mid-flight).
+    error: Option<String>,
+}
+
+impl CheckpointSink {
+    /// Records a completed cell and rewrites the file.
+    pub(crate) fn record(&self, index: usize, cell: &SweepCell) {
+        let mut state = self.state.lock().expect("sink lock is never poisoned");
+        state.cells.insert(index, cell_json(index, cell));
+        if let Err(e) = write_atomic(&self.path, &render(&state)) {
+            state.error.get_or_insert(e);
+        }
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        let state = self.state.lock().expect("sink lock is never poisoned");
+        write_atomic(&self.path, &render(&state))
+    }
+
+    fn take_error(&self) -> Result<(), String> {
+        match self
+            .state
+            .lock()
+            .expect("sink lock is never poisoned")
+            .error
+            .take()
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn render(state: &SinkState) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":");
+    out.push_str(&CHECKPOINT_VERSION.to_string());
+    out.push_str(",\"grid_fp\":");
+    out.push_str(&state.grid_fp.to_string());
+    out.push_str(",\"cells\":[");
+    for (i, cell) in state.cells.values().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(cell);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Whole-file atomic write: temp sibling, then rename over the target.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)
+        .map_err(|e| format!("cannot write checkpoint {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot publish checkpoint {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn cell_json(index: usize, cell: &SweepCell) -> String {
+    let mut out = String::new();
+    out.push_str("{\"index\":");
+    out.push_str(&index.to_string());
+    out.push_str(",\"workload\":");
+    json_string(&mut out, cell.workload);
+    for (key, v) in [
+        ("windex", cell.cell.workload as u64),
+        ("mode", cell.cell.mode as u64),
+        ("setting", cell.cell.setting as u64),
+        ("rep", cell.cell.rep as u64),
+        ("attempts", cell.attempts as u64),
+        ("backoff", cell.backoff_cycles),
+    ] {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    match &cell.result {
+        Ok(r) => {
+            out.push_str(",\"ok\":{\"runtime\":");
+            out.push_str(&r.runtime_cycles.to_string());
+            out.push_str(",\"clock\":");
+            out.push_str(&r.clock_hz.to_string());
+            out.push_str(",\"counters\":");
+            named_u64s(&mut out, &r.counters.fields());
+            out.push_str(",\"sgx\":");
+            named_u64s(&mut out, &r.sgx.fields());
+            out.push_str(",\"ops\":");
+            out.push_str(&r.output.ops.to_string());
+            out.push_str(",\"checksum\":");
+            out.push_str(&r.output.checksum.to_string());
+            out.push_str(",\"metrics\":[");
+            for (i, (name, v)) in r.output.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json_string(&mut out, name);
+                out.push(',');
+                out.push_str(&v.to_bits().to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        Err(e) => {
+            out.push_str(",\"err\":{\"kind\":");
+            json_string(&mut out, &e.kind.to_string());
+            out.push_str(",\"message\":");
+            json_string(&mut out, &e.message);
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn named_u64s(out: &mut String, pairs: &[(&'static str, u64)]) {
+    out.push('[');
+    for (i, (name, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        json_string(out, name);
+        out.push(',');
+        out.push_str(&v.to_string());
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parsed checkpoint file.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Format version (must equal [`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Digest of the sweep the file belongs to.
+    pub grid_fp: u64,
+    /// Completed cells, in stored (grid-index) order.
+    pub cells: Vec<StoredCell>,
+}
+
+/// One completed cell as stored on disk.
+#[derive(Debug, Clone)]
+pub struct StoredCell {
+    /// Position in the enumerated grid.
+    pub index: usize,
+    /// Workload name at store time (verified against the live suite).
+    pub workload: String,
+    /// Workload slice index.
+    pub windex: usize,
+    /// `ExecMode as u64` discriminant.
+    pub mode: u64,
+    /// `InputSetting as u64` discriminant.
+    pub setting: u64,
+    /// Repetition number.
+    pub rep: usize,
+    /// Attempts the cell took.
+    pub attempts: usize,
+    /// Accounted retry backoff.
+    pub backoff_cycles: u64,
+    /// The stored outcome.
+    pub result: StoredResult,
+}
+
+/// Stored cell outcome.
+#[derive(Debug, Clone)]
+pub enum StoredResult {
+    /// A successful run (the fingerprinted subset of [`RunReport`]).
+    Ok {
+        /// Measured runtime in cycles.
+        runtime_cycles: u64,
+        /// Machine clock in Hz.
+        clock_hz: u64,
+        /// Hardware counter (name, value) pairs.
+        counters: Vec<(String, u64)>,
+        /// SGX counter (name, value) pairs.
+        sgx: Vec<(String, u64)>,
+        /// Application-level operations.
+        ops: u64,
+        /// Validation checksum.
+        checksum: u64,
+        /// Metrics as (name, IEEE-754 bits).
+        metrics: Vec<(String, u64)>,
+    },
+    /// A failed cell.
+    Err {
+        /// The structured failure kind, as displayed.
+        kind: String,
+        /// The failure message.
+        message: String,
+    },
+}
+
+/// Reads and parses a checkpoint file.
+///
+/// # Errors
+///
+/// A description of the IO, syntax, or schema problem.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+    let root = parse_json(&text)?;
+    let obj = root.as_obj("checkpoint")?;
+    let version = get(obj, "version")?.as_u64("version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(format!(
+            "checkpoint version {version} unsupported (expected {CHECKPOINT_VERSION})"
+        ));
+    }
+    let grid_fp = get(obj, "grid_fp")?.as_u64("grid_fp")?;
+    let mut cells = Vec::new();
+    for v in get(obj, "cells")?.as_arr("cells")? {
+        cells.push(parse_cell(v)?);
+    }
+    Ok(Checkpoint {
+        version,
+        grid_fp,
+        cells,
+    })
+}
+
+fn parse_cell(v: &Json) -> Result<StoredCell, String> {
+    let obj = v.as_obj("cell")?;
+    let result = if let Ok(ok) = get(obj, "ok") {
+        let ok = ok.as_obj("ok")?;
+        StoredResult::Ok {
+            runtime_cycles: get(ok, "runtime")?.as_u64("runtime")?,
+            clock_hz: get(ok, "clock")?.as_u64("clock")?,
+            counters: named_pairs(get(ok, "counters")?, "counters")?,
+            sgx: named_pairs(get(ok, "sgx")?, "sgx")?,
+            ops: get(ok, "ops")?.as_u64("ops")?,
+            checksum: get(ok, "checksum")?.as_u64("checksum")?,
+            metrics: named_pairs(get(ok, "metrics")?, "metrics")?,
+        }
+    } else {
+        let err = get(obj, "err")?.as_obj("err")?;
+        StoredResult::Err {
+            kind: get(err, "kind")?.as_str("kind")?.to_owned(),
+            message: get(err, "message")?.as_str("message")?.to_owned(),
+        }
+    };
+    Ok(StoredCell {
+        index: get(obj, "index")?.as_u64("index")? as usize,
+        workload: get(obj, "workload")?.as_str("workload")?.to_owned(),
+        windex: get(obj, "windex")?.as_u64("windex")? as usize,
+        mode: get(obj, "mode")?.as_u64("mode")?,
+        setting: get(obj, "setting")?.as_u64("setting")?,
+        rep: get(obj, "rep")?.as_u64("rep")? as usize,
+        attempts: get(obj, "attempts")?.as_u64("attempts")? as usize,
+        backoff_cycles: get(obj, "backoff")?.as_u64("backoff")?,
+        result,
+    })
+}
+
+fn named_pairs(v: &Json, what: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for entry in v.as_arr(what)? {
+        let pair = entry.as_arr(what)?;
+        if pair.len() != 2 {
+            return Err(format!("{what}: expected [name, value] pairs"));
+        }
+        out.push((pair[0].as_str(what)?.to_owned(), pair[1].as_u64(what)?));
+    }
+    Ok(out)
+}
+
+/// Turns a stored cell back into a live [`SweepCell`], verifying it
+/// against the enumerated grid and the live workload set.
+fn adopt_cell(
+    stored: StoredCell,
+    grid: &[crate::sweep::GridCell],
+    workloads: &[&dyn Workload],
+) -> Result<SweepCell, String> {
+    let index = stored.index;
+    let grid_cell = *grid
+        .get(index)
+        .ok_or_else(|| format!("checkpoint cell index {index} outside the grid"))?;
+    let w = workloads
+        .get(stored.windex)
+        .ok_or_else(|| format!("checkpoint cell {index}: workload index out of range"))?;
+    if w.name() != stored.workload {
+        return Err(format!(
+            "checkpoint cell {index}: stored workload `{}` is `{}` in this sweep",
+            stored.workload,
+            w.name()
+        ));
+    }
+    let mode = ExecMode::ALL
+        .iter()
+        .copied()
+        .find(|m| *m as u64 == stored.mode)
+        .ok_or_else(|| format!("checkpoint cell {index}: unknown mode {}", stored.mode))?;
+    let setting = InputSetting::ALL
+        .iter()
+        .copied()
+        .find(|s| *s as u64 == stored.setting)
+        .ok_or_else(|| {
+            format!(
+                "checkpoint cell {index}: unknown setting {}",
+                stored.setting
+            )
+        })?;
+    let matches = grid_cell.workload == stored.windex
+        && grid_cell.mode == mode
+        && grid_cell.setting == setting
+        && grid_cell.rep == stored.rep;
+    if !matches {
+        return Err(format!(
+            "checkpoint cell {index} does not match the enumerated grid"
+        ));
+    }
+    let result = match stored.result {
+        StoredResult::Ok {
+            runtime_cycles,
+            clock_hz,
+            counters,
+            sgx,
+            ops,
+            checksum,
+            metrics,
+        } => {
+            let mut c = Counters::new();
+            restore_fields(&mut c, Counters::set_field, &counters, index)?;
+            let mut s = SgxCounters::default();
+            restore_fields(&mut s, SgxCounters::set_field, &sgx, index)?;
+            Ok(RunReport {
+                workload: w.name(),
+                mode,
+                setting,
+                runtime_cycles,
+                counters: c,
+                sgx: s,
+                // Neither enters the fingerprint; a resumed report only
+                // guarantees the fingerprinted subset.
+                driver: DriverStats::new(),
+                libos_startup: None,
+                clock_hz,
+                output: WorkloadOutput {
+                    ops,
+                    checksum,
+                    metrics: metrics
+                        .into_iter()
+                        .map(|(name, bits)| (name, f64::from_bits(bits)))
+                        .collect(),
+                },
+            })
+        }
+        StoredResult::Err { kind, message } => {
+            let kind: CellErrorKind = kind
+                .parse()
+                .map_err(|e| format!("checkpoint cell {index}: {e}"))?;
+            Err(CellError { kind, message })
+        }
+    };
+    Ok(SweepCell {
+        cell: grid_cell,
+        workload: w.name(),
+        result,
+        attempts: stored.attempts,
+        backoff_cycles: stored.backoff_cycles,
+    })
+}
+
+fn restore_fields<T>(
+    target: &mut T,
+    set: fn(&mut T, &str, u64) -> bool,
+    pairs: &[(String, u64)],
+    index: usize,
+) -> Result<(), String> {
+    for (name, v) in pairs {
+        if !set(target, name, *v) {
+            return Err(format!(
+                "checkpoint cell {index}: unknown counter `{name}` \
+                 (file from a different build?)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// Minimal JSON value model — exactly what the writer above emits.
+
+#[derive(Debug, Clone)]
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(v) => Ok(v),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of checkpoint".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                char::from(other),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        char::from(other),
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        char::from(other),
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF8 number".to_owned())?;
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected a string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err("unterminated string".to_owned());
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).copied().ok_or("unterminated escape")?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let s = std::str::from_utf8(rest).map_err(|_| "non-UTF8 string".to_owned())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::runner::RunnerConfig;
+    use crate::workload::{WorkloadError, WorkloadSpec};
+
+    struct Tick;
+
+    impl Workload for Tick {
+        fn name(&self) -> &'static str {
+            "Tick"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla, ExecMode::Native]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(1 << 16, "tick")
+        }
+
+        fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn execute(
+            &self,
+            env: &mut Env,
+            setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
+            env.compute(match setting {
+                InputSetting::Low => 1_000,
+                InputSetting::Medium => 2_000,
+                InputSetting::High => 3_000,
+            });
+            Ok(WorkloadOutput {
+                ops: 3,
+                checksum: 11,
+                metrics: vec![("phase".into(), 0.25)],
+            })
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sgxgauge-ckpt-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    fn suite() -> SuiteRunner {
+        SuiteRunner::new(RunnerConfig::quick_test())
+            .settings(&[InputSetting::Low, InputSetting::Medium])
+            .threads(2)
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_plain_run() {
+        let path = scratch("plain");
+        let plain = suite().run(&[&Tick]);
+        let ck = suite()
+            .run_with_checkpoint(&[&Tick], &path, false)
+            .expect("checkpointed run succeeds");
+        assert_eq!(plain.fingerprint(), ck.fingerprint());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stored_cells_round_trip_through_the_parser() {
+        let path = scratch("roundtrip");
+        let report = suite()
+            .run_with_checkpoint(&[&Tick], &path, false)
+            .expect("run succeeds");
+        let stored = load_checkpoint(&path).expect("parses");
+        assert_eq!(stored.version, CHECKPOINT_VERSION);
+        assert_eq!(stored.cells.len(), report.cells.len());
+        // Adopt everything back and compare fingerprints.
+        let resumed = suite()
+            .run_with_checkpoint(&[&Tick], &path, true)
+            .expect("resume succeeds");
+        assert_eq!(report.fingerprint(), resumed.fingerprint());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_resumes_to_identical_report() {
+        let path = scratch("truncated");
+        let full = suite()
+            .run_with_checkpoint(&[&Tick], &path, false)
+            .expect("run succeeds");
+        // Simulate a sweep killed halfway: keep only the first cell.
+        let stored = load_checkpoint(&path).expect("parses");
+        let mut partial = format!(
+            "{{\"version\":{},\"grid_fp\":{},\"cells\":[",
+            stored.version, stored.grid_fp
+        );
+        let text = std::fs::read_to_string(&path).expect("readable");
+        // Cheap re-serialization: slice the first cell out of the file.
+        let start = text.find("[{").expect("has cells") + 1;
+        let end = text[start..]
+            .find("},{")
+            .map_or(text.rfind("}]").expect("has end"), |e| start + e + 1);
+        partial.push_str(&text[start..end]);
+        partial.push_str("]}\n");
+        std::fs::write(&path, partial).expect("writable");
+        let resumed = suite()
+            .run_with_checkpoint(&[&Tick], &path, true)
+            .expect("resume succeeds");
+        assert_eq!(full.fingerprint(), resumed.fingerprint());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn grid_mismatch_is_rejected() {
+        let path = scratch("mismatch");
+        suite()
+            .run_with_checkpoint(&[&Tick], &path, false)
+            .expect("run succeeds");
+        // Same file, different sweep shape: one fewer setting.
+        let other = SuiteRunner::new(RunnerConfig::quick_test())
+            .settings(&[InputSetting::Low])
+            .threads(2);
+        let err = other
+            .run_with_checkpoint(&[&Tick], &path, true)
+            .expect_err("must refuse to resume");
+        assert!(err.contains("different sweep"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_files_are_reported_not_panicked() {
+        let path = scratch("malformed");
+        std::fs::write(&path, "{\"version\":1,").expect("writable");
+        let err = suite()
+            .run_with_checkpoint(&[&Tick], &path, true)
+            .expect_err("must reject");
+        assert!(!err.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

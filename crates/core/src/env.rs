@@ -18,7 +18,8 @@
 //! counters come from the workload's organic access pattern.
 
 use crate::modes::ExecMode;
-use crate::workload::WorkloadError;
+use crate::workload::{TransientError, WorkloadError};
+use faults::{FaultHook, InjectedFault};
 use libos_sim::{LibosProcess, Manifest};
 use mem_sim::{AccessKind, ThreadId, PAGE_SIZE};
 use sgx_sim::{EnclaveId, SgxConfig, SgxMachine};
@@ -142,6 +143,38 @@ impl EnvConfig {
     }
 }
 
+/// Watchdog panic payload: thrown via `std::panic::panic_any` when the
+/// current thread's clock passes the armed cycle budget
+/// ([`Env::arm_cycle_budget`]). The runner catches the unwind and turns
+/// it into [`WorkloadError::Timeout`]; any other panic keeps propagating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleBudgetExceeded {
+    /// The configured budget.
+    pub budget_cycles: u64,
+    /// The thread clock when the watchdog fired.
+    pub elapsed_cycles: u64,
+}
+
+/// Installs (once per process) a panic hook that stays silent for the
+/// watchdog's [`CycleBudgetExceeded`] unwind — it is control flow, not a
+/// failure, and is always caught by the runner — while delegating every
+/// other panic to the previous hook unchanged.
+fn silence_watchdog_unwinds() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<CycleBudgetExceeded>()
+                .is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// The execution environment. See the module docs for the mode table and
 /// the crate docs for an example.
 #[derive(Debug)]
@@ -158,6 +191,11 @@ pub struct Env {
     copy_cycles_per_kib: u64,
     io_batch: u64,
     app_started: bool,
+    /// Compiled fault-injection hook for this run, polled from the
+    /// charging paths against the simulated thread clock.
+    faults: Option<FaultHook>,
+    /// Armed cycle budget; `None` disarms the watchdog.
+    budget: Option<u64>,
 }
 
 impl Env {
@@ -232,6 +270,8 @@ impl Env {
             copy_cycles_per_kib: cfg.copy_cycles_per_kib,
             io_batch: cfg.io_batch,
             app_started: false,
+            faults: None,
+            budget: None,
         })
     }
 
@@ -279,6 +319,82 @@ impl Env {
     /// while keeping caches, TLBs, EPC residency and page tables warm.
     pub fn reset_measurement(&mut self) {
         self.machine.reset_measurement();
+    }
+
+    // ----- fault plane and watchdog ----------------------------------
+
+    /// Installs the compiled fault hook for this run. The environment
+    /// polls it from every charging path against the simulated thread
+    /// clock, so the injected event stream is a pure function of the
+    /// plan, the salt, and the workload's own access pattern.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.faults = Some(hook);
+    }
+
+    /// Arms the cycle-budget watchdog: once the current thread's clock
+    /// passes `budget_cycles`, the next charging operation panics with a
+    /// [`CycleBudgetExceeded`] payload, which the runner converts to
+    /// [`WorkloadError::Timeout`]. Cancels any previously armed budget.
+    pub fn arm_cycle_budget(&mut self, budget_cycles: u64) {
+        silence_watchdog_unwinds();
+        self.budget = Some(budget_cycles);
+    }
+
+    #[inline]
+    fn check_budget(&mut self) {
+        if let Some(budget) = self.budget {
+            let elapsed = self.machine.mem().cycles_of(self.threads[self.cur].id);
+            if elapsed > budget {
+                // Disarm first so drop glue running during the unwind
+                // cannot trip the watchdog again.
+                self.budget = None;
+                std::panic::panic_any(CycleBudgetExceeded {
+                    budget_cycles: budget,
+                    elapsed_cycles: elapsed,
+                });
+            }
+        }
+    }
+
+    /// Advances the fault plane: checks the watchdog, then applies every
+    /// injected event that has come due on the current thread's clock.
+    /// Called from each charging path; the common case (nothing armed or
+    /// nothing due) is a couple of integer compares.
+    #[inline]
+    fn fault_tick(&mut self) {
+        self.check_budget();
+        if self.faults.is_none() {
+            return;
+        }
+        let tid = self.threads[self.cur].id;
+        // Poll against the clock captured at tick entry: injections below
+        // advance the clock, and letting them re-trigger the schedule
+        // within the same tick would never drain when an injected burst
+        // costs more than its period.
+        let now = self.machine.mem().cycles_of(tid);
+        loop {
+            let ev = match self.faults.as_mut() {
+                Some(h) => h.poll(now),
+                None => None,
+            };
+            match ev {
+                // The burst is consumed even outside an enclave (keeping
+                // the event stream deterministic); injection itself is a
+                // no-op there, as real AEX only interrupts enclave code.
+                Some(InjectedFault::Aex { exits }) => {
+                    for _ in 0..exits {
+                        self.machine.inject_aex(tid);
+                    }
+                }
+                Some(InjectedFault::EpcSpike { frames }) => {
+                    self.machine.set_epc_pressure(tid, frames);
+                }
+                Some(InjectedFault::EpcRelease) => {
+                    self.machine.release_epc_pressure();
+                }
+                None => break,
+            }
+        }
     }
 
     /// Elapsed cycles: the maximum clock over all logical threads.
@@ -430,6 +546,7 @@ impl Env {
         let addr = r.base + off;
         let tid = self.threads[self.cur].id;
         self.machine.access(tid, addr, len, kind);
+        self.fault_tick();
     }
 
     /// Reads a `u64` at byte offset `off`.
@@ -550,6 +667,7 @@ impl Env {
     pub fn compute(&mut self, cycles: u64) {
         let tid = self.threads[self.cur].id;
         self.machine.compute(tid, cycles);
+        self.fault_tick();
     }
 
     // ----- secure calls and syscalls ----------------------------------
@@ -582,7 +700,10 @@ impl Env {
     ///
     /// # Errors
     ///
-    /// Propagates transition failures.
+    /// Propagates transition failures. Under an active fault plan the
+    /// syscall may fail transiently
+    /// ([`WorkloadError::Transient`]) — the cycles are still charged, as
+    /// a failing syscall costs its round trip before reporting `EINTR`.
     pub fn host_syscall(&mut self) -> Result<(), WorkloadError> {
         let tid = self.threads[self.cur].id;
         let kind = self.threads[self.cur].kind;
@@ -605,6 +726,11 @@ impl Env {
                     self.machine.compute(tid, self.syscall_cycles);
                 }
             }
+        }
+        self.fault_tick();
+        if self.faults.as_mut().is_some_and(|h| h.syscall_fails()) {
+            let at_cycles = self.machine.mem().cycles_of(tid);
+            return Err(TransientError::SyscallFailed { at_cycles }.into());
         }
         Ok(())
     }
@@ -644,6 +770,7 @@ impl Env {
                 }
             }
         }
+        self.fault_tick();
         Ok(())
     }
 
@@ -693,29 +820,62 @@ impl Env {
             && self.threads[self.cur].kind == ThreadKind::App
     }
 
+    /// Fetches a file's plaintext: looks it up, lets the fault plane flip
+    /// a stored bit (simulated bit rot on the untrusted host), and
+    /// unseals PF files. A flip in a sealed file is caught by the block
+    /// MAC; a flip in a plaintext file has no integrity check to hide
+    /// behind, so it surfaces directly. Either way an injected flip
+    /// becomes [`TransientError::IoCorruption`] — re-reading draws fresh.
+    fn fetch_plain(&mut self, name: &str) -> Result<Vec<u8>, WorkloadError> {
+        let mut entry = self
+            .files
+            .get(name)
+            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))?
+            .clone();
+        let flipped = self
+            .faults
+            .as_mut()
+            .and_then(|h| h.corrupt_bit(entry.data.len()));
+        if let Some(bit) = flipped {
+            entry.data[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        if entry.sealed && self.pf_active() {
+            match self.pf_unseal_file(&entry.data) {
+                Ok(plain) => Ok(plain),
+                // Genuine tampering stays a fatal Validation error;
+                // only the injected flip is retry-worthy.
+                Err(_) if flipped.is_some() => Err(TransientError::IoCorruption {
+                    file: name.to_owned(),
+                }
+                .into()),
+                Err(e) => Err(e),
+            }
+        } else if flipped.is_some() {
+            Err(TransientError::IoCorruption {
+                file: name.to_owned(),
+            }
+            .into())
+        } else {
+            Ok(entry.data)
+        }
+    }
+
     /// Reads a whole file through the mode's I/O path into `region` at
     /// `off`; returns the plaintext byte count.
     ///
     /// # Errors
     ///
     /// [`WorkloadError::FileNotFound`] when absent;
-    /// [`WorkloadError::Validation`] when a PF block fails verification.
+    /// [`WorkloadError::Validation`] when a PF block fails verification;
+    /// [`WorkloadError::Transient`] when the fault plane corrupted the
+    /// read.
     pub fn read_file_into(
         &mut self,
         name: &str,
         region: Region,
         off: u64,
     ) -> Result<u64, WorkloadError> {
-        let entry = self
-            .files
-            .get(name)
-            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))?
-            .clone();
-        let plain = if entry.sealed && self.pf_active() {
-            self.pf_unseal_file(&entry.data)?
-        } else {
-            entry.data
-        };
+        let plain = self.fetch_plain(name)?;
         self.charge_file_io(plain.len() as u64, false)?;
         self.write_bytes(region, off, &plain);
         Ok(plain.len() as u64)
@@ -729,16 +889,7 @@ impl Env {
     ///
     /// Same as [`Env::read_file_into`].
     pub fn read_file(&mut self, name: &str) -> Result<Vec<u8>, WorkloadError> {
-        let entry = self
-            .files
-            .get(name)
-            .ok_or_else(|| WorkloadError::FileNotFound(name.to_owned()))?
-            .clone();
-        let plain = if entry.sealed && self.pf_active() {
-            self.pf_unseal_file(&entry.data)?
-        } else {
-            entry.data
-        };
+        let plain = self.fetch_plain(name)?;
         self.charge_file_io(plain.len() as u64, false)?;
         Ok(plain)
     }
@@ -818,6 +969,7 @@ impl Env {
                 }
             }
         }
+        self.fault_tick();
         Ok(())
     }
 
@@ -1061,5 +1213,77 @@ mod tests {
         let mut e = env(ExecMode::Vanilla);
         let r = e.alloc(8, Placement::Untrusted).unwrap();
         let _ = e.read_u64(r, 4);
+    }
+
+    #[test]
+    fn watchdog_panics_with_typed_payload() {
+        let mut e = env(ExecMode::Vanilla);
+        e.arm_cycle_budget(10_000);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            e.compute(5_000);
+        }))
+        .expect_err("the watchdog must fire");
+        let exceeded = payload
+            .downcast_ref::<CycleBudgetExceeded>()
+            .expect("typed watchdog payload");
+        assert_eq!(exceeded.budget_cycles, 10_000);
+        assert!(exceeded.elapsed_cycles > 10_000);
+    }
+
+    #[test]
+    fn injected_aex_storm_reaches_the_counters() {
+        let mut e = env(ExecMode::Native);
+        e.start_app().unwrap();
+        let hook = faults::FaultPlan::parse("seed=1,aex=2@20000")
+            .unwrap()
+            .compile(0);
+        e.set_fault_hook(hook);
+        let r = e.alloc(64 << 10, Placement::Protected).unwrap();
+        e.secure_call(|env| {
+            for _ in 0..50 {
+                env.touch(r, 0, 64 << 10, false);
+                env.compute(10_000);
+            }
+        })
+        .unwrap();
+        let c = e.machine().sgx_counters();
+        assert!(c.injected_aex > 0, "storm must fire inside the enclave");
+        assert_eq!(c.aex_exits, c.epc_faults + c.injected_aex);
+        assert!(e.machine().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn syscall_faults_are_transient_and_still_charged() {
+        let mut e = env(ExecMode::Vanilla);
+        e.set_fault_hook(
+            faults::FaultPlan::parse("seed=3,syscall=1000")
+                .unwrap()
+                .compile(0),
+        );
+        let before = e.now();
+        let err = e.host_syscall().expect_err("permille 1000 always fails");
+        assert_eq!(err.class(), crate::workload::ErrorClass::Transient, "{err}");
+        assert!(e.now() > before, "the failed syscall still cost cycles");
+    }
+
+    #[test]
+    fn bitflip_surfaces_as_transient_corruption() {
+        let mut e = env(ExecMode::Vanilla);
+        e.put_file("data", vec![7u8; 4096]);
+        e.set_fault_hook(
+            faults::FaultPlan::parse("seed=4,bitflip=1000")
+                .unwrap()
+                .compile(0),
+        );
+        let err = e.read_file("data").expect_err("always corrupted");
+        assert!(matches!(
+            err,
+            WorkloadError::Transient(TransientError::IoCorruption { .. })
+        ));
+        // Without the hook the very same file reads back clean: the
+        // corruption lives in the fault plane, not the stored bytes.
+        let mut clean = env(ExecMode::Vanilla);
+        clean.put_file("data", vec![7u8; 4096]);
+        assert_eq!(clean.read_file("data").unwrap(), vec![7u8; 4096]);
     }
 }

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod env;
 pub mod modes;
 pub mod report;
@@ -44,9 +45,12 @@ pub mod runner;
 pub mod sweep;
 pub mod workload;
 
+pub use checkpoint::{load_checkpoint, Checkpoint, CHECKPOINT_VERSION};
 pub use env::{Env, EnvConfig, Region, SimThread};
 pub use modes::{ExecMode, InputSetting};
 pub use report::{RatioRow, ReportTable};
 pub use runner::{RunReport, Runner, RunnerConfig};
-pub use sweep::{CellError, GridCell, SuiteRunner, SweepCell, SweepReport};
-pub use workload::{Workload, WorkloadError, WorkloadOutput, WorkloadSpec};
+pub use sweep::{CellError, CellErrorKind, GridCell, SuiteRunner, SweepCell, SweepReport};
+pub use workload::{
+    ErrorClass, TransientError, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};

@@ -408,7 +408,7 @@ mod tests {
     }
 
     fn sweep_of(cells: Vec<(u64, Result<u64, &str>)>) -> SweepReport {
-        use crate::sweep::{CellError, GridCell, SweepCell};
+        use crate::sweep::{CellError, CellErrorKind, GridCell, SweepCell};
         SweepReport {
             cells: cells
                 .into_iter()
@@ -419,6 +419,8 @@ mod tests {
                         setting: InputSetting::Low,
                         rep: rep as usize,
                     },
+                    attempts: 1,
+                    backoff_cycles: 0,
                     workload: "t",
                     result: match result {
                         Ok(rt) => {
@@ -427,8 +429,8 @@ mod tests {
                             Ok(r)
                         }
                         Err(m) => Err(CellError {
+                            kind: CellErrorKind::Fatal,
                             message: m.to_owned(),
-                            panicked: false,
                         }),
                     },
                 })

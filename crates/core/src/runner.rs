@@ -1,8 +1,9 @@
 //! Executing (workload × mode × setting) combinations.
 
-use crate::env::{Env, EnvConfig};
+use crate::env::{CycleBudgetExceeded, Env, EnvConfig};
 use crate::modes::{ExecMode, InputSetting};
 use crate::workload::{Workload, WorkloadError, WorkloadOutput};
+use faults::FaultPlan;
 use libos_sim::StartupStats;
 use mem_sim::Counters;
 use sgx_sim::{DriverStats, SgxCounters};
@@ -77,17 +78,49 @@ impl RunReport {
 #[derive(Debug, Clone)]
 pub struct Runner {
     cfg: RunnerConfig,
+    faults: Option<FaultPlan>,
+    cell_budget: Option<u64>,
 }
 
 impl Runner {
     /// Creates a runner.
     pub fn new(cfg: RunnerConfig) -> Self {
-        Runner { cfg }
+        Runner {
+            cfg,
+            faults: None,
+            cell_budget: None,
+        }
+    }
+
+    /// Injects faults from `plan` into every run (see
+    /// [`faults::FaultPlan`]).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Cancels any run whose measured region exceeds `cycles` simulated
+    /// cycles, surfacing [`WorkloadError::Timeout`].
+    #[must_use]
+    pub fn cell_budget(mut self, cycles: u64) -> Self {
+        self.cell_budget = Some(cycles);
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &RunnerConfig {
         &self.cfg
+    }
+
+    /// The fault plan in use, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The per-run cycle budget, if any.
+    pub fn cell_budget_cycles(&self) -> Option<u64> {
+        self.cell_budget
     }
 
     /// Runs one (workload, mode, setting) combination once and reports.
@@ -106,6 +139,23 @@ impl Runner {
         mode: ExecMode,
         setting: InputSetting,
     ) -> Result<RunReport, WorkloadError> {
+        self.run_salted(workload, mode, setting, 0)
+    }
+
+    /// [`Runner::run_once`] with an explicit fault salt: the sweep
+    /// executor passes a per-cell, per-attempt salt so a retried cell
+    /// faces a fresh fault draw while the sweep stays deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runner::run_once`].
+    pub fn run_salted(
+        &self,
+        workload: &dyn Workload,
+        mode: ExecMode,
+        setting: InputSetting,
+        salt: u64,
+    ) -> Result<RunReport, WorkloadError> {
         if !workload.supports(mode) {
             return Err(WorkloadError::Other(format!(
                 "{} does not support {mode} mode",
@@ -121,7 +171,37 @@ impl Runner {
         env.start_app()?;
         let libos_startup = env.libos_startup();
         env.reset_measurement();
-        let output = workload.execute(&mut env, setting)?;
+        // Faults and the watchdog arm only for the measured region:
+        // setup and enclave builds are the harness's own work.
+        if let Some(plan) = &self.faults {
+            if !plan.is_empty() {
+                env.set_fault_hook(plan.compile(salt));
+            }
+        }
+        if let Some(budget) = self.cell_budget {
+            env.arm_cycle_budget(budget);
+        }
+        let output = match self.cell_budget {
+            // With a watchdog armed, catch its typed unwind and surface
+            // it as an error; any other panic keeps propagating.
+            Some(_) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    workload.execute(&mut env, setting)
+                })) {
+                    Ok(res) => res?,
+                    Err(payload) => match payload.downcast::<CycleBudgetExceeded>() {
+                        Ok(exceeded) => {
+                            return Err(WorkloadError::Timeout {
+                                budget_cycles: exceeded.budget_cycles,
+                                elapsed_cycles: exceeded.elapsed_cycles,
+                            })
+                        }
+                        Err(other) => std::panic::resume_unwind(other),
+                    },
+                }
+            }
+            None => workload.execute(&mut env, setting)?,
+        };
         Ok(RunReport {
             workload: workload.name(),
             mode,
@@ -275,5 +355,77 @@ mod tests {
         let reports = runner.run_modes(&Toy, InputSetting::Low).unwrap();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].mode, ExecMode::Vanilla);
+    }
+
+    /// Computes forever; only a watchdog can stop it.
+    struct Unbounded;
+
+    impl Workload for Unbounded {
+        fn name(&self) -> &'static str {
+            "Unbounded"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(0, "spin")
+        }
+
+        fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn execute(
+            &self,
+            env: &mut Env,
+            _setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
+            loop {
+                env.compute(10_000);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_unbounded_workload() {
+        let runner = Runner::new(RunnerConfig::quick_test()).cell_budget(1_000_000);
+        let err = runner
+            .run_once(&Unbounded, ExecMode::Vanilla, InputSetting::Low)
+            .expect_err("must time out");
+        match err {
+            WorkloadError::Timeout {
+                budget_cycles,
+                elapsed_cycles,
+            } => {
+                assert_eq!(budget_cycles, 1_000_000);
+                assert!(elapsed_cycles > 1_000_000);
+            }
+            other => panic!("expected a timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_perturbs_runs_deterministically() {
+        let plan = faults::FaultPlan::parse("seed=11,aex=2@30000").unwrap();
+        let run = |salt| {
+            Runner::new(RunnerConfig::quick_test())
+                .faults(plan.clone())
+                .run_salted(&Toy, ExecMode::Native, InputSetting::Low, salt)
+                .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles, "same salt, same run");
+        assert_eq!(a.sgx, b.sgx);
+        let clean = Runner::new(RunnerConfig::quick_test())
+            .run_once(&Toy, ExecMode::Native, InputSetting::Low)
+            .unwrap();
+        assert_eq!(clean.sgx.injected_aex, 0, "no plan, no injection");
     }
 }

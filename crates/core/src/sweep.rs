@@ -31,9 +31,12 @@
 //! assert!(sweep.cells[0].result.is_ok());
 //! ```
 
+use crate::checkpoint::CheckpointSink;
 use crate::modes::{ExecMode, InputSetting};
 use crate::runner::{RunReport, Runner, RunnerConfig};
-use crate::workload::Workload;
+use crate::workload::{ErrorClass, Workload, WorkloadError};
+use faults::FaultPlan;
+use sgx_sim::costs::RETRY_BACKOFF_BASE_CYCLES;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -51,22 +54,80 @@ pub struct GridCell {
     pub rep: usize,
 }
 
+/// How a cell failed — structured, so retry policy and reporting never
+/// parse message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// The last attempt failed transiently; the retry budget (if any)
+    /// was exhausted without a success.
+    Transient,
+    /// A deterministic workload error — retrying reproduces it.
+    Fatal,
+    /// The watchdog cancelled the attempt at its cycle budget.
+    TimedOut,
+    /// The cell panicked rather than returning an error.
+    Panicked,
+}
+
+impl std::fmt::Display for CellErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CellErrorKind::Transient => "transient",
+            CellErrorKind::Fatal => "fatal",
+            CellErrorKind::TimedOut => "timed-out",
+            CellErrorKind::Panicked => "panicked",
+        })
+    }
+}
+
+impl std::str::FromStr for CellErrorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "transient" => Ok(CellErrorKind::Transient),
+            "fatal" => Ok(CellErrorKind::Fatal),
+            "timed-out" => Ok(CellErrorKind::TimedOut),
+            "panicked" => Ok(CellErrorKind::Panicked),
+            other => Err(format!("unknown cell error kind `{other}`")),
+        }
+    }
+}
+
 /// Why a cell produced no report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellError {
+    /// Failure classification (drives retry policy and exit codes).
+    pub kind: CellErrorKind,
     /// The workload error's display text, or the panic payload.
     pub message: String,
+}
+
+impl CellError {
+    /// Classifies a [`WorkloadError`] into a cell outcome.
+    pub fn from_workload(e: &WorkloadError) -> Self {
+        let kind = match e {
+            WorkloadError::Timeout { .. } => CellErrorKind::TimedOut,
+            _ => match e.class() {
+                ErrorClass::Transient => CellErrorKind::Transient,
+                ErrorClass::Fatal => CellErrorKind::Fatal,
+            },
+        };
+        CellError {
+            kind,
+            message: e.to_string(),
+        }
+    }
+
     /// True when the cell panicked rather than returning an error.
-    pub panicked: bool,
+    pub fn panicked(&self) -> bool {
+        self.kind == CellErrorKind::Panicked
+    }
 }
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.panicked {
-            write!(f, "panicked: {}", self.message)
-        } else {
-            write!(f, "{}", self.message)
-        }
+        write!(f, "{}: {}", self.kind, self.message)
     }
 }
 
@@ -79,6 +140,11 @@ pub struct SweepCell {
     pub workload: &'static str,
     /// The run's report, or why there is none.
     pub result: Result<RunReport, CellError>,
+    /// Attempts executed (1 when the first try settled the cell).
+    pub attempts: usize,
+    /// Total simulated-cycle backoff accounted across retries (never
+    /// slept on the host; purely part of the resilience ledger).
+    pub backoff_cycles: u64,
 }
 
 /// All cells of one sweep, in grid order regardless of how many threads
@@ -121,6 +187,8 @@ impl SweepReport {
             h.u64(c.cell.mode as u64);
             h.u64(c.cell.setting as u64);
             h.u64(c.cell.rep as u64);
+            h.u64(c.attempts as u64);
+            h.u64(c.backoff_cycles);
             match &c.result {
                 Ok(r) => {
                     h.u64(1);
@@ -141,8 +209,8 @@ impl SweepReport {
                 }
                 Err(e) => {
                     h.u64(2);
+                    h.str(&e.kind.to_string());
                     h.str(&e.message);
-                    h.u64(u64::from(e.panicked));
                 }
             }
         }
@@ -150,11 +218,12 @@ impl SweepReport {
     }
 }
 
-/// FNV-1a, the digest behind [`SweepReport::fingerprint`].
-struct Fnv(u64);
+/// FNV-1a, the digest behind [`SweepReport::fingerprint`], the per-cell
+/// fault salts and the checkpoint grid guard.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
@@ -163,20 +232,20 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x100_0000_01b3);
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         for b in s.as_bytes() {
             self.byte(*b);
         }
         self.byte(0xff); // delimiter
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -192,6 +261,7 @@ pub struct SuiteRunner {
     modes: Vec<ExecMode>,
     settings: Vec<InputSetting>,
     threads: usize,
+    retries: usize,
 }
 
 impl SuiteRunner {
@@ -203,6 +273,7 @@ impl SuiteRunner {
             modes: ExecMode::ALL.to_vec(),
             settings: InputSetting::ALL.to_vec(),
             threads: 0,
+            retries: 0,
         }
     }
 
@@ -226,6 +297,35 @@ impl SuiteRunner {
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
+    }
+
+    /// Injects faults from `plan` into every cell, salted per cell and
+    /// per attempt so retries face a fresh (but deterministic) draw.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.runner = self.runner.faults(plan);
+        self
+    }
+
+    /// Cancels any cell whose measured region exceeds `cycles` simulated
+    /// cycles; the cell fails with [`CellErrorKind::TimedOut`].
+    #[must_use]
+    pub fn cell_budget(mut self, cycles: u64) -> Self {
+        self.runner = self.runner.cell_budget(cycles);
+        self
+    }
+
+    /// Retries each transiently failing cell up to `n` extra times; the
+    /// attempt count and accounted backoff land in the [`SweepCell`].
+    #[must_use]
+    pub fn retries(mut self, n: usize) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// The configured retry budget (extra attempts per cell).
+    pub fn retry_budget(&self) -> usize {
+        self.retries
     }
 
     /// The underlying per-cell runner.
@@ -266,12 +366,16 @@ impl SuiteRunner {
     /// which thread finished when. A panicking cell is captured into a
     /// [`CellError`] and the sweep continues.
     pub fn run(&self, workloads: &[&dyn Workload]) -> SweepReport {
-        let threads = if self.threads == 0 {
+        self.execute(workloads, self.thread_count())
+    }
+
+    /// Resolves the configured thread count (`0` → one per core).
+    pub(crate) fn thread_count(&self) -> usize {
+        if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.threads
-        };
-        self.execute(workloads, threads)
+        }
     }
 
     /// Runs the grid on the calling thread, no pool involved — the
@@ -286,11 +390,31 @@ impl SuiteRunner {
     }
 
     fn execute(&self, workloads: &[&dyn Workload], threads: usize) -> SweepReport {
+        self.execute_resumable(workloads, threads, Vec::new(), None)
+    }
+
+    /// [`SuiteRunner::execute`] with resume support: `prefilled` slots
+    /// (grid index → already-completed cell, from a checkpoint) are not
+    /// re-run, and every freshly completed cell is offered to `sink`
+    /// before the sweep moves on.
+    pub(crate) fn execute_resumable(
+        &self,
+        workloads: &[&dyn Workload],
+        threads: usize,
+        prefilled: Vec<(usize, SweepCell)>,
+        sink: Option<&CheckpointSink>,
+    ) -> SweepReport {
         let cells = self.grid(workloads);
         let n = cells.len();
         let threads = threads.clamp(1, n.max(1));
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new((0..n).map(|_| None).collect());
+        let mut initial: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+        let mut skip = vec![false; n];
+        for (i, cell) in prefilled {
+            skip[i] = true;
+            initial[i] = Some(cell);
+        }
+        let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new(initial);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -298,7 +422,13 @@ impl SuiteRunner {
                     if i >= n {
                         break;
                     }
+                    if skip[i] {
+                        continue;
+                    }
                     let done = self.run_cell(workloads, cells[i]);
+                    if let Some(sink) = sink {
+                        sink.record(i, &done);
+                    }
                     slots
                         .lock()
                         .expect("no worker holds the lock across a panic")[i] = Some(done);
@@ -314,29 +444,59 @@ impl SuiteRunner {
         SweepReport { cells }
     }
 
-    /// Executes one cell, converting errors and panics into the outcome.
+    /// Executes one cell, retrying transient failures within the retry
+    /// budget and converting errors and panics into the outcome.
     fn run_cell(&self, workloads: &[&dyn Workload], cell: GridCell) -> SweepCell {
         let w = workloads[cell.workload];
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.runner.run_once(w, cell.mode, cell.setting)
-        }));
-        let result = match outcome {
-            Ok(Ok(report)) => Ok(report),
-            Ok(Err(e)) => Err(CellError {
-                message: e.to_string(),
-                panicked: false,
-            }),
-            Err(payload) => Err(CellError {
-                message: panic_text(payload.as_ref()),
-                panicked: true,
-            }),
+        let max_attempts = self.retries + 1;
+        let mut attempts = 0;
+        let mut backoff_cycles = 0u64;
+        let result = loop {
+            attempts += 1;
+            let salt = attempt_salt(w.name(), &cell, attempts);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.runner.run_salted(w, cell.mode, cell.setting, salt)
+            }));
+            let err = match outcome {
+                Ok(Ok(report)) => break Ok(report),
+                Ok(Err(e)) => CellError::from_workload(&e),
+                Err(payload) => CellError {
+                    kind: CellErrorKind::Panicked,
+                    message: panic_text(payload.as_ref()),
+                },
+            };
+            if err.kind == CellErrorKind::Transient && attempts < max_attempts {
+                // Deterministic exponential backoff, accounted in
+                // simulated cycles — the sweep never sleeps on the host.
+                backoff_cycles += RETRY_BACKOFF_BASE_CYCLES << (attempts - 1);
+                continue;
+            }
+            // Exhausted (or not retryable): the LAST error is the
+            // cell's outcome — it reflects the freshest fault draw.
+            break Err(err);
         };
         SweepCell {
             cell,
             workload: w.name(),
             result,
+            attempts,
+            backoff_cycles,
         }
     }
+}
+
+/// The per-attempt fault salt: a digest of the cell coordinate and the
+/// attempt ordinal, so every (cell, attempt) pair sees a distinct but
+/// reproducible fault stream regardless of worker scheduling.
+fn attempt_salt(name: &str, cell: &GridCell, attempt: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.str(name);
+    h.u64(cell.workload as u64);
+    h.u64(cell.mode as u64);
+    h.u64(cell.setting as u64);
+    h.u64(cell.rep as u64);
+    h.u64(attempt as u64);
+    h.finish()
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -500,8 +660,10 @@ mod tests {
         for (cell, err) in &errors {
             assert_eq!(cell.workload, "FaultyNative");
             assert_eq!(cell.cell.mode, ExecMode::Native);
-            assert!(err.panicked);
+            assert!(err.panicked());
+            assert_eq!(err.kind, CellErrorKind::Panicked);
             assert!(err.message.contains("injected failure"));
+            assert_eq!(cell.attempts, 1, "panics are not retried");
         }
         // Every other cell still produced a report.
         assert_eq!(sweep.reports().count(), 12);
@@ -528,5 +690,149 @@ mod tests {
         let s = suite().modes(&[ExecMode::LibOs]);
         let sweep = s.run(&[&Stream]);
         assert!(sweep.cells.is_empty(), "Stream does not support LibOS");
+    }
+
+    /// Fails transiently a fixed number of times, then succeeds. Only
+    /// meaningful in single-threaded sweeps (interior counter).
+    struct Flaky {
+        remaining: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Flaky {
+        fn failing(n: usize) -> Self {
+            Flaky {
+                remaining: std::sync::atomic::AtomicUsize::new(n),
+            }
+        }
+    }
+
+    impl Workload for Flaky {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(0, "flaky")
+        }
+
+        fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn execute(
+            &self,
+            env: &mut Env,
+            _setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
+            env.compute(100);
+            let left = self.remaining.load(Ordering::SeqCst);
+            if left > 0 {
+                self.remaining.store(left - 1, Ordering::SeqCst);
+                return Err(crate::workload::TransientError::SyscallFailed {
+                    at_cycles: env.elapsed_cycles(),
+                }
+                .into());
+            }
+            Ok(WorkloadOutput {
+                ops: 1,
+                checksum: 9,
+                metrics: vec![],
+            })
+        }
+    }
+
+    fn tiny_suite() -> SuiteRunner {
+        SuiteRunner::new(RunnerConfig::quick_test())
+            .modes(&[ExecMode::Vanilla])
+            .settings(&[InputSetting::Low])
+    }
+
+    #[test]
+    fn transient_failures_retry_until_success() {
+        let w = Flaky::failing(2);
+        let sweep = tiny_suite().retries(3).run_sequential(&[&w]);
+        assert_eq!(sweep.cells.len(), 1);
+        let cell = &sweep.cells[0];
+        assert!(cell.result.is_ok(), "{:?}", cell.result);
+        assert_eq!(cell.attempts, 3, "two failures, then success");
+        // base << 0 + base << 1 accounted for the two retries.
+        assert_eq!(cell.backoff_cycles, 3 * RETRY_BACKOFF_BASE_CYCLES);
+    }
+
+    #[test]
+    fn retry_exhaustion_keeps_the_last_error() {
+        let w = Flaky::failing(usize::MAX);
+        let sweep = tiny_suite().retries(1).run_sequential(&[&w]);
+        let cell = &sweep.cells[0];
+        let err = cell.result.as_ref().unwrap_err();
+        assert_eq!(err.kind, CellErrorKind::Transient);
+        assert!(err.message.contains("syscall"), "{}", err.message);
+        assert_eq!(cell.attempts, 2, "one retry, then exhaustion");
+        assert_eq!(cell.backoff_cycles, RETRY_BACKOFF_BASE_CYCLES);
+    }
+
+    /// Always fails deterministically.
+    struct Broken;
+
+    impl Workload for Broken {
+        fn name(&self) -> &'static str {
+            "Broken"
+        }
+
+        fn property(&self) -> &'static str {
+            "test"
+        }
+
+        fn supported_modes(&self) -> &'static [ExecMode] {
+            &[ExecMode::Vanilla]
+        }
+
+        fn spec(&self, _setting: InputSetting) -> WorkloadSpec {
+            WorkloadSpec::new(0, "broken")
+        }
+
+        fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn execute(
+            &self,
+            _env: &mut Env,
+            _setting: InputSetting,
+        ) -> Result<WorkloadOutput, WorkloadError> {
+            Err(WorkloadError::Validation("always wrong".into()))
+        }
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let sweep = tiny_suite().retries(5).run_sequential(&[&Broken]);
+        let cell = &sweep.cells[0];
+        let err = cell.result.as_ref().unwrap_err();
+        assert_eq!(err.kind, CellErrorKind::Fatal);
+        assert_eq!(cell.attempts, 1);
+        assert_eq!(cell.backoff_cycles, 0);
+    }
+
+    #[test]
+    fn cell_error_kind_display_round_trips() {
+        for kind in [
+            CellErrorKind::Transient,
+            CellErrorKind::Fatal,
+            CellErrorKind::TimedOut,
+            CellErrorKind::Panicked,
+        ] {
+            let shown = kind.to_string();
+            assert_eq!(shown.parse::<CellErrorKind>().unwrap(), kind);
+        }
+        assert!("weird".parse::<CellErrorKind>().is_err());
     }
 }

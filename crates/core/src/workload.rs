@@ -6,6 +6,68 @@ use sgx_sim::SgxError;
 use std::error::Error;
 use std::fmt;
 
+/// A failure that is expected to go away on retry: the condition was
+/// injected (or environmental), not a property of the workload or its
+/// inputs. The sweep executor retries these within its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransientError {
+    /// A host syscall failed transiently (EINTR/EAGAIN analogue).
+    SyscallFailed {
+        /// Thread clock when the syscall failed.
+        at_cycles: u64,
+    },
+    /// A file read came back corrupted (bit rot, torn write); the sealed
+    /// MAC or a consistency check caught it.
+    IoCorruption {
+        /// The affected file.
+        file: String,
+    },
+}
+
+impl fmt::Display for TransientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransientError::SyscallFailed { at_cycles } => {
+                write!(f, "host syscall failed at cycle {at_cycles}")
+            }
+            TransientError::IoCorruption { file } => {
+                write!(f, "corrupted read from `{file}`")
+            }
+        }
+    }
+}
+
+/// Retry classification of a [`WorkloadError`]: would the same cell
+/// plausibly succeed if run again?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Environmental; a retry with a fresh fault draw may succeed.
+    Transient,
+    /// Deterministic; retrying reproduces the failure.
+    Fatal,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Fatal => "fatal",
+        })
+    }
+}
+
+impl std::str::FromStr for ErrorClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "transient" => Ok(ErrorClass::Transient),
+            "fatal" => Ok(ErrorClass::Fatal),
+            other => Err(format!("unknown error class `{other}`")),
+        }
+    }
+}
+
 /// Errors surfaced by workloads and the environment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadError {
@@ -15,8 +77,28 @@ pub enum WorkloadError {
     FileNotFound(String),
     /// The workload's self-validation failed (wrong result).
     Validation(String),
+    /// A retry-worthy environmental failure (see [`TransientError`]).
+    Transient(TransientError),
+    /// The run exceeded its cycle budget and was cancelled.
+    Timeout {
+        /// The configured budget.
+        budget_cycles: u64,
+        /// The thread clock when the watchdog fired.
+        elapsed_cycles: u64,
+    },
     /// Anything else, described.
     Other(String),
+}
+
+impl WorkloadError {
+    /// Classifies the error for retry decisions — structured, so no
+    /// caller ever has to parse a message string.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            WorkloadError::Transient(_) => ErrorClass::Transient,
+            _ => ErrorClass::Fatal,
+        }
+    }
 }
 
 impl fmt::Display for WorkloadError {
@@ -25,8 +107,22 @@ impl fmt::Display for WorkloadError {
             WorkloadError::Sgx(e) => write!(f, "sgx error: {e}"),
             WorkloadError::FileNotFound(n) => write!(f, "file not found: {n}"),
             WorkloadError::Validation(m) => write!(f, "validation failed: {m}"),
+            WorkloadError::Transient(t) => write!(f, "transient: {t}"),
+            WorkloadError::Timeout {
+                budget_cycles,
+                elapsed_cycles,
+            } => write!(
+                f,
+                "cycle budget exceeded: {elapsed_cycles} of {budget_cycles} allowed"
+            ),
             WorkloadError::Other(m) => write!(f, "{m}"),
         }
+    }
+}
+
+impl From<TransientError> for WorkloadError {
+    fn from(e: TransientError) -> Self {
+        WorkloadError::Transient(e)
     }
 }
 
@@ -159,5 +255,46 @@ mod tests {
         assert!(WorkloadError::FileNotFound("x".into())
             .to_string()
             .contains('x'));
+        let t: WorkloadError = TransientError::SyscallFailed { at_cycles: 7 }.into();
+        assert!(t.to_string().contains("transient"));
+        assert!(t.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_classification() {
+        use ErrorClass::*;
+        let cases: Vec<(WorkloadError, ErrorClass)> = vec![
+            (SgxError::NotInEnclave.into(), Fatal),
+            (WorkloadError::FileNotFound("f".into()), Fatal),
+            (WorkloadError::Validation("v".into()), Fatal),
+            (WorkloadError::Other("o".into()), Fatal),
+            (
+                WorkloadError::Timeout {
+                    budget_cycles: 10,
+                    elapsed_cycles: 12,
+                },
+                Fatal,
+            ),
+            (
+                TransientError::SyscallFailed { at_cycles: 1 }.into(),
+                Transient,
+            ),
+            (
+                TransientError::IoCorruption { file: "f".into() }.into(),
+                Transient,
+            ),
+        ];
+        for (err, class) in cases {
+            assert_eq!(err.class(), class, "{err}");
+        }
+    }
+
+    #[test]
+    fn error_class_display_round_trips() {
+        for class in [ErrorClass::Transient, ErrorClass::Fatal] {
+            let shown = class.to_string();
+            assert_eq!(shown.parse::<ErrorClass>().unwrap(), class);
+        }
+        assert!("flaky".parse::<ErrorClass>().is_err());
     }
 }

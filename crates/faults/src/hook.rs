@@ -1,0 +1,284 @@
+//! The compiled, per-run fault hook.
+
+use crate::plan::FaultPlan;
+use crate::prng::{splitmix64, XorShift64};
+
+/// One fault event due at the current simulated instant. The *mechanism*
+/// lives with the caller (the environment applies it to the SGX machine);
+/// the hook only decides *when*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Inject `exits` asynchronous enclave exits on the polling thread.
+    Aex {
+        /// AEX round trips to inject.
+        exits: u32,
+    },
+    /// Begin an EPC pressure window: reserve `frames` EPC frames.
+    EpcSpike {
+        /// Frames to withdraw from the usable EPC.
+        frames: usize,
+    },
+    /// End the active EPC pressure window.
+    EpcRelease,
+}
+
+#[derive(Debug, Clone)]
+struct StormState {
+    exits: u32,
+    period: u64,
+    next: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SpikeState {
+    frames: usize,
+    period: u64,
+    duration: u64,
+    next_start: u64,
+    /// `u64::MAX` while no spike is active.
+    release_at: u64,
+}
+
+/// A [`FaultPlan`] compiled for one run (one grid cell, one attempt).
+///
+/// The environment polls it from its hot paths with the current thread
+/// clock; the hook answers from precomputed schedules, so the common case
+/// is a single integer compare. All state advances deterministically from
+/// the plan's seed and the compile-time salt — polling the same clock
+/// sequence always yields the same events.
+#[derive(Debug, Clone)]
+pub struct FaultHook {
+    rng: XorShift64,
+    storm: Option<StormState>,
+    spike: Option<SpikeState>,
+    syscall_permille: u32,
+    bitflip_permille: u32,
+    /// Cached minimum of every pending schedule, gating [`FaultHook::poll`].
+    next_due: u64,
+}
+
+impl FaultHook {
+    /// Compiles `plan` with `salt` (see [`FaultPlan::compile`]).
+    pub fn new(plan: &FaultPlan, salt: u64) -> FaultHook {
+        let mut rng = XorShift64::new(plan.seed ^ splitmix64(salt));
+        let storm = plan.aex.map(|s| StormState {
+            exits: s.exits,
+            period: s.period_cycles,
+            next: s.period_cycles + rng.below(s.period_cycles / 8 + 1),
+        });
+        let spike = plan.epc.map(|s| {
+            // Pressure windows must not overlap: a new spike can only
+            // start after the previous one released.
+            let period = s.period_cycles.max(s.duration_cycles + 1);
+            SpikeState {
+                frames: s.frames,
+                period,
+                duration: s.duration_cycles,
+                next_start: period + rng.below(period / 8 + 1),
+                release_at: u64::MAX,
+            }
+        });
+        let mut hook = FaultHook {
+            rng,
+            storm,
+            spike,
+            syscall_permille: plan.syscall_fail_permille,
+            bitflip_permille: plan.bitflip_permille,
+            next_due: 0,
+        };
+        hook.next_due = hook.compute_next_due();
+        hook
+    }
+
+    /// Returns the next fault due at simulated instant `now`, if any.
+    /// Call repeatedly until `None`: multiple schedules can be due at the
+    /// same instant and each poll surfaces one event.
+    #[inline]
+    pub fn poll(&mut self, now: u64) -> Option<InjectedFault> {
+        if now < self.next_due {
+            return None;
+        }
+        self.poll_slow(now)
+    }
+
+    fn poll_slow(&mut self, now: u64) -> Option<InjectedFault> {
+        let mut fired = None;
+        // An overdue release is served before anything else so pressure
+        // windows never overlap or leak into the next period.
+        if let Some(sp) = self.spike.as_mut() {
+            if sp.release_at <= now {
+                sp.release_at = u64::MAX;
+                fired = Some(InjectedFault::EpcRelease);
+            }
+        }
+        if fired.is_none() {
+            if let Some(st) = self.storm.as_mut() {
+                if st.next <= now {
+                    st.next += st.period;
+                    if st.next <= now {
+                        // Charging the injected exits advanced the clock
+                        // past several periods; re-anchor rather than
+                        // firing a catch-up burst per missed period.
+                        st.next = now + st.period;
+                    }
+                    fired = Some(InjectedFault::Aex { exits: st.exits });
+                }
+            }
+        }
+        if fired.is_none() {
+            if let Some(sp) = self.spike.as_mut() {
+                if sp.next_start <= now {
+                    sp.next_start += sp.period;
+                    if sp.next_start <= now {
+                        sp.next_start = now + sp.period;
+                    }
+                    sp.release_at = now + sp.duration;
+                    fired = Some(InjectedFault::EpcSpike { frames: sp.frames });
+                }
+            }
+        }
+        self.next_due = self.compute_next_due();
+        fired
+    }
+
+    fn compute_next_due(&self) -> u64 {
+        let mut due = u64::MAX;
+        if let Some(st) = &self.storm {
+            due = due.min(st.next);
+        }
+        if let Some(sp) = &self.spike {
+            due = due.min(sp.next_start).min(sp.release_at);
+        }
+        due
+    }
+
+    /// Draws whether the host syscall issued now fails transiently.
+    pub fn syscall_fails(&mut self) -> bool {
+        self.rng.chance(self.syscall_permille)
+    }
+
+    /// Draws whether the file read issued now is corrupted; returns the
+    /// bit index to flip within `len_bytes` bytes.
+    pub fn corrupt_bit(&mut self, len_bytes: usize) -> Option<u64> {
+        if len_bytes == 0 || !self.rng.chance(self.bitflip_permille) {
+            return None;
+        }
+        Some(self.rng.below(len_bytes as u64 * 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).expect("test spec")
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut h = plan("seed=1").compile(0);
+        for now in (0..1_000_000).step_by(1000) {
+            assert_eq!(h.poll(now), None);
+        }
+        assert!(!h.syscall_fails());
+        assert_eq!(h.corrupt_bit(4096), None);
+    }
+
+    #[test]
+    fn storm_fires_periodically_and_deterministically() {
+        let collect = |salt| {
+            let mut h = plan("seed=5,aex=3@10000").compile(salt);
+            let mut events = Vec::new();
+            for now in (0..200_000).step_by(100) {
+                while let Some(ev) = h.poll(now) {
+                    events.push((now, ev));
+                }
+            }
+            events
+        };
+        let a = collect(7);
+        let b = collect(7);
+        assert_eq!(a, b, "same salt, same schedule");
+        assert!(a.len() >= 15, "storm must fire ~20 times: {}", a.len());
+        assert!(a
+            .iter()
+            .all(|(_, ev)| *ev == InjectedFault::Aex { exits: 3 }));
+        // Consecutive bursts are about one period apart.
+        for w in a.windows(2) {
+            let gap = w[1].0 - w[0].0;
+            assert!((9_000..=12_000).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn different_salts_shift_the_phase() {
+        let first_fire = |salt| {
+            let mut h = plan("seed=5,aex=1@100000").compile(salt);
+            (0..400_000u64).find(|&now| h.poll(now).is_some())
+        };
+        let fires: Vec<_> = (0..8).map(first_fire).collect();
+        assert!(
+            fires.windows(2).any(|w| w[0] != w[1]),
+            "salts must perturb the schedule: {fires:?}"
+        );
+    }
+
+    #[test]
+    fn spike_alternates_start_and_release() {
+        let mut h = plan("seed=2,epc=16@50000:10000").compile(0);
+        let mut events = Vec::new();
+        for now in (0..300_000).step_by(50) {
+            while let Some(ev) = h.poll(now) {
+                events.push(ev);
+            }
+        }
+        assert!(events.len() >= 8, "expected several windows: {events:?}");
+        for (i, ev) in events.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*ev, InjectedFault::EpcSpike { frames: 16 });
+            } else {
+                assert_eq!(*ev, InjectedFault::EpcRelease);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_spike_period_is_clamped() {
+        // duration > period would overlap windows; the compile clamps.
+        let mut h = plan("seed=2,epc=8@1000:5000").compile(0);
+        let mut depth = 0i32;
+        for now in (0..100_000).step_by(10) {
+            while let Some(ev) = h.poll(now) {
+                match ev {
+                    InjectedFault::EpcSpike { .. } => depth += 1,
+                    InjectedFault::EpcRelease => depth -= 1,
+                    InjectedFault::Aex { .. } => {}
+                }
+                assert!((0..=1).contains(&depth), "windows overlapped");
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_clock_reanchors_instead_of_bursting() {
+        let mut h = plan("seed=1,aex=1@1000").compile(0);
+        // Jump far past many periods: exactly one event fires, then the
+        // schedule re-anchors at now + period.
+        let mut n = 0;
+        while h.poll(1_000_000).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "no catch-up burst");
+    }
+
+    #[test]
+    fn corrupt_bit_stays_in_bounds() {
+        let mut h = plan("seed=3,bitflip=1000").compile(0);
+        for _ in 0..100 {
+            let bit = h.corrupt_bit(100).expect("permille 1000 always flips");
+            assert!(bit < 800);
+        }
+        assert_eq!(h.corrupt_bit(0), None, "empty file cannot flip");
+    }
+}

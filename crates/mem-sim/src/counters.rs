@@ -33,6 +33,16 @@ macro_rules! define_counters {
             pub fn saturating_sub(&self, rhs: &$name) -> $name {
                 $name { $($field: self.$field.saturating_sub(rhs.$field)),+ }
             }
+
+            /// Sets the counter named `name`, returning false when no
+            /// such counter exists. The by-name inverse of
+            /// [`fields`](Self::fields), used by checkpoint restore.
+            pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+                match name {
+                    $(stringify!($field) => { self.$field = value; true })+
+                    _ => false,
+                }
+            }
         }
 
         impl Add for $name {

@@ -72,6 +72,12 @@ pub const HOST_SYSCALL_CYCLES: u64 = 1_800;
 /// victims per fault (Appendix A).
 pub const EVICT_BATCH_PAGES: usize = 16;
 
+/// Base simulated-cycle delay before the first retry of a cell that
+/// failed transiently; doubles per attempt. Sized to a couple of ECALL
+/// round trips so a retried cell's accounted backoff is visible next to
+/// the transition costs it models, yet never dominates a run.
+pub const RETRY_BACKOFF_BASE_CYCLES: u64 = 25_000;
+
 // The derived transition halves must reassemble the cited round trip
 // exactly; a drifted edit here would corrupt Fig 7 and Table 4 at once.
 const _: () = assert!(EENTER_CYCLES + EEXIT_CYCLES == ECALL_ROUND_TRIP_CYCLES);

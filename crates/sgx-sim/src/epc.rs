@@ -75,6 +75,9 @@ struct FrameMeta {
 #[derive(Debug, Clone)]
 pub struct Epc {
     capacity: usize,
+    /// Frames withdrawn from use by an injected EPC pressure spike (as if
+    /// a co-tenant enclave pinned them). Always < `capacity`.
+    reserved: usize,
     batch: usize,
     frames: Vec<FrameMeta>,
     /// Map from page to its index in `frames`.
@@ -99,6 +102,7 @@ impl Epc {
         assert!(batch > 0, "eviction batch must be positive");
         Epc {
             capacity,
+            reserved: 0,
             batch,
             frames: Vec::with_capacity(capacity),
             resident: HashMap::new(),
@@ -111,6 +115,31 @@ impl Epc {
     /// EPC size in frames.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Frames currently withdrawn by [`Epc::set_reserved`].
+    pub fn reserved(&self) -> usize {
+        self.reserved
+    }
+
+    /// Frames actually usable right now (`capacity - reserved`).
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity - self.reserved
+    }
+
+    /// Reserves `frames` frames for a simulated co-tenant (an injected
+    /// EPC pressure spike), evicting resident pages if the pool no longer
+    /// fits, and returns the victims in eviction order so the caller can
+    /// charge their EWBs. Clamped so at least one usable frame remains;
+    /// `set_reserved(0)` releases the pressure.
+    pub fn set_reserved(&mut self, frames: usize) -> Vec<PageKey> {
+        self.reserved = frames.min(self.capacity - 1);
+        let mut victims = Vec::new();
+        while self.frames.len() > self.effective_capacity() {
+            victims.extend(self.evict_batch());
+        }
+        self.audit();
+        victims
     }
 
     /// Number of frames currently holding pages.
@@ -164,7 +193,8 @@ impl Epc {
     /// Verifies the EPC's structural invariants, returning a description
     /// of the first violation found:
     ///
-    /// * **capacity** — never more frames than the EPC holds,
+    /// * **capacity** — never more frames than the EPC currently makes
+    ///   usable (total capacity minus any reserved frames),
     /// * **bijection** — the residency map and the frame vector index
     ///   each other exactly (every frame's key maps back to its index),
     /// * **disjointness** — no page is both resident and evicted,
@@ -176,10 +206,12 @@ impl Epc {
     /// Always compiled; the `audit` cargo feature additionally calls it
     /// after every mutation and panics on violation.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if self.frames.len() > self.capacity {
+        if self.frames.len() > self.effective_capacity() {
             return Err(format!(
-                "{} frames exceed capacity {}",
+                "{} frames exceed effective capacity {} ({} reserved of {})",
                 self.frames.len(),
+                self.effective_capacity(),
+                self.reserved,
                 self.capacity
             ));
         }
@@ -248,7 +280,7 @@ impl Epc {
             };
         }
         let mut evicted = Vec::new();
-        if self.frames.len() >= self.capacity {
+        if self.frames.len() >= self.effective_capacity() {
             #[cfg(feature = "audit")]
             let expected = self.batch.min(self.frames.len());
             evicted = self.evict_batch();
@@ -273,7 +305,7 @@ impl Epc {
             victim: false,
         };
         // Reuse a hole left by eviction if one exists, else push.
-        if self.frames.len() < self.capacity {
+        if self.frames.len() < self.effective_capacity() {
             self.frames.push(meta);
             self.resident.insert(key, self.frames.len() - 1);
         } else {
@@ -539,6 +571,46 @@ mod tests {
         epc.ensure_resident(k(4));
         assert!(epc.is_resident(k(1)), "touched page survives the sweep");
         assert!(!epc.is_resident(k(2)));
+    }
+
+    #[test]
+    fn reserving_frames_shrinks_and_restores_the_pool() {
+        let mut epc = Epc::new(4, 1);
+        for p in 0..4 {
+            epc.ensure_resident(k(p));
+        }
+        let victims = epc.set_reserved(2);
+        assert_eq!(victims.len(), 2, "shrinking to 2 frames evicts 2 pages");
+        assert_eq!(epc.effective_capacity(), 2);
+        assert_eq!(epc.resident_count(), 2);
+        for v in &victims {
+            assert!(epc.is_evicted(*v));
+        }
+        // Under pressure the pool churns within the reduced capacity.
+        epc.ensure_resident(k(5));
+        assert!(epc.resident_count() <= 2);
+        assert!(epc.check_invariants().is_ok());
+        // Release: full capacity is usable again — the two free frames
+        // absorb new pages without any eviction.
+        assert!(epc.set_reserved(0).is_empty());
+        assert_eq!(epc.effective_capacity(), 4);
+        let free = epc.effective_capacity() - epc.resident_count();
+        assert_eq!(free, 2);
+        for p in 0..free as u64 {
+            assert!(epc.ensure_resident(k(10 + p)).evicted.is_empty());
+        }
+    }
+
+    #[test]
+    fn reservation_is_clamped_to_leave_one_frame() {
+        let mut epc = Epc::new(3, 1);
+        for p in 0..3 {
+            epc.ensure_resident(k(p));
+        }
+        epc.set_reserved(1000);
+        assert_eq!(epc.effective_capacity(), 1);
+        assert_eq!(epc.resident_count(), 1);
+        assert!(epc.check_invariants().is_ok());
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub struct SgxCounters {
     pub switchless_ocalls: u64,
     /// Asynchronous enclave exits (faults, signals).
     pub aex_exits: u64,
+    /// The subset of `aex_exits` injected by the fault plane
+    /// ([`SgxMachine::inject_aex`]) rather than caused by EPC faults.
+    pub injected_aex: u64,
     /// EPC frames allocated (`sgx_alloc_page`).
     pub epc_allocs: u64,
     /// EPC pages evicted (EWB).
@@ -177,6 +180,7 @@ impl SgxCounters {
             ("ocalls", self.ocalls),
             ("switchless_ocalls", self.switchless_ocalls),
             ("aex_exits", self.aex_exits),
+            ("injected_aex", self.injected_aex),
             ("epc_allocs", self.epc_allocs),
             ("epc_evictions", self.epc_evictions),
             ("epc_loadbacks", self.epc_loadbacks),
@@ -185,6 +189,29 @@ impl SgxCounters {
             ("transition_cycles", self.transition_cycles),
             ("fault_cycles", self.fault_cycles),
         ]
+    }
+
+    /// Sets the counter named `name`, returning false when no such
+    /// counter exists. The by-name inverse of [`SgxCounters::fields`],
+    /// used by checkpoint restore.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "ecalls" => &mut self.ecalls,
+            "ocalls" => &mut self.ocalls,
+            "switchless_ocalls" => &mut self.switchless_ocalls,
+            "aex_exits" => &mut self.aex_exits,
+            "injected_aex" => &mut self.injected_aex,
+            "epc_allocs" => &mut self.epc_allocs,
+            "epc_evictions" => &mut self.epc_evictions,
+            "epc_loadbacks" => &mut self.epc_loadbacks,
+            "epc_faults" => &mut self.epc_faults,
+            "pages_measured" => &mut self.pages_measured,
+            "transition_cycles" => &mut self.transition_cycles,
+            "fault_cycles" => &mut self.fault_cycles,
+            _ => return false,
+        };
+        *slot = value;
+        true
     }
 }
 
@@ -713,6 +740,64 @@ impl SgxMachine {
         self.mem.compute(tid, cycles);
     }
 
+    /// Injects one asynchronous enclave exit on `tid` (the fault plane's
+    /// AEX storm): AEX out with the mandatory TLB flush, ERESUME back,
+    /// both charged from the canonical costs. Returns false (and does
+    /// nothing) when the thread is not inside an enclave — real AEX only
+    /// interrupts enclave execution.
+    pub fn inject_aex(&mut self, tid: ThreadId) -> bool {
+        if self.in_enclave[tid.0].is_none() {
+            return false;
+        }
+        #[cfg(feature = "audit")]
+        let flushes0 = self.mem.counters().tlb_flushes;
+        self.counters.aex_exits += 1;
+        self.counters.injected_aex += 1;
+        self.mem.flush_tlb(tid);
+        let cycles = self.cfg.aex_cycles + self.cfg.eresume_cycles;
+        self.counters.fault_cycles += cycles;
+        self.mem.charge(tid, cycles);
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            self.mem.counters().tlb_flushes - flushes0,
+            1,
+            "an injected AEX flushes the TLB exactly once"
+        );
+        self.audit();
+        true
+    }
+
+    /// Applies an injected EPC pressure spike: reserves `frames` frames
+    /// for a simulated co-tenant, writing back (EWB) whatever no longer
+    /// fits and charging the write-backs to `tid`. Returns the number of
+    /// pages evicted. Undo with [`SgxMachine::release_epc_pressure`].
+    pub fn set_epc_pressure(&mut self, tid: ThreadId, frames: usize) -> usize {
+        let victims = self.epc.set_reserved(frames);
+        if !victims.is_empty() {
+            // The shrink sweep may have evicted the memoized page.
+            self.last_touched = None;
+            let mut cycles = 0;
+            for _ in &victims {
+                let c = self.jittered(self.cfg.ewb_cycles);
+                self.driver.record(DriverOp::Ewb, c);
+                self.counters.epc_evictions += 1;
+                cycles += c;
+            }
+            self.counters.fault_cycles += cycles;
+            self.mem.charge(tid, cycles);
+        }
+        self.audit();
+        victims.len()
+    }
+
+    /// Ends an injected EPC pressure spike: every reserved frame becomes
+    /// usable again. Releasing evicts nothing, so it is free.
+    pub fn release_epc_pressure(&mut self) {
+        let victims = self.epc.set_reserved(0);
+        debug_assert!(victims.is_empty(), "growing the pool cannot evict");
+        self.audit();
+    }
+
     /// The underlying machine (clocks, counters, page table).
     pub fn mem(&self) -> &Machine {
         &self.mem
@@ -759,7 +844,8 @@ impl SgxMachine {
     /// * **memo residency** — the streaming fast-path memo only ever
     ///   names a resident page,
     /// * **AEX accounting** — every EPC fault exits the enclave exactly
-    ///   once, so `aex_exits == epc_faults` (§2.3),
+    ///   once, and the only other exits are injected by the fault plane,
+    ///   so `aex_exits == epc_faults + injected_aex` (§2.3),
     /// * **fault resolution** — each fault was resolved by an alloc or a
     ///   load-back, so `epc_allocs + epc_loadbacks >= epc_faults` (build
     ///   passes allocate without faulting, hence `>=` rather than `==`;
@@ -792,10 +878,10 @@ impl SgxMachine {
             }
         }
         let c = &self.counters;
-        if c.aex_exits != c.epc_faults {
+        if c.aex_exits != c.epc_faults + c.injected_aex {
             return Err(format!(
-                "{} AEX exits for {} EPC faults",
-                c.aex_exits, c.epc_faults
+                "{} AEX exits for {} EPC faults + {} injected",
+                c.aex_exits, c.epc_faults, c.injected_aex
             ));
         }
         if c.epc_allocs + c.epc_loadbacks < c.epc_faults {
@@ -1107,6 +1193,55 @@ mod tests {
         let sgx2 = build(true);
         assert!(sgx1 > 900, "SGX1 streams the whole ELRANGE: {sgx1}");
         assert_eq!(sgx2, 0, "SGX2 measures only content");
+    }
+
+    #[test]
+    fn injected_aex_counts_flushes_and_charges() {
+        let (mut m, t) = small_machine(8);
+        let e = m.create_enclave(4 * PAGE_SIZE, 0).unwrap();
+        assert!(!m.inject_aex(t), "no AEX outside an enclave");
+        m.ecall_enter(t, e).unwrap();
+        let flushes0 = m.mem().counters().tlb_flushes;
+        let cycles0 = m.mem().cycles_of(t);
+        assert!(m.inject_aex(t));
+        assert!(m.inject_aex(t));
+        let c = m.sgx_counters();
+        assert_eq!(c.injected_aex, 2);
+        assert_eq!(c.aex_exits, 2);
+        assert_eq!(c.epc_faults, 0, "injection is not a page fault");
+        assert_eq!(m.mem().counters().tlb_flushes - flushes0, 2);
+        assert!(m.mem().cycles_of(t) > cycles0, "AEX + ERESUME are charged");
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn epc_pressure_spike_evicts_and_releases() {
+        let (mut m, t) = small_machine(8);
+        let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+        m.ecall_enter(t, e).unwrap();
+        let heap = m.alloc_enclave_heap(e, 8 * PAGE_SIZE).unwrap();
+        for p in 0..8u64 {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Write);
+        }
+        let resident0 = m.epc().resident_count();
+        let evictions0 = m.sgx_counters().epc_evictions;
+        let evicted = m.set_epc_pressure(t, 6);
+        assert!(evicted > 0, "shrinking a warm EPC must write back");
+        assert_eq!(
+            m.sgx_counters().epc_evictions - evictions0,
+            evicted as u64,
+            "one eviction counted per EWB victim"
+        );
+        assert!(m.epc().resident_count() <= m.epc().effective_capacity());
+        assert!(m.check_invariants().is_ok());
+        m.release_epc_pressure();
+        assert_eq!(m.epc().effective_capacity(), m.epc().capacity());
+        // Touching the victims again loads them back within full capacity.
+        for p in 0..8u64 {
+            m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Read);
+        }
+        assert!(m.epc().resident_count() >= resident0.min(8));
+        assert!(m.check_invariants().is_ok());
     }
 
     #[test]

@@ -164,7 +164,11 @@ impl Workload for Blockchain {
             let (nonce, hash, attempts) = Blockchain::mine(&prev_hash, &payload, difficulty);
             total_attempts += attempts;
             let share = attempts / workers.len() as u64 + 1;
+            let mut worker_err: Option<WorkloadError> = None;
             env.parallel(&workers, |env, _i| {
+                if worker_err.is_some() {
+                    return;
+                }
                 for _ in 0..share {
                     // Each attempt is one ECALL into the enclave hash
                     // function (Native); a plain call otherwise.
@@ -176,16 +180,24 @@ impl Workload for Blockchain {
                         env.touch(state, 64, payload_len as u64 / 4, false);
                         env.compute(HASH_COMPUTE_CYCLES);
                     });
-                    debug_assert!(res.is_ok());
+                    if let Err(e) = res {
+                        worker_err = Some(e);
+                        return;
+                    }
                     // Fetch the next candidate from the shared work queue:
                     // with 16 miners the futex is contended, so every mode
                     // pays a host syscall — which Graphene must shuttle
                     // across the enclave boundary (this is why the paper
                     // sees LibOS ~ Native for this workload, Fig 4).
-                    let res = env.host_syscall();
-                    debug_assert!(res.is_ok());
+                    if let Err(e) = env.host_syscall() {
+                        worker_err = Some(e);
+                        return;
+                    }
                 }
             });
+            if let Some(e) = worker_err {
+                return Err(e);
+            }
 
             // Commit the mined block (untrusted side bookkeeping).
             env.write_bytes(

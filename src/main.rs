@@ -11,9 +11,11 @@ use sgxgauge::core::report::{cycle_breakdown, humanize, sweep_table, RatioRow, R
 use sgxgauge::core::{
     EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, SuiteRunner, Workload,
 };
+use sgxgauge::faults::FaultPlan;
 use sgxgauge::stats::BarChart;
 use sgxgauge::workloads::{suite, suite_scaled};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -22,9 +24,18 @@ fn usage() -> ExitCode {
   sgxgauge list
   sgxgauge run     --workload <name> --mode <vanilla|native|libos> --setting <low|medium|high>
                    [--scale <divisor>] [--switchless <workers>] [--pf]
+                   [--faults <spec>] [--cell-budget <cycles>]
   sgxgauge compare --workload <name> --setting <low|medium|high> [--scale <divisor>]
   sgxgauge suite   [--setting <low|medium|high>] [--scale <divisor>] [--modes <m1,m2,..>]
-                   [--reps <n>] [--jobs <n>]"
+                   [--reps <n>] [--jobs <n>] [--faults <spec>] [--cell-budget <cycles>]
+                   [--retries <n>] [--checkpoint <path>] [--resume <path>]
+
+fault spec (comma-separated, e.g. \"seed=7,aex=3@50000,syscall=20\"):
+  seed=<u64>                   PRNG seed (default 1)
+  aex=<exits>@<period>         AEX storm: <exits> forced exits every <period> cycles
+  epc=<frames>@<period>:<dur>  EPC pressure: reserve <frames> for <dur> cycles every <period>
+  syscall=<permille>           transient host-syscall failure rate (0..=1000)
+  bitflip=<permille>           per-read file bit-flip rate (0..=1000)"
     );
     ExitCode::from(2)
 }
@@ -99,10 +110,17 @@ fn runner(flags: &HashMap<String, String>) -> Result<Runner, String> {
     if flags.contains_key("pf") {
         env = env.with_protected_files();
     }
-    Ok(Runner::new(RunnerConfig {
+    let mut runner = Runner::new(RunnerConfig {
         env,
         repetitions: 1,
-    }))
+    });
+    if let Some(spec) = flags.get("faults") {
+        runner = runner.faults(FaultPlan::parse(spec)?);
+    }
+    if let Some(b) = flags.get("cell-budget") {
+        runner = runner.cell_budget(b.parse().map_err(|_| "bad --cell-budget".to_owned())?);
+    }
+    Ok(runner)
 }
 
 fn print_report(r: &RunReport) {
@@ -265,18 +283,45 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
             .map(parse_mode)
             .collect::<Result<Vec<_>, _>>()?,
     };
+    let retries: usize = flags
+        .get("retries")
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|_| "bad --retries")?;
     let runner = runner(flags)?;
     let mut cfg = runner.config().clone();
     cfg.repetitions = reps.max(1);
-    let suite_runner = SuiteRunner::new(cfg)
+    let mut suite_runner = SuiteRunner::new(cfg)
         .modes(&modes)
         .settings(&[setting])
-        .threads(jobs);
+        .threads(jobs)
+        .retries(retries);
+    if let Some(plan) = runner.fault_plan() {
+        suite_runner = suite_runner.faults(plan.clone());
+    }
+    if let Some(budget) = runner.cell_budget_cycles() {
+        suite_runner = suite_runner.cell_budget(budget);
+    }
     let workloads = workloads_for(scale);
     let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w.as_ref()).collect();
-    let sweep = suite_runner.run(&refs);
+    let checkpoint = flags.get("checkpoint").map(PathBuf::from);
+    let resume = flags.get("resume").map(PathBuf::from);
+    let sweep = match (&checkpoint, &resume) {
+        (Some(c), Some(r)) if c != r => {
+            return Err("--checkpoint and --resume must name the same file".to_owned())
+        }
+        (_, Some(path)) => suite_runner.run_with_checkpoint(&refs, path, true)?,
+        (Some(path), None) => suite_runner.run_with_checkpoint(&refs, path, false)?,
+        (None, None) => suite_runner.run(&refs),
+    };
     for (cell, err) in sweep.errors() {
-        eprintln!("{} in {}: {err}", cell.workload, cell.cell.mode);
+        if cell.attempts > 1 {
+            eprintln!(
+                "{} in {}: {err} (after {} attempts)",
+                cell.workload, cell.cell.mode, cell.attempts
+            );
+        } else {
+            eprintln!("{} in {}: {err}", cell.workload, cell.cell.mode);
+        }
     }
     let mut table = ReportTable::new(
         &format!("Suite at {setting} (scale 1/{scale})"),

@@ -3,9 +3,14 @@
 //! usable errors rather than corrupt results.
 
 use sgxgauge::core::env::Placement;
-use sgxgauge::core::{Env, EnvConfig, ExecMode, InputSetting, Runner, RunnerConfig, WorkloadError};
+use sgxgauge::core::{
+    CellErrorKind, Env, EnvConfig, ExecMode, InputSetting, Runner, RunnerConfig, SuiteRunner,
+    Workload, WorkloadError,
+};
 use sgxgauge::crypto::{SealedBlob, SealingKey};
-use sgxgauge::workloads::{Iozone, Memcached};
+use sgxgauge::faults::FaultPlan;
+use sgxgauge::workloads::{Blockchain, HashJoin, Iozone, Memcached};
+use std::path::PathBuf;
 
 /// Tampering with a protected file on the host side must be detected at
 /// read time (the PF MAC), not silently decrypted to garbage.
@@ -103,4 +108,133 @@ fn pf_corruption_does_not_leak_across_files() {
         .run_once(&wl, ExecMode::LibOs, InputSetting::Low)
         .expect("second");
     assert_eq!(a.output.checksum, b.output.checksum);
+}
+
+fn faulted_suite(plan: &str) -> SuiteRunner {
+    let mut cfg = RunnerConfig::quick_test();
+    cfg.repetitions = 2;
+    SuiteRunner::new(cfg)
+        .modes(&[ExecMode::Native])
+        .settings(&[InputSetting::Low, InputSetting::Medium])
+        .faults(FaultPlan::parse(plan).expect("valid plan"))
+}
+
+/// The tentpole determinism claim: the same fault plan produces the same
+/// sweep fingerprint run-to-run AND independent of worker-thread count.
+#[test]
+fn aex_storm_sweeps_are_deterministic_across_job_counts() {
+    let wl = HashJoin::scaled(1024);
+    let refs: Vec<&dyn Workload> = vec![&wl];
+    let plan = "seed=7,aex=2@20000";
+    let one = faulted_suite(plan).threads(1).run(&refs);
+    let four = faulted_suite(plan).threads(4).run(&refs);
+    let again = faulted_suite(plan).threads(4).run(&refs);
+    assert_eq!(
+        one.fingerprint(),
+        four.fingerprint(),
+        "--jobs 1 and --jobs 4 must agree under fault injection"
+    );
+    assert_eq!(four.fingerprint(), again.fingerprint(), "run-to-run");
+    assert!(
+        one.reports().any(|r| r.sgx.injected_aex > 0),
+        "the storm must actually land"
+    );
+    // A different storm intensity genuinely perturbs the sweep.
+    let other = faulted_suite("seed=7,aex=4@20000").threads(1).run(&refs);
+    assert_ne!(one.fingerprint(), other.fingerprint());
+}
+
+/// A certain-to-fail transient plan exhausts the retry budget; the cell
+/// records every attempt and surfaces the last error — and the failure
+/// stays contained to the cells that hit it.
+#[test]
+fn retry_exhaustion_surfaces_the_last_transient_error() {
+    let wl = Blockchain::scaled(4096);
+    let refs: Vec<&dyn Workload> = vec![&wl];
+    let suite = faulted_suite("seed=3,syscall=1000").retries(2);
+    let sweep = suite.threads(2).run(&refs);
+    assert_eq!(sweep.cells.len(), 4);
+    for cell in &sweep.cells {
+        let err = cell.result.as_ref().expect_err("every syscall fails");
+        assert_eq!(err.kind, CellErrorKind::Transient);
+        assert!(err.message.contains("syscall"), "{}", err.message);
+        assert_eq!(cell.attempts, 3, "retry budget of 2 means 3 attempts");
+        assert!(cell.backoff_cycles > 0);
+    }
+}
+
+/// The watchdog cancels runaway cells without taking down the sweep or
+/// misclassifying the cancellation as a panic.
+#[test]
+fn watchdog_times_out_cells_but_not_the_sweep() {
+    let wl = HashJoin::scaled(1024);
+    let refs: Vec<&dyn Workload> = vec![&wl];
+    let mut cfg = RunnerConfig::quick_test();
+    cfg.repetitions = 1;
+    let suite = SuiteRunner::new(cfg)
+        .modes(&[ExecMode::Native])
+        .settings(&[InputSetting::Low])
+        .cell_budget(1_000) // far below any real run
+        .threads(2);
+    let sweep = suite.run(&refs);
+    assert_eq!(sweep.cells.len(), 1);
+    let err = sweep.cells[0].result.as_ref().expect_err("must time out");
+    assert_eq!(err.kind, CellErrorKind::TimedOut);
+    assert!(!err.panicked());
+    assert!(err.message.contains("cycle budget"), "{}", err.message);
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "sgxgauge-resume-{}-{name}.json",
+        std::process::id()
+    ));
+    p
+}
+
+/// Keeps only the first `keep` cells of a checkpoint file, simulating a
+/// sweep killed mid-flight.
+fn truncate_cells(text: &str, keep: usize) -> String {
+    let mut starts = Vec::new();
+    let mut from = 0;
+    while let Some(i) = text[from..].find("{\"index\":") {
+        starts.push(from + i);
+        from += i + 1;
+    }
+    assert!(starts.len() > keep, "not enough cells to truncate");
+    let mut out = text[..starts[keep]].trim_end_matches(',').to_owned();
+    out.push_str("]}\n");
+    out
+}
+
+/// A killed-and-resumed sweep must converge on the same report — and the
+/// same checkpoint file bytes — as an uninterrupted one.
+#[test]
+fn resumed_sweep_is_byte_identical_to_uninterrupted() {
+    let wl = HashJoin::scaled(1024);
+    let refs: Vec<&dyn Workload> = vec![&wl];
+    let full_path = scratch("full");
+    let cut_path = scratch("cut");
+    let plan = "seed=5,aex=1@40000";
+    let full = faulted_suite(plan)
+        .threads(2)
+        .run_with_checkpoint(&refs, &full_path, false)
+        .expect("uninterrupted run");
+    let full_bytes = std::fs::read_to_string(&full_path).expect("checkpoint written");
+    // "Kill" the sweep after one completed cell, then resume.
+    std::fs::write(&cut_path, truncate_cells(&full_bytes, 1)).expect("truncate");
+    let resumed = faulted_suite(plan)
+        .threads(2)
+        .run_with_checkpoint(&refs, &cut_path, true)
+        .expect("resumed run");
+    assert_eq!(
+        full.fingerprint(),
+        resumed.fingerprint(),
+        "resume must reproduce the uninterrupted sweep"
+    );
+    let cut_bytes = std::fs::read_to_string(&cut_path).expect("rewritten");
+    assert_eq!(full_bytes, cut_bytes, "checkpoint files must converge");
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&cut_path);
 }
