@@ -235,10 +235,15 @@ fn cost_literal_scope(rel: &str) -> bool {
 
 /// Whether `rel` is simulator code banned from reading wall-clock time:
 /// the simulator crates, the fault-injection plane (its schedules and
-/// backoff must be pure simulated cycles), and the sweep executor
+/// backoff must be pure simulated cycles), the trace plane (records are
+/// keyed on simulated thread clocks; a wall-clock stamp would break
+/// byte-determinism across runs and `--jobs`), and the sweep executor
 /// (which aggregates their cycle outputs).
 fn wallclock_scope(rel: &str) -> bool {
-    sim_src_scope(rel) || rel.starts_with("crates/faults/src/") || rel == "crates/core/src/sweep.rs"
+    sim_src_scope(rel)
+        || rel.starts_with("crates/faults/src/")
+        || rel.starts_with("crates/trace/src/")
+        || rel == "crates/core/src/sweep.rs"
 }
 
 /// Whether `rel` lies in one of the simulator crates' `src/` trees.

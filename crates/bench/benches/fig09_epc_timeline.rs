@@ -7,15 +7,23 @@
 
 use libos_sim::Manifest;
 use mem_sim::{AccessKind, PAGE_SIZE};
-use sgx_sim::{EpcTraceSample, SgxConfig, SgxMachine};
+use sgx_sim::{SgxConfig, SgxMachine};
 use sgxgauge_bench::{banner, emit, fk, scale};
 use sgxgauge_core::report::ReportTable;
+use trace::{TimelinePoint, TraceSink};
+
+/// Periodic-sample interval: fine enough that even a scaled-down pattern
+/// yields well over 32 timeline points.
+const SAMPLE_INTERVAL: u64 = 1 << 14;
 
 /// Runs a B-Tree-like build+probe touch pattern inside `machine`'s
-/// enclave heap and returns the EPC trace of the execution phase.
-fn run_pattern(machine: &mut SgxMachine, heap: u64, pages: u64) -> Vec<EpcTraceSample> {
+/// enclave heap and returns the sampled counter timeline of the
+/// execution phase.
+fn run_pattern(machine: &mut SgxMachine, heap: u64, pages: u64) -> Vec<TimelinePoint> {
     let t = mem_sim::ThreadId(0);
-    machine.enable_trace();
+    machine
+        .mem_mut()
+        .set_trace_sink(TraceSink::with_config(1 << 16, SAMPLE_INTERVAL));
     // Build: sequential; probe: pseudo-random pointer chase.
     for p in 0..pages {
         machine.access(t, heap + p * PAGE_SIZE, 64, AccessKind::Write);
@@ -28,10 +36,11 @@ fn run_pattern(machine: &mut SgxMachine, heap: u64, pages: u64) -> Vec<EpcTraceS
         let p = x % pages;
         machine.access(t, heap + p * PAGE_SIZE, 64, AccessKind::Read);
     }
-    machine.take_trace()
+    let sink = machine.mem_mut().take_trace_sink().expect("sink installed");
+    sink.timeline()
 }
 
-fn downsample(trace: &[EpcTraceSample], buckets: usize) -> Vec<EpcTraceSample> {
+fn downsample(trace: &[TimelinePoint], buckets: usize) -> Vec<TimelinePoint> {
     if trace.len() <= buckets {
         return trace.to_vec();
     }
@@ -89,9 +98,9 @@ fn main() {
                 mode.to_string(),
                 i.to_string(),
                 s.cycles.to_string(),
-                s.allocs.to_string(),
-                s.evictions.to_string(),
-                s.loadbacks.to_string(),
+                s.snap.epc_allocs.to_string(),
+                s.snap.epc_evictions.to_string(),
+                s.snap.epc_loadbacks.to_string(),
             ]);
         }
     }
@@ -102,8 +111,8 @@ fn main() {
         fk(native_init.evictions),
         fk(startup.epc_evictions)
     );
-    let n_last = native_trace.last().map(|s| s.allocs).unwrap_or(0);
-    let l_last = libos_trace.last().map(|s| s.allocs).unwrap_or(0);
+    let n_last = native_trace.last().map(|s| s.snap.epc_allocs).unwrap_or(0);
+    let l_last = libos_trace.last().map(|s| s.snap.epc_allocs).unwrap_or(0);
     println!(
         "Convergence check: execution-phase allocations Native={n_last} vs LibOS={l_last} (paper: the curves coincide after init)."
     );

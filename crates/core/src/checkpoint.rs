@@ -17,18 +17,22 @@
 //! as their IEEE-754 bit patterns) written and parsed entirely by this
 //! module.
 
-use crate::modes::{ExecMode, InputSetting};
+use crate::emit::{Emitter, JsonDoc};
 use crate::runner::RunReport;
-use crate::sweep::{CellError, CellErrorKind, Fnv, SuiteRunner, SweepCell, SweepReport};
+use crate::sweep::{CellError, CellErrorKind, CellKey, Fnv, SuiteRunner, SweepCell, SweepReport};
 use crate::workload::{Workload, WorkloadOutput};
 use mem_sim::Counters;
-use sgx_sim::{DriverStats, SgxCounters};
+use sgx_sim::{CounterField, DriverStats, SgxCounters};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Checkpoint file format version; bumped on incompatible layout change.
-pub const CHECKPOINT_VERSION: u64 = 1;
+///
+/// Version 2: cells are keyed by the typed [`CellKey`] display form
+/// (`"key":"workload/mode/setting/rep"`) instead of four numeric
+/// discriminants, and the counter arrays include `mee_cycles`.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 impl SuiteRunner {
     /// Runs the grid like [`SuiteRunner::run`], persisting every
@@ -97,10 +101,7 @@ fn grid_fingerprint(suite: &SuiteRunner, workloads: &[&dyn Workload]) -> u64 {
         h.str(w.name());
     }
     for c in suite.grid(workloads) {
-        h.u64(c.workload as u64);
-        h.u64(c.mode as u64);
-        h.u64(c.setting as u64);
-        h.u64(c.rep as u64);
+        h.str(&c.to_string());
     }
     h.u64(
         suite
@@ -134,14 +135,20 @@ impl CheckpointSink {
     pub(crate) fn record(&self, index: usize, cell: &SweepCell) {
         let mut state = self.state.lock().expect("sink lock is never poisoned");
         state.cells.insert(index, cell_json(index, cell));
-        if let Err(e) = write_atomic(&self.path, &render(&state)) {
+        let doc = JsonDoc {
+            body: render(&state),
+        };
+        if let Err(e) = doc.emit(&self.path) {
             state.error.get_or_insert(e);
         }
     }
 
     fn flush(&self) -> Result<(), String> {
         let state = self.state.lock().expect("sink lock is never poisoned");
-        write_atomic(&self.path, &render(&state))
+        JsonDoc {
+            body: render(&state),
+        }
+        .emit(&self.path)
     }
 
     fn take_error(&self) -> Result<(), String> {
@@ -175,17 +182,6 @@ fn render(state: &SinkState) -> String {
     out
 }
 
-/// Whole-file atomic write: temp sibling, then rename over the target.
-fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, contents)
-        .map_err(|e| format!("cannot write checkpoint {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| format!("cannot publish checkpoint {}: {e}", path.display()))
-}
-
 // ---------------------------------------------------------------------
 // Serialization
 // ---------------------------------------------------------------------
@@ -196,11 +192,9 @@ fn cell_json(index: usize, cell: &SweepCell) -> String {
     out.push_str(&index.to_string());
     out.push_str(",\"workload\":");
     json_string(&mut out, cell.workload);
+    out.push_str(",\"key\":");
+    json_string(&mut out, &cell.cell.to_string());
     for (key, v) in [
-        ("windex", cell.cell.workload as u64),
-        ("mode", cell.cell.mode as u64),
-        ("setting", cell.cell.setting as u64),
-        ("rep", cell.cell.rep as u64),
         ("attempts", cell.attempts as u64),
         ("backoff", cell.backoff_cycles),
     ] {
@@ -216,9 +210,9 @@ fn cell_json(index: usize, cell: &SweepCell) -> String {
             out.push_str(",\"clock\":");
             out.push_str(&r.clock_hz.to_string());
             out.push_str(",\"counters\":");
-            named_u64s(&mut out, &r.counters.fields());
+            named_u64s(&mut out, r.counters.fields());
             out.push_str(",\"sgx\":");
-            named_u64s(&mut out, &r.sgx.fields());
+            named_u64s(&mut out, r.sgx.fields());
             out.push_str(",\"ops\":");
             out.push_str(&r.output.ops.to_string());
             out.push_str(",\"checksum\":");
@@ -248,9 +242,9 @@ fn cell_json(index: usize, cell: &SweepCell) -> String {
     out
 }
 
-fn named_u64s(out: &mut String, pairs: &[(&'static str, u64)]) {
+fn named_u64s(out: &mut String, pairs: impl IntoIterator<Item = (&'static str, u64)>) {
     out.push('[');
-    for (i, (name, v)) in pairs.iter().enumerate() {
+    for (i, (name, v)) in pairs.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -303,14 +297,8 @@ pub struct StoredCell {
     pub index: usize,
     /// Workload name at store time (verified against the live suite).
     pub workload: String,
-    /// Workload slice index.
-    pub windex: usize,
-    /// `ExecMode as u64` discriminant.
-    pub mode: u64,
-    /// `InputSetting as u64` discriminant.
-    pub setting: u64,
-    /// Repetition number.
-    pub rep: usize,
+    /// The typed grid key, parsed from its stored display form.
+    pub key: CellKey,
     /// Attempts the cell took.
     pub attempts: usize,
     /// Accounted retry backoff.
@@ -396,13 +384,15 @@ fn parse_cell(v: &Json) -> Result<StoredCell, String> {
             message: get(err, "message")?.as_str("message")?.to_owned(),
         }
     };
+    let index = get(obj, "index")?.as_u64("index")? as usize;
+    let key = get(obj, "key")?
+        .as_str("key")?
+        .parse::<CellKey>()
+        .map_err(|e| format!("checkpoint cell {index}: {e}"))?;
     Ok(StoredCell {
-        index: get(obj, "index")?.as_u64("index")? as usize,
+        index,
         workload: get(obj, "workload")?.as_str("workload")?.to_owned(),
-        windex: get(obj, "windex")?.as_u64("windex")? as usize,
-        mode: get(obj, "mode")?.as_u64("mode")?,
-        setting: get(obj, "setting")?.as_u64("setting")?,
-        rep: get(obj, "rep")?.as_u64("rep")? as usize,
+        key,
         attempts: get(obj, "attempts")?.as_u64("attempts")? as usize,
         backoff_cycles: get(obj, "backoff")?.as_u64("backoff")?,
         result,
@@ -425,7 +415,7 @@ fn named_pairs(v: &Json, what: &str) -> Result<Vec<(String, u64)>, String> {
 /// against the enumerated grid and the live workload set.
 fn adopt_cell(
     stored: StoredCell,
-    grid: &[crate::sweep::GridCell],
+    grid: &[crate::sweep::CellKey],
     workloads: &[&dyn Workload],
 ) -> Result<SweepCell, String> {
     let index = stored.index;
@@ -433,7 +423,7 @@ fn adopt_cell(
         .get(index)
         .ok_or_else(|| format!("checkpoint cell index {index} outside the grid"))?;
     let w = workloads
-        .get(stored.windex)
+        .get(stored.key.workload)
         .ok_or_else(|| format!("checkpoint cell {index}: workload index out of range"))?;
     if w.name() != stored.workload {
         return Err(format!(
@@ -442,30 +432,13 @@ fn adopt_cell(
             w.name()
         ));
     }
-    let mode = ExecMode::ALL
-        .iter()
-        .copied()
-        .find(|m| *m as u64 == stored.mode)
-        .ok_or_else(|| format!("checkpoint cell {index}: unknown mode {}", stored.mode))?;
-    let setting = InputSetting::ALL
-        .iter()
-        .copied()
-        .find(|s| *s as u64 == stored.setting)
-        .ok_or_else(|| {
-            format!(
-                "checkpoint cell {index}: unknown setting {}",
-                stored.setting
-            )
-        })?;
-    let matches = grid_cell.workload == stored.windex
-        && grid_cell.mode == mode
-        && grid_cell.setting == setting
-        && grid_cell.rep == stored.rep;
-    if !matches {
+    if grid_cell != stored.key {
         return Err(format!(
-            "checkpoint cell {index} does not match the enumerated grid"
+            "checkpoint cell {index} ({}) does not match the enumerated grid ({grid_cell})",
+            stored.key
         ));
     }
+    let (mode, setting) = (grid_cell.mode, grid_cell.setting);
     let result = match stored.result {
         StoredResult::Ok {
             runtime_cycles,
@@ -479,7 +452,19 @@ fn adopt_cell(
             let mut c = Counters::new();
             restore_fields(&mut c, Counters::set_field, &counters, index)?;
             let mut s = SgxCounters::default();
-            restore_fields(&mut s, SgxCounters::set_field, &sgx, index)?;
+            // SGX counters restore through the typed field enum: unknown
+            // names fail the parse instead of silently writing nowhere.
+            restore_fields(
+                &mut s,
+                |s, name, v| {
+                    CounterField::parse(name).is_some_and(|f| {
+                        s.set(f, v);
+                        true
+                    })
+                },
+                &sgx,
+                index,
+            )?;
             Ok(RunReport {
                 workload: w.name(),
                 mode,
@@ -487,10 +472,14 @@ fn adopt_cell(
                 runtime_cycles,
                 counters: c,
                 sgx: s,
-                // Neither enters the fingerprint; a resumed report only
-                // guarantees the fingerprinted subset.
+                // None of these enter the fingerprint; a resumed report
+                // only guarantees the fingerprinted subset. Traces in
+                // particular are never persisted — re-trace to get one.
                 driver: DriverStats::new(),
                 libos_startup: None,
+                timeline: Vec::new(),
+                phases: Vec::new(),
+                trace: None,
                 clock_hz,
                 output: WorkloadOutput {
                     ops,
@@ -520,7 +509,7 @@ fn adopt_cell(
 
 fn restore_fields<T>(
     target: &mut T,
-    set: fn(&mut T, &str, u64) -> bool,
+    set: impl Fn(&mut T, &str, u64) -> bool,
     pairs: &[(String, u64)],
     index: usize,
 ) -> Result<(), String> {
@@ -764,6 +753,7 @@ impl Parser<'_> {
 mod tests {
     use super::*;
     use crate::env::Env;
+    use crate::modes::{ExecMode, InputSetting};
     use crate::runner::RunnerConfig;
     use crate::workload::{WorkloadError, WorkloadSpec};
 

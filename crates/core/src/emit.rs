@@ -1,0 +1,159 @@
+//! The single emission path for every artifact the suite writes.
+//!
+//! Reports (CSV), checkpoints (JSON) and traces (JSONL) used to each own
+//! their file-writing code. They now share one [`Emitter`] trait: an
+//! emitter knows its [`Format`] and how to [`render`](Emitter::render)
+//! itself to text; [`Emitter::emit`] publishes that text atomically
+//! (temp sibling + rename, parent directories created), so a crash
+//! mid-write never leaves a torn artifact behind — the guarantee the
+//! checkpoint writer pioneered, now shared by every output.
+
+use std::path::{Path, PathBuf};
+
+/// The on-disk formats the suite emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Comma-separated values (report tables, timelines).
+    Csv,
+    /// A single JSON document (checkpoints).
+    Json,
+    /// JSON Lines: one JSON object per line (trace streams).
+    Jsonl,
+}
+
+impl Format {
+    /// Infers the format from a path's extension (`.csv`, `.json`,
+    /// `.jsonl`), case-insensitively.
+    pub fn from_path(path: &Path) -> Option<Format> {
+        let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+        match ext.as_str() {
+            "csv" => Some(Format::Csv),
+            "json" => Some(Format::Json),
+            "jsonl" => Some(Format::Jsonl),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Format::Csv => "csv",
+            Format::Json => "json",
+            Format::Jsonl => "jsonl",
+        })
+    }
+}
+
+/// Something that can be published to disk.
+///
+/// Implementors provide the text and its format; the trait provides the
+/// one shared, atomic write path.
+pub trait Emitter {
+    /// The emitter's on-disk format.
+    fn format(&self) -> Format;
+
+    /// Renders the complete artifact as text.
+    fn render(&self) -> String;
+
+    /// Publishes the rendered artifact to `path` atomically, creating
+    /// parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the I/O failure.
+    fn emit(&self, path: &Path) -> Result<(), String> {
+        write_atomic(path, &self.render())
+    }
+}
+
+/// A pre-rendered JSON document (the checkpoint writer's adapter into
+/// the shared emission path).
+#[derive(Debug, Clone)]
+pub struct JsonDoc {
+    /// The complete document text.
+    pub body: String,
+}
+
+impl Emitter for JsonDoc {
+    fn format(&self) -> Format {
+        Format::Json
+    }
+
+    fn render(&self) -> String {
+        self.body.clone()
+    }
+}
+
+/// A trace sink viewed as a JSONL artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceJsonl<'a>(pub &'a trace::TraceSink);
+
+impl Emitter for TraceJsonl<'_> {
+    fn format(&self) -> Format {
+        Format::Jsonl
+    }
+
+    fn render(&self) -> String {
+        self.0.render_jsonl()
+    }
+}
+
+/// Whole-file atomic write: parent directories are created, the contents
+/// land in a temp sibling, and a rename publishes them.
+///
+/// # Errors
+///
+/// A human-readable description of the I/O failure.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_from_extension() {
+        assert_eq!(Format::from_path(Path::new("a/b.csv")), Some(Format::Csv));
+        assert_eq!(Format::from_path(Path::new("b.JSON")), Some(Format::Json));
+        assert_eq!(Format::from_path(Path::new("t.jsonl")), Some(Format::Jsonl));
+        assert_eq!(Format::from_path(Path::new("t.txt")), None);
+        assert_eq!(Format::from_path(Path::new("noext")), None);
+    }
+
+    #[test]
+    fn atomic_write_creates_parents_and_publishes() {
+        let dir = std::env::temp_dir().join(format!("sgxgauge-emit-{}", std::process::id()));
+        let path = dir.join("deep/nested/doc.json");
+        let doc = JsonDoc {
+            body: "{\"ok\":1}\n".to_owned(),
+        };
+        doc.emit(&path).expect("emit succeeds");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":1}\n");
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "temp sibling renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_jsonl_emitter_round_trips() {
+        let mut sink = trace::TraceSink::new(16);
+        sink.emit(0, 10, trace::TraceEvent::EcallEnter);
+        let e = TraceJsonl(&sink);
+        assert_eq!(e.format(), Format::Jsonl);
+        assert!(e.render().contains("ecall_enter"));
+    }
+}

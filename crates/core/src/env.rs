@@ -377,22 +377,25 @@ impl Env {
                 Some(h) => h.poll(now),
                 None => None,
             };
+            let Some(ev) = ev else { break };
+            // Every applied injection lands in the trace stream so a
+            // timeline shows *when* the fault plane perturbed the run.
+            self.machine.mem_mut().trace_emit(tid, ev.trace_event());
             match ev {
                 // The burst is consumed even outside an enclave (keeping
                 // the event stream deterministic); injection itself is a
                 // no-op there, as real AEX only interrupts enclave code.
-                Some(InjectedFault::Aex { exits }) => {
+                InjectedFault::Aex { exits } => {
                     for _ in 0..exits {
                         self.machine.inject_aex(tid);
                     }
                 }
-                Some(InjectedFault::EpcSpike { frames }) => {
+                InjectedFault::EpcSpike { frames } => {
                     self.machine.set_epc_pressure(tid, frames);
                 }
-                Some(InjectedFault::EpcRelease) => {
+                InjectedFault::EpcRelease => {
                     self.machine.release_epc_pressure();
                 }
-                None => break,
             }
         }
     }
@@ -400,6 +403,48 @@ impl Env {
     /// Elapsed cycles: the maximum clock over all logical threads.
     pub fn elapsed_cycles(&self) -> u64 {
         self.machine.mem().elapsed_cycles()
+    }
+
+    // ----- trace phases ----------------------------------------------
+
+    /// Opens a named workload phase span in the trace stream (e.g.
+    /// `"build"`, `"query"`). Spans nest; close them innermost-first
+    /// with [`Env::phase_end`]. A no-op when no trace sink is installed,
+    /// so instrumented workloads cost nothing in untraced runs.
+    pub fn phase(&mut self, name: &str) {
+        let tid = self.threads[self.cur].id;
+        self.machine.trace_phase_begin(tid, name);
+    }
+
+    /// Closes the innermost open phase span, which must be `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Trace`] when `name` is not the innermost open
+    /// span (misnested or never opened). Always `Ok` when tracing is
+    /// disabled.
+    pub fn phase_end(&mut self, name: &str) -> Result<(), WorkloadError> {
+        let tid = self.threads[self.cur].id;
+        self.machine.trace_phase_end(tid, name)?;
+        Ok(())
+    }
+
+    /// Runs `f` inside a phase span, closing it on success or failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error; otherwise any span-closing error.
+    pub fn with_phase<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Env) -> Result<T, WorkloadError>,
+    ) -> Result<T, WorkloadError> {
+        self.phase(name);
+        let out = f(self);
+        let closed = self.phase_end(name);
+        let out = out?;
+        closed?;
+        Ok(out)
     }
 
     // ----- threads ---------------------------------------------------

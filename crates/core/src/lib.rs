@@ -38,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod checkpoint;
+pub mod emit;
 pub mod env;
 pub mod modes;
 pub mod report;
@@ -46,11 +47,12 @@ pub mod sweep;
 pub mod workload;
 
 pub use checkpoint::{load_checkpoint, Checkpoint, CHECKPOINT_VERSION};
+pub use emit::{Emitter, Format};
 pub use env::{Env, EnvConfig, Region, SimThread};
 pub use modes::{ExecMode, InputSetting};
 pub use report::{RatioRow, ReportTable};
-pub use runner::{RunReport, Runner, RunnerConfig};
-pub use sweep::{CellError, CellErrorKind, GridCell, SuiteRunner, SweepCell, SweepReport};
+pub use runner::{RunReport, Runner, RunnerConfig, TraceConfig};
+pub use sweep::{CellError, CellErrorKind, CellKey, SuiteRunner, SweepCell, SweepReport};
 pub use workload::{
     ErrorClass, TransientError, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
 };

@@ -30,6 +30,21 @@ impl fmt::Display for ExecMode {
     }
 }
 
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    /// Case-insensitive parse of the paper spelling (`Vanilla`, `Native`,
+    /// `LibOS`) and the CLI's lowercase forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "vanilla" => Ok(ExecMode::Vanilla),
+            "native" => Ok(ExecMode::Native),
+            "libos" => Ok(ExecMode::LibOs),
+            other => Err(format!("unknown mode `{other}`")),
+        }
+    }
+}
+
 /// Input sizing relative to the EPC (Table 1): Low (< EPC), Medium
 /// (≈ EPC), High (> EPC).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,9 +73,38 @@ impl fmt::Display for InputSetting {
     }
 }
 
+impl std::str::FromStr for InputSetting {
+    type Err = String;
+
+    /// Case-insensitive parse of `Low`/`Medium`/`High`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "low" => Ok(InputSetting::Low),
+            "medium" => Ok(InputSetting::Medium),
+            "high" => Ok(InputSetting::High),
+            other => Err(format!("unknown setting `{other}`")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_parse_round_trips() {
+        for mode in ExecMode::ALL {
+            assert_eq!(mode.to_string().parse::<ExecMode>().unwrap(), mode);
+        }
+        for setting in InputSetting::ALL {
+            assert_eq!(
+                setting.to_string().parse::<InputSetting>().unwrap(),
+                setting
+            );
+        }
+        assert!("sgx2".parse::<ExecMode>().is_err());
+        assert!("tiny".parse::<InputSetting>().is_err());
+    }
 
     #[test]
     fn display_names_match_paper() {

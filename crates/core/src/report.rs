@@ -1,12 +1,11 @@
 //! Report generation: the paper's ratio tables and CSV emission.
 
+use crate::emit::{Emitter, Format};
 use crate::modes::{ExecMode, InputSetting};
 use crate::runner::RunReport;
 use crate::sweep::SweepReport;
 use gauge_stats::{geomean, ratio, Summary};
 use std::fmt;
-use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 /// The counter ratios the paper tabulates (Table 4 columns).
@@ -135,7 +134,9 @@ pub fn aggregate_sweep(sweep: &SweepReport) -> Vec<SweepGroup> {
     let mut current: Option<SweepGroup> = None;
     let mut current_key = None;
     for cell in &sweep.cells {
-        let key = (cell.cell.workload, cell.cell.mode, cell.cell.setting);
+        // All repetitions of one (workload, mode, setting) share a
+        // series key, so consecutive reps fold into one group.
+        let key = cell.cell.series();
         if current_key != Some(key) {
             flush(&mut current, &mut runtimes, &mut faults);
             current_key = Some(key);
@@ -235,20 +236,30 @@ impl ReportTable {
     }
 
     /// Writes the table as CSV to `path`, creating parent directories.
+    /// Thin wrapper over the shared [`Emitter`] path (atomic publish).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        let mut f = fs::File::create(path)?;
-        writeln!(f, "{}", self.headers.join(","))?;
+        self.emit(path).map_err(std::io::Error::other)
+    }
+}
+
+impl Emitter for ReportTable {
+    fn format(&self) -> Format {
+        Format::Csv
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
         for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
+            out.push_str(&row.join(","));
+            out.push('\n');
         }
-        Ok(())
+        out
     }
 }
 
@@ -341,6 +352,9 @@ mod tests {
             libos_startup: None,
             clock_hz: 3_800_000_000,
             output: WorkloadOutput::default(),
+            timeline: Vec::new(),
+            phases: Vec::new(),
+            trace: None,
         }
     }
 
@@ -408,12 +422,12 @@ mod tests {
     }
 
     fn sweep_of(cells: Vec<(u64, Result<u64, &str>)>) -> SweepReport {
-        use crate::sweep::{CellError, CellErrorKind, GridCell, SweepCell};
+        use crate::sweep::{CellError, CellErrorKind, CellKey, SweepCell};
         SweepReport {
             cells: cells
                 .into_iter()
                 .map(|(rep, result)| SweepCell {
-                    cell: GridCell {
+                    cell: CellKey {
                         workload: 0,
                         mode: ExecMode::Native,
                         setting: InputSetting::Low,

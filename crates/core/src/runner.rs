@@ -8,6 +8,26 @@ use libos_sim::StartupStats;
 use mem_sim::Counters;
 use sgx_sim::{DriverStats, SgxCounters};
 
+/// Configuration of the per-run trace sink ([`Runner::tracing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in records; the oldest records are
+    /// overwritten (and counted as dropped) past this bound.
+    pub capacity: usize,
+    /// Spacing of periodic counter samples in simulated cycles; `0`
+    /// disables periodic sampling (phase boundaries still snapshot).
+    pub sample_interval_cycles: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: trace::DEFAULT_CAPACITY,
+            sample_interval_cycles: trace::DEFAULT_SAMPLE_INTERVAL,
+        }
+    }
+}
+
 /// Configuration of a [`Runner`].
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
@@ -60,6 +80,15 @@ pub struct RunReport {
     pub clock_hz: u64,
     /// The workload's output (ops, checksum, metrics).
     pub output: WorkloadOutput,
+    /// Phase-resolved counter timeline: one snapshot per periodic sample
+    /// and per phase boundary. Empty unless the run was traced.
+    pub timeline: Vec<trace::TimelinePoint>,
+    /// Per-phase cycle attribution (app vs transition vs paging vs MEE).
+    /// Empty unless the run was traced.
+    pub phases: Vec<trace::PhaseAttribution>,
+    /// The raw trace stream, for JSONL export. `None` unless the run was
+    /// traced. Not persisted by checkpoints.
+    pub trace: Option<trace::TraceSink>,
 }
 
 impl RunReport {
@@ -80,6 +109,7 @@ pub struct Runner {
     cfg: RunnerConfig,
     faults: Option<FaultPlan>,
     cell_budget: Option<u64>,
+    trace: Option<TraceConfig>,
 }
 
 impl Runner {
@@ -89,7 +119,22 @@ impl Runner {
             cfg,
             faults: None,
             cell_budget: None,
+            trace: None,
         }
+    }
+
+    /// Installs a trace sink into every run: the report's `timeline`,
+    /// `phases` and `trace` fields are filled, and the whole measured
+    /// region executes inside an implicit `"run"` phase span.
+    #[must_use]
+    pub fn tracing(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
+    /// The trace configuration in use, if any.
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.trace
     }
 
     /// Injects faults from `plan` into every run (see
@@ -178,6 +223,17 @@ impl Runner {
                 env.set_fault_hook(plan.compile(salt));
             }
         }
+        if let Some(tc) = self.trace {
+            env.machine_mut()
+                .mem_mut()
+                .set_trace_sink(trace::TraceSink::with_config(
+                    tc.capacity,
+                    tc.sample_interval_cycles,
+                ));
+            // The whole measured region runs inside an implicit span so
+            // even un-instrumented workloads get one attribution row.
+            env.phase("run");
+        }
         if let Some(budget) = self.cell_budget {
             env.arm_cycle_budget(budget);
         }
@@ -202,6 +258,20 @@ impl Runner {
             }
             None => workload.execute(&mut env, setting)?,
         };
+        let (timeline, phases, trace_sink) = if self.trace.is_some() {
+            env.phase_end("run")?;
+            let sink = env
+                .machine_mut()
+                .mem_mut()
+                .take_trace_sink()
+                .expect("sink installed before execute");
+            // Spans the workload opened but never closed are misuse,
+            // reported as a typed error rather than a bad timeline.
+            sink.finish()?;
+            (sink.timeline(), sink.phase_attribution(), Some(sink))
+        } else {
+            (Vec::new(), Vec::new(), None)
+        };
         Ok(RunReport {
             workload: workload.name(),
             mode,
@@ -213,6 +283,9 @@ impl Runner {
             libos_startup,
             clock_hz: env.machine().config().mem.clock_hz,
             output,
+            timeline,
+            phases,
+            trace: trace_sink,
         })
     }
 

@@ -41,9 +41,15 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// One coordinate of the benchmark grid, in enumeration order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GridCell {
+/// The typed key of one benchmark-grid cell.
+///
+/// Every layer that used to thread `(workload, mode, setting, rep)`
+/// tuples — the sweep queue, checkpoint fingerprints and lookups, report
+/// grouping — now passes this one type. Its [`Display`](std::fmt::Display)
+/// form `workload/mode/setting/rep` round-trips through
+/// [`FromStr`](std::str::FromStr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey {
     /// Index into the workload slice passed to [`SuiteRunner::run`].
     pub workload: usize,
     /// Execution mode.
@@ -52,6 +58,56 @@ pub struct GridCell {
     pub setting: InputSetting,
     /// Repetition number, `0..repetitions`.
     pub rep: usize,
+}
+
+impl CellKey {
+    /// The key of this cell's repetition series: the same coordinate with
+    /// `rep` zeroed. All repetitions of one (workload, mode, setting)
+    /// share a series key, which is what aggregation groups by.
+    #[must_use]
+    pub fn series(&self) -> CellKey {
+        CellKey { rep: 0, ..*self }
+    }
+}
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.workload, self.mode, self.setting, self.rep
+        )
+    }
+}
+
+impl std::str::FromStr for CellKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('/');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("cell key `{s}` is missing its {what}"))
+        };
+        let workload = next("workload index")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad workload index in `{s}`: {e}"))?;
+        let mode = next("mode")?.parse::<ExecMode>()?;
+        let setting = next("setting")?.parse::<InputSetting>()?;
+        let rep = next("repetition")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad repetition in `{s}`: {e}"))?;
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in cell key `{s}`"));
+        }
+        Ok(CellKey {
+            workload,
+            mode,
+            setting,
+            rep,
+        })
+    }
 }
 
 /// How a cell failed — structured, so retry policy and reporting never
@@ -135,7 +191,7 @@ impl std::fmt::Display for CellError {
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Grid coordinate.
-    pub cell: GridCell,
+    pub cell: CellKey,
     /// Workload name (kept here so errors stay attributable).
     pub workload: &'static str,
     /// The run's report, or why there is none.
@@ -307,6 +363,15 @@ impl SuiteRunner {
         self
     }
 
+    /// Traces every cell (see [`Runner::tracing`]). Each cell owns a
+    /// private sink, so traces stay byte-identical no matter how many
+    /// worker threads drive the sweep.
+    #[must_use]
+    pub fn tracing(mut self, cfg: crate::runner::TraceConfig) -> Self {
+        self.runner = self.runner.tracing(cfg);
+        self
+    }
+
     /// Cancels any cell whose measured region exceeds `cycles` simulated
     /// cycles; the cell fails with [`CellErrorKind::TimedOut`].
     #[must_use]
@@ -335,7 +400,7 @@ impl SuiteRunner {
 
     /// Enumerates the grid for `workloads` in canonical order: workload,
     /// then mode (skipping unsupported), then setting, then repetition.
-    pub fn grid(&self, workloads: &[&dyn Workload]) -> Vec<GridCell> {
+    pub fn grid(&self, workloads: &[&dyn Workload]) -> Vec<CellKey> {
         let reps = self.runner.config().repetitions.max(1);
         let mut cells = Vec::new();
         for (wi, w) in workloads.iter().enumerate() {
@@ -345,7 +410,7 @@ impl SuiteRunner {
                 }
                 for &setting in &self.settings {
                     for rep in 0..reps {
-                        cells.push(GridCell {
+                        cells.push(CellKey {
                             workload: wi,
                             mode,
                             setting,
@@ -446,7 +511,7 @@ impl SuiteRunner {
 
     /// Executes one cell, retrying transient failures within the retry
     /// budget and converting errors and panics into the outcome.
-    fn run_cell(&self, workloads: &[&dyn Workload], cell: GridCell) -> SweepCell {
+    fn run_cell(&self, workloads: &[&dyn Workload], cell: CellKey) -> SweepCell {
         let w = workloads[cell.workload];
         let max_attempts = self.retries + 1;
         let mut attempts = 0;
@@ -488,7 +553,7 @@ impl SuiteRunner {
 /// The per-attempt fault salt: a digest of the cell coordinate and the
 /// attempt ordinal, so every (cell, attempt) pair sees a distinct but
 /// reproducible fault stream regardless of worker scheduling.
-fn attempt_salt(name: &str, cell: &GridCell, attempt: usize) -> u64 {
+fn attempt_salt(name: &str, cell: &CellKey, attempt: usize) -> u64 {
     let mut h = Fnv::new();
     h.str(name);
     h.u64(cell.workload as u64);
@@ -621,7 +686,7 @@ mod tests {
         assert_eq!(grid.len(), 8);
         assert_eq!(
             grid[0],
-            GridCell {
+            CellKey {
                 workload: 0,
                 mode: ExecMode::Vanilla,
                 setting: InputSetting::Low,

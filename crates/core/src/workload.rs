@@ -86,6 +86,10 @@ pub enum WorkloadError {
         /// The thread clock when the watchdog fired.
         elapsed_cycles: u64,
     },
+    /// The workload misused the phase-span tracing API (mismatched or
+    /// unclosed [`Env::phase`](crate::Env::phase) spans). Deterministic —
+    /// the same workload mismatches its spans on every run.
+    Trace(trace::TraceError),
     /// Anything else, described.
     Other(String),
 }
@@ -115,8 +119,15 @@ impl fmt::Display for WorkloadError {
                 f,
                 "cycle budget exceeded: {elapsed_cycles} of {budget_cycles} allowed"
             ),
+            WorkloadError::Trace(e) => write!(f, "trace misuse: {e}"),
             WorkloadError::Other(m) => write!(f, "{m}"),
         }
+    }
+}
+
+impl From<trace::TraceError> for WorkloadError {
+    fn from(e: trace::TraceError) -> Self {
+        WorkloadError::Trace(e)
     }
 }
 
@@ -130,6 +141,7 @@ impl Error for WorkloadError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             WorkloadError::Sgx(e) => Some(e),
+            WorkloadError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -273,6 +285,10 @@ mod tests {
                     budget_cycles: 10,
                     elapsed_cycles: 12,
                 },
+                Fatal,
+            ),
+            (
+                WorkloadError::Trace(trace::TraceError::NoOpenPhase { found: "p".into() }),
                 Fatal,
             ),
             (

@@ -22,6 +22,20 @@ pub enum InjectedFault {
     EpcRelease,
 }
 
+impl InjectedFault {
+    /// The trace-plane event recording this injection, so the
+    /// environment can stamp every application of the fault plane into
+    /// the run's trace stream.
+    pub fn trace_event(&self) -> trace::TraceEvent {
+        let kind = match self {
+            InjectedFault::Aex { .. } => trace::InjectedKind::Aex,
+            InjectedFault::EpcSpike { .. } => trace::InjectedKind::EpcSpike,
+            InjectedFault::EpcRelease => trace::InjectedKind::EpcRelease,
+        };
+        trace::TraceEvent::FaultInjected { kind }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct StormState {
     exits: u32,

@@ -1,0 +1,110 @@
+//! Timeline aggregation: aligning and binning sampled counter series.
+//!
+//! The trace plane samples cumulative counters at fixed simulated-cycle
+//! intervals, but different runs (repetitions, modes) finish at
+//! different clocks and sample at different instants. To compare or
+//! average their timelines, this module resamples each series onto a
+//! common grid of `bins` equal-width cycle windows using step
+//! interpolation (a cumulative counter holds its last observed value
+//! until the next sample), then reports mean/min/max across series per
+//! bin.
+
+/// One bin of an aggregated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineBin {
+    /// Cycle clock at the bin's right edge.
+    pub cycles: u64,
+    /// Mean of the step-interpolated series values at that instant.
+    pub mean: f64,
+    /// Smallest series value at that instant.
+    pub min: u64,
+    /// Largest series value at that instant.
+    pub max: u64,
+}
+
+/// Step-interpolates `series` at clock `at`: the value of the last
+/// sample with `cycles <= at`, or 0 before the first sample (cumulative
+/// counters start at zero).
+fn step_at(series: &[(u64, u64)], at: u64) -> u64 {
+    match series.partition_point(|&(cycles, _)| cycles <= at) {
+        0 => 0,
+        n => series[n - 1].1,
+    }
+}
+
+/// Aligns `series` — each a `(cycles, value)` sequence sorted by cycles,
+/// as produced by a trace timeline — onto `bins` equal-width windows
+/// spanning `[0, max_cycles]` and aggregates across series per bin.
+///
+/// Returns an empty vector when there is nothing to bin (`bins == 0`,
+/// no series, or every series empty).
+pub fn bin_timelines(series: &[Vec<(u64, u64)>], bins: usize) -> Vec<TimelineBin> {
+    let span = series
+        .iter()
+        .filter_map(|s| s.last().map(|&(cycles, _)| cycles))
+        .max()
+        .unwrap_or(0);
+    let populated = series.iter().filter(|s| !s.is_empty()).count();
+    if bins == 0 || populated == 0 {
+        return Vec::new();
+    }
+    (1..=bins)
+        .map(|i| {
+            // Right edge of bin i; the last bin lands exactly on `span`.
+            let at = span * i as u64 / bins as u64;
+            let mut sum = 0.0;
+            let mut min = u64::MAX;
+            let mut max = 0;
+            for s in series.iter().filter(|s| !s.is_empty()) {
+                let v = step_at(s, at);
+                sum += v as f64;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            TimelineBin {
+                cycles: at,
+                mean: sum / populated as f64,
+                min,
+                max,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_interpolation_holds_last_value() {
+        let s = vec![(10, 1), (20, 5), (30, 7)];
+        assert_eq!(step_at(&s, 0), 0);
+        assert_eq!(step_at(&s, 10), 1);
+        assert_eq!(step_at(&s, 19), 1);
+        assert_eq!(step_at(&s, 25), 5);
+        assert_eq!(step_at(&s, 99), 7);
+    }
+
+    #[test]
+    fn bins_span_longest_series_and_aggregate() {
+        let a = vec![(10, 2), (100, 10)];
+        let b = vec![(50, 4)];
+        let bins = bin_timelines(&[a, b], 2);
+        assert_eq!(bins.len(), 2);
+        // Bin 1 right edge: 50 cycles — a holds 2, b holds 4.
+        assert_eq!(bins[0].cycles, 50);
+        assert!((bins[0].mean - 3.0).abs() < 1e-12);
+        assert_eq!((bins[0].min, bins[0].max), (2, 4));
+        // Bin 2 right edge: 100 cycles — a holds 10, b holds 4.
+        assert_eq!(bins[1].cycles, 100);
+        assert!((bins[1].mean - 7.0).abs() < 1e-12);
+        assert_eq!((bins[1].min, bins[1].max), (4, 10));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        assert!(bin_timelines(&[], 8).is_empty());
+        assert!(bin_timelines(&[vec![]], 8).is_empty());
+        assert!(bin_timelines(&[vec![(1, 1)]], 0).is_empty());
+    }
+}

@@ -113,6 +113,8 @@ impl Shim {
             return Err(SgxError::NotInEnclave);
         }
         self.stats.syscalls += 1;
+        m.mem_mut()
+            .trace_emit(tid, trace::TraceEvent::ShimSyscall { host: false });
         m.compute(tid, self.cfg.dispatch_cycles);
         Ok(())
     }
@@ -129,6 +131,8 @@ impl Shim {
         }
         self.stats.syscalls += 1;
         self.stats.forwarded_ocalls += 1;
+        m.mem_mut()
+            .trace_emit(tid, trace::TraceEvent::ShimSyscall { host: true });
         m.compute(tid, self.cfg.dispatch_cycles);
         m.ocall(tid, self.cfg.ocall_work_cycles)
     }
@@ -153,6 +157,8 @@ impl Shim {
             return Err(SgxError::NotInEnclave);
         }
         self.stats.syscalls += 1;
+        m.mem_mut()
+            .trace_emit(tid, trace::TraceEvent::ShimSyscall { host: true });
         if write {
             self.stats.bytes_written += bytes;
         } else {

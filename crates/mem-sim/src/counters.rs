@@ -130,6 +130,11 @@ define_counters! {
         pub compute_cycles: u64,
         /// Full TLB flushes (enclave transitions cause these).
         pub tlb_flushes: u64,
+        /// Extra DRAM stall cycles paid to the Memory Encryption Engine:
+        /// the encrypted-DRAM premium over plain DRAM on LLC misses into
+        /// the PRM. A subset of `stall_cycles`, broken out so timelines
+        /// can attribute MEE cost separately.
+        pub mee_cycles: u64,
     }
 }
 
@@ -162,9 +167,10 @@ mod tests {
             ..Default::default()
         };
         let f = c.fields();
-        assert_eq!(f.len(), 11);
+        assert_eq!(f.len(), 12);
         assert_eq!(f[0], ("mem_reads", 1));
         assert_eq!(f[10], ("tlb_flushes", 2));
+        assert_eq!(f[11], ("mee_cycles", 0));
     }
 
     #[test]

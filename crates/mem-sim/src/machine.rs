@@ -128,6 +128,9 @@ pub struct Machine {
     llc: Llc,
     page_table: PageTable,
     counters: Counters,
+    /// The trace plane, when armed. Boxed so the disabled case is one
+    /// null-pointer check; the per-line access loop never touches it.
+    sink: Option<Box<trace::TraceSink>>,
 }
 
 impl Machine {
@@ -141,6 +144,7 @@ impl Machine {
             llc,
             page_table: PageTable::new(),
             counters: Counters::new(),
+            sink: None,
         }
     }
 
@@ -244,7 +248,9 @@ impl Machine {
                     self.counters.llc_misses += 1;
                     out.llc_miss = true;
                     if attrs.encrypted_dram {
-                        lat.dram_encrypted()
+                        let enc = lat.dram_encrypted();
+                        self.counters.mee_cycles += enc - lat.dram.min(enc);
+                        enc
                     } else {
                         lat.dram
                     }
@@ -350,6 +356,63 @@ impl Machine {
     /// The machine configuration this instance was built with.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    // --- trace plane -----------------------------------------------------
+    //
+    // The sink lives here because every simulation layer (SGX, LibOS, the
+    // harness) already holds the machine; they emit through it without a
+    // side channel. Tracing never charges simulated cycles: when disabled
+    // every helper below is a single `Option` check, and the per-line
+    // loop in `access` does not consult the sink at all.
+
+    /// Arms the trace plane. Replaces (and discards) any previous sink;
+    /// surviving [`Machine::reset_measurement`] is intentional so the
+    /// harness can arm right after resetting.
+    pub fn set_trace_sink(&mut self, sink: trace::TraceSink) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// Disarms the trace plane, returning the sink and its records.
+    pub fn take_trace_sink(&mut self) -> Option<trace::TraceSink> {
+        self.sink.take().map(|b| *b)
+    }
+
+    /// Read-only view of the armed sink, if any.
+    pub fn trace_sink(&self) -> Option<&trace::TraceSink> {
+        self.sink.as_deref()
+    }
+
+    /// Mutable view of the armed sink, if any.
+    pub fn trace_sink_mut(&mut self) -> Option<&mut trace::TraceSink> {
+        self.sink.as_deref_mut()
+    }
+
+    /// Whether tracing is armed.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits `event` stamped with thread `tid`'s current clock. No-op
+    /// (one pointer check) when tracing is disabled.
+    #[inline]
+    pub fn trace_emit(&mut self, tid: ThreadId, event: trace::TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let now = self.threads[tid.0].cycles;
+            sink.emit(now, tid.0 as u32, event);
+        }
+    }
+
+    /// Whether a periodic counter sample is due at thread `tid`'s clock.
+    /// The SGX layer polls this and emits [`trace::TraceEvent::Sample`]
+    /// with a snapshot it assembles.
+    #[inline]
+    pub fn trace_sample_due(&self, tid: ThreadId) -> bool {
+        match self.sink.as_deref() {
+            Some(sink) => sink.sample_due(self.threads[tid.0].cycles),
+            None => false,
+        }
     }
 }
 

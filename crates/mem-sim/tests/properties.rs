@@ -92,7 +92,7 @@ proptest! {
 
     /// Counter arithmetic: (a + b) - b == a for any pair of snapshots.
     #[test]
-    fn counter_arithmetic_roundtrips(vals in prop::collection::vec(0u64..1_000_000, 22)) {
+    fn counter_arithmetic_roundtrips(vals in prop::collection::vec(0u64..1_000_000, 24)) {
         use mem_sim::Counters;
         let mk = |v: &[u64]| Counters {
             mem_reads: v[0],
@@ -106,9 +106,10 @@ proptest! {
             page_faults: v[8],
             compute_cycles: v[9],
             tlb_flushes: v[10],
+            mee_cycles: v[11],
         };
-        let a = mk(&vals[0..11]);
-        let b = mk(&vals[11..22]);
+        let a = mk(&vals[0..12]);
+        let b = mk(&vals[12..24]);
         prop_assert_eq!((a + b) - b, a);
         prop_assert_eq!(a.saturating_sub(&(a + b)), Counters::default());
     }

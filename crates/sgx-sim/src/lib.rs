@@ -55,5 +55,5 @@ pub use driver::{DriverOp, DriverStats};
 pub use enclave::{Enclave, EnclaveId};
 pub use epc::{Epc, EpcFaultKind, PageKey};
 pub use epcm::{Epcm, EpcmEntry};
-pub use machine::{EpcTraceSample, InitStats, SgxConfig, SgxCounters, SgxError, SgxMachine};
+pub use machine::{CounterField, InitStats, SgxConfig, SgxCounters, SgxError, SgxMachine};
 pub use switchless::SwitchlessPool;

@@ -172,46 +172,126 @@ pub struct SgxCounters {
     pub fault_cycles: u64,
 }
 
-impl SgxCounters {
-    /// `(name, value)` pairs in declaration order, for reports.
-    pub fn fields(&self) -> Vec<(&'static str, u64)> {
-        vec![
-            ("ecalls", self.ecalls),
-            ("ocalls", self.ocalls),
-            ("switchless_ocalls", self.switchless_ocalls),
-            ("aex_exits", self.aex_exits),
-            ("injected_aex", self.injected_aex),
-            ("epc_allocs", self.epc_allocs),
-            ("epc_evictions", self.epc_evictions),
-            ("epc_loadbacks", self.epc_loadbacks),
-            ("epc_faults", self.epc_faults),
-            ("pages_measured", self.pages_measured),
-            ("transition_cycles", self.transition_cycles),
-            ("fault_cycles", self.fault_cycles),
-        ]
+/// Typed key for one [`SgxCounters`] field.
+///
+/// This replaces the old stringly `set_field(&str, u64)` accessor: report
+/// and checkpoint code address counters through the enum, and a typo in a
+/// counter name is now a compile error (or a `None` from
+/// [`CounterField::parse`] on the deserialization path) instead of a
+/// silently ignored write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CounterField {
+    /// [`SgxCounters::ecalls`].
+    Ecalls,
+    /// [`SgxCounters::ocalls`].
+    Ocalls,
+    /// [`SgxCounters::switchless_ocalls`].
+    SwitchlessOcalls,
+    /// [`SgxCounters::aex_exits`].
+    AexExits,
+    /// [`SgxCounters::injected_aex`].
+    InjectedAex,
+    /// [`SgxCounters::epc_allocs`].
+    EpcAllocs,
+    /// [`SgxCounters::epc_evictions`].
+    EpcEvictions,
+    /// [`SgxCounters::epc_loadbacks`].
+    EpcLoadbacks,
+    /// [`SgxCounters::epc_faults`].
+    EpcFaults,
+    /// [`SgxCounters::pages_measured`].
+    PagesMeasured,
+    /// [`SgxCounters::transition_cycles`].
+    TransitionCycles,
+    /// [`SgxCounters::fault_cycles`].
+    FaultCycles,
+}
+
+impl CounterField {
+    /// Every field, in [`SgxCounters`] declaration order.
+    pub const ALL: [CounterField; 12] = [
+        CounterField::Ecalls,
+        CounterField::Ocalls,
+        CounterField::SwitchlessOcalls,
+        CounterField::AexExits,
+        CounterField::InjectedAex,
+        CounterField::EpcAllocs,
+        CounterField::EpcEvictions,
+        CounterField::EpcLoadbacks,
+        CounterField::EpcFaults,
+        CounterField::PagesMeasured,
+        CounterField::TransitionCycles,
+        CounterField::FaultCycles,
+    ];
+
+    /// The snake_case field name, as reports and checkpoints spell it.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterField::Ecalls => "ecalls",
+            CounterField::Ocalls => "ocalls",
+            CounterField::SwitchlessOcalls => "switchless_ocalls",
+            CounterField::AexExits => "aex_exits",
+            CounterField::InjectedAex => "injected_aex",
+            CounterField::EpcAllocs => "epc_allocs",
+            CounterField::EpcEvictions => "epc_evictions",
+            CounterField::EpcLoadbacks => "epc_loadbacks",
+            CounterField::EpcFaults => "epc_faults",
+            CounterField::PagesMeasured => "pages_measured",
+            CounterField::TransitionCycles => "transition_cycles",
+            CounterField::FaultCycles => "fault_cycles",
+        }
     }
 
-    /// Sets the counter named `name`, returning false when no such
-    /// counter exists. The by-name inverse of [`SgxCounters::fields`],
-    /// used by checkpoint restore.
-    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
-        let slot = match name {
-            "ecalls" => &mut self.ecalls,
-            "ocalls" => &mut self.ocalls,
-            "switchless_ocalls" => &mut self.switchless_ocalls,
-            "aex_exits" => &mut self.aex_exits,
-            "injected_aex" => &mut self.injected_aex,
-            "epc_allocs" => &mut self.epc_allocs,
-            "epc_evictions" => &mut self.epc_evictions,
-            "epc_loadbacks" => &mut self.epc_loadbacks,
-            "epc_faults" => &mut self.epc_faults,
-            "pages_measured" => &mut self.pages_measured,
-            "transition_cycles" => &mut self.transition_cycles,
-            "fault_cycles" => &mut self.fault_cycles,
-            _ => return false,
+    /// Inverse of [`CounterField::name`]; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<CounterField> {
+        CounterField::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+impl SgxCounters {
+    /// Reads the counter addressed by `field`.
+    pub fn get(&self, field: CounterField) -> u64 {
+        match field {
+            CounterField::Ecalls => self.ecalls,
+            CounterField::Ocalls => self.ocalls,
+            CounterField::SwitchlessOcalls => self.switchless_ocalls,
+            CounterField::AexExits => self.aex_exits,
+            CounterField::InjectedAex => self.injected_aex,
+            CounterField::EpcAllocs => self.epc_allocs,
+            CounterField::EpcEvictions => self.epc_evictions,
+            CounterField::EpcLoadbacks => self.epc_loadbacks,
+            CounterField::EpcFaults => self.epc_faults,
+            CounterField::PagesMeasured => self.pages_measured,
+            CounterField::TransitionCycles => self.transition_cycles,
+            CounterField::FaultCycles => self.fault_cycles,
+        }
+    }
+
+    /// Writes the counter addressed by `field`.
+    pub fn set(&mut self, field: CounterField, value: u64) {
+        let slot = match field {
+            CounterField::Ecalls => &mut self.ecalls,
+            CounterField::Ocalls => &mut self.ocalls,
+            CounterField::SwitchlessOcalls => &mut self.switchless_ocalls,
+            CounterField::AexExits => &mut self.aex_exits,
+            CounterField::InjectedAex => &mut self.injected_aex,
+            CounterField::EpcAllocs => &mut self.epc_allocs,
+            CounterField::EpcEvictions => &mut self.epc_evictions,
+            CounterField::EpcLoadbacks => &mut self.epc_loadbacks,
+            CounterField::EpcFaults => &mut self.epc_faults,
+            CounterField::PagesMeasured => &mut self.pages_measured,
+            CounterField::TransitionCycles => &mut self.transition_cycles,
+            CounterField::FaultCycles => &mut self.fault_cycles,
         };
         *slot = value;
-        true
+    }
+
+    /// `(name, value)` pairs in declaration order — a thin iterator over
+    /// [`CounterField::ALL`], kept for report code.
+    pub fn fields(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        CounterField::ALL
+            .into_iter()
+            .map(|f| (f.name(), self.get(f)))
     }
 }
 
@@ -225,19 +305,6 @@ pub struct InitStats {
     pub evictions: u64,
     /// Cycles the build took.
     pub cycles: u64,
-}
-
-/// One entry of the EPC event trace (Fig 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EpcTraceSample {
-    /// Thread clock when the event happened.
-    pub cycles: u64,
-    /// Cumulative allocations so far.
-    pub allocs: u64,
-    /// Cumulative evictions so far.
-    pub evictions: u64,
-    /// Cumulative load-backs so far.
-    pub loadbacks: u64,
 }
 
 /// Base of the untrusted heap in the simulated address space.
@@ -261,7 +328,6 @@ pub struct SgxMachine {
     untrusted_next: u64,
     enclave_next: u64,
     init_stats: Vec<InitStats>,
-    trace: Option<Vec<EpcTraceSample>>,
     jitter: u64,
     /// Memo of the last enclave page confirmed resident by
     /// [`SgxMachine::access`], so streaming accesses within one page skip
@@ -300,7 +366,6 @@ impl SgxMachine {
             untrusted_next: UNTRUSTED_BASE,
             enclave_next: ENCLAVE_BASE,
             init_stats: Vec::new(),
-            trace: None,
             jitter: 0x9e3779b97f4a7c15,
             last_touched: None,
         }
@@ -312,15 +377,70 @@ impl SgxMachine {
         self.mem.add_thread()
     }
 
-    /// Enables EPC event tracing (Fig 9); samples accumulate until
-    /// [`SgxMachine::take_trace`].
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+    /// Assembles the flat counter snapshot the trace plane records at
+    /// sample instants and phase boundaries: this layer is the only one
+    /// that sees the memory counters, the SGX event counters and the EPC
+    /// occupancy together.
+    pub fn trace_snapshot(&self) -> trace::CounterSnapshot {
+        let m = self.mem.counters();
+        trace::CounterSnapshot {
+            resident_pages: self.epc.resident_count() as u64,
+            epc_faults: self.counters.epc_faults,
+            epc_allocs: self.counters.epc_allocs,
+            epc_evictions: self.counters.epc_evictions,
+            epc_loadbacks: self.counters.epc_loadbacks,
+            ecalls: self.counters.ecalls,
+            ocalls: self.counters.ocalls + self.counters.switchless_ocalls,
+            aex_exits: self.counters.aex_exits,
+            dtlb_misses: m.dtlb_misses,
+            llc_misses: m.llc_misses,
+            page_faults: m.page_faults,
+            compute_cycles: m.compute_cycles,
+            stall_cycles: m.stall_cycles,
+            walk_cycles: m.walk_cycles,
+            mee_cycles: m.mee_cycles,
+            transition_cycles: self.counters.transition_cycles,
+            fault_cycles: self.counters.fault_cycles,
+        }
     }
 
-    /// Takes the accumulated EPC trace, disabling tracing.
-    pub fn take_trace(&mut self) -> Vec<EpcTraceSample> {
-        self.trace.take().unwrap_or_default()
+    /// Emits a periodic counter sample when one is due on `tid`'s clock.
+    /// One `Option` check when tracing is disabled.
+    #[inline]
+    fn trace_tick(&mut self, tid: ThreadId) {
+        if self.mem.trace_sample_due(tid) {
+            let snap = self.trace_snapshot();
+            self.mem.trace_emit(tid, trace::TraceEvent::Sample { snap });
+        }
+    }
+
+    /// Opens a workload-declared phase span, recording the boundary
+    /// counter snapshot. No-op when tracing is disabled.
+    pub fn trace_phase_begin(&mut self, tid: ThreadId, name: &str) {
+        if self.mem.tracing() {
+            let snap = self.trace_snapshot();
+            let now = self.mem.cycles_of(tid);
+            if let Some(sink) = self.mem.trace_sink_mut() {
+                sink.begin_phase(name, now, tid.0 as u32, snap);
+            }
+        }
+    }
+
+    /// Closes the innermost phase span, which must be named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's typed [`trace::TraceError`] on span misuse;
+    /// always `Ok` when tracing is disabled.
+    pub fn trace_phase_end(&mut self, tid: ThreadId, name: &str) -> Result<(), trace::TraceError> {
+        if self.mem.tracing() {
+            let snap = self.trace_snapshot();
+            let now = self.mem.cycles_of(tid);
+            if let Some(sink) = self.mem.trace_sink_mut() {
+                sink.end_phase(name, now, tid.0 as u32, snap)?;
+            }
+        }
+        Ok(())
     }
 
     /// Small deterministic jitter so driver latency samples have a
@@ -498,6 +618,8 @@ impl SgxMachine {
             flushes + 1,
             "EENTER flushes the TLB exactly once (§2.3)"
         );
+        self.mem.trace_emit(tid, trace::TraceEvent::EcallEnter);
+        self.trace_tick(tid);
         Ok(())
     }
 
@@ -523,6 +645,8 @@ impl SgxMachine {
             flushes + 1,
             "EEXIT flushes the TLB exactly once (§2.3)"
         );
+        self.mem.trace_emit(tid, trace::TraceEvent::EcallExit);
+        self.trace_tick(tid);
         Ok(())
     }
 
@@ -553,6 +677,9 @@ impl SgxMachine {
                 flushes,
                 "switchless OCALLs are exit-less: no TLB flush (§5.6)"
             );
+            self.mem
+                .trace_emit(tid, trace::TraceEvent::Ocall { switchless: true });
+            self.trace_tick(tid);
             return Ok(());
         }
         self.counters.ocalls += 1;
@@ -568,6 +695,9 @@ impl SgxMachine {
             flushes + 2,
             "a classic OCALL flushes on both EEXIT and EENTER (§2.3)"
         );
+        self.mem
+            .trace_emit(tid, trace::TraceEvent::Ocall { switchless: false });
+        self.trace_tick(tid);
         Ok(())
     }
 
@@ -608,7 +738,9 @@ impl SgxMachine {
                             && self.in_enclave[tid.0].is_none_or(|c| c != e.id())),
                     "untrusted access to ELRANGE at {vaddr:#x}"
                 );
-                self.mem.access(tid, vaddr, len, kind, &AccessAttrs::PLAIN)
+                let out = self.mem.access(tid, vaddr, len, kind, &AccessAttrs::PLAIN);
+                self.trace_tick(tid);
+                out
             }
         }
     }
@@ -652,6 +784,7 @@ impl SgxMachine {
             }
             self.counters.epc_faults += 1;
             self.counters.aex_exits += 1;
+            let resident_at_fault = self.epc.resident_count() as u64;
             self.mem.flush_tlb(tid);
             let mut fault_cycles = self.cfg.aex_cycles + self.cfg.fault_base_cycles;
             let ev = self.epc.ensure_resident(key);
@@ -717,17 +850,25 @@ impl SgxMachine {
                     "the AEX flushes the TLB exactly once"
                 );
             }
-            if let Some(trace) = self.trace.as_mut() {
-                trace.push(EpcTraceSample {
-                    cycles: self.mem.cycles_of(tid),
-                    allocs: self.counters.epc_allocs,
-                    evictions: self.counters.epc_evictions,
-                    loadbacks: self.counters.epc_loadbacks,
-                });
+            // Trace only *paging* faults (the `sgx_do_fault`→EWB/ELDU
+            // activity the paper instruments); demand-zero allocations
+            // below the watermark are not paging and stay out of the
+            // stream, which is what makes the EPC boundary cliff visible
+            // as "fault events appear only past the watermark".
+            if ev.kind == EpcFaultKind::LoadBack || !ev.evicted.is_empty() {
+                self.mem.trace_emit(
+                    tid,
+                    trace::TraceEvent::EpcFault {
+                        loadback: ev.kind == EpcFaultKind::LoadBack,
+                        evicted: ev.evicted.len() as u32,
+                        resident_pages: resident_at_fault,
+                    },
+                );
             }
         }
         let mut out = self.mem.access(tid, vaddr, len, kind, &AccessAttrs::EPC);
         out.cycles += extra;
+        self.trace_tick(tid);
         #[cfg(feature = "audit")]
         if faulted {
             self.audit();
@@ -738,6 +879,7 @@ impl SgxMachine {
     /// Charges pure computation to `tid`.
     pub fn compute(&mut self, tid: ThreadId, cycles: u64) {
         self.mem.compute(tid, cycles);
+        self.trace_tick(tid);
     }
 
     /// Injects one asynchronous enclave exit on `tid` (the fault plane's
@@ -763,6 +905,9 @@ impl SgxMachine {
             1,
             "an injected AEX flushes the TLB exactly once"
         );
+        self.mem
+            .trace_emit(tid, trace::TraceEvent::Aex { injected: true });
+        self.trace_tick(tid);
         self.audit();
         true
     }
@@ -1245,18 +1390,67 @@ mod tests {
     }
 
     #[test]
-    fn trace_collects_epc_events() {
+    fn trace_sink_records_paging_faults_past_the_watermark() {
         let (mut m, t) = small_machine(8);
         let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
         m.ecall_enter(t, e).unwrap();
         let heap = m.alloc_enclave_heap(e, 16 * PAGE_SIZE).unwrap();
-        m.enable_trace();
+        m.mem_mut()
+            .set_trace_sink(trace::TraceSink::with_config(1024, 0));
         for p in 0..16u64 {
             m.access(t, heap + p * PAGE_SIZE, 8, AccessKind::Write);
         }
-        let trace = m.take_trace();
-        assert_eq!(trace.len(), 16);
-        assert!(trace.windows(2).all(|w| w[0].cycles <= w[1].cycles));
-        assert_eq!(trace.last().unwrap().allocs, m.sgx_counters().epc_allocs);
+        let sink = m.mem_mut().take_trace_sink().expect("sink was armed");
+        assert_eq!(sink.dropped(), 0);
+        let faults: Vec<_> = sink
+            .records()
+            .filter_map(|r| match r.event {
+                trace::TraceEvent::EpcFault { resident_pages, .. } => {
+                    Some((r.cycles, resident_pages))
+                }
+                _ => None,
+            })
+            .collect();
+        // The first 8 allocations are demand-zero and below the
+        // watermark: no paging, no events. Every traced fault happens at
+        // full residency (the 8-frame watermark).
+        assert!(!faults.is_empty());
+        assert!(faults.len() < 16, "below-watermark allocs are not traced");
+        assert!(faults.iter().all(|&(_, resident)| resident == 8));
+        assert!(faults.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(m.sgx_counters().epc_faults, 16);
+    }
+
+    #[test]
+    fn counter_field_round_trips_and_matches_fields() {
+        let mut c = SgxCounters::default();
+        for (i, f) in CounterField::ALL.into_iter().enumerate() {
+            assert_eq!(CounterField::parse(f.name()), Some(f));
+            c.set(f, i as u64 + 1);
+            assert_eq!(c.get(f), i as u64 + 1);
+        }
+        assert_eq!(CounterField::parse("nope"), None);
+        let listed: Vec<_> = c.fields().collect();
+        assert_eq!(listed.len(), CounterField::ALL.len());
+        assert_eq!(listed[0], ("ecalls", 1));
+        assert_eq!(listed[11], ("fault_cycles", 12));
+    }
+
+    #[test]
+    fn disabled_sink_changes_no_cycles() {
+        let run = |traced: bool| {
+            let (mut m, t) = small_machine(8);
+            let e = m.create_enclave(64 * PAGE_SIZE, 0).unwrap();
+            m.ecall_enter(t, e).unwrap();
+            let heap = m.alloc_enclave_heap(e, 16 * PAGE_SIZE).unwrap();
+            if traced {
+                m.mem_mut().set_trace_sink(trace::TraceSink::new(256));
+            }
+            for p in 0..32u64 {
+                m.access(t, heap + (p % 16) * PAGE_SIZE, 8, AccessKind::Write);
+            }
+            m.mem().cycles_of(t)
+        };
+        assert_eq!(run(false), run(true), "tracing never charges cycles");
     }
 }

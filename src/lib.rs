@@ -35,4 +35,5 @@ pub use sgx_crypto as crypto;
 pub use sgx_sim as sgx;
 pub use sgxgauge_core as core;
 pub use sgxgauge_workloads as workloads;
+pub use trace;
 pub use ycsb_gen as ycsb;

@@ -7,9 +7,11 @@
 //! sgxgauge suite [--setting low] [--scale 16] [--modes vanilla,libos]
 //! ```
 
+use sgxgauge::core::emit::{Emitter, Format, TraceJsonl};
 use sgxgauge::core::report::{cycle_breakdown, humanize, sweep_table, RatioRow, ReportTable};
 use sgxgauge::core::{
-    EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, SuiteRunner, Workload,
+    EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, SuiteRunner, TraceConfig,
+    Workload,
 };
 use sgxgauge::faults::FaultPlan;
 use sgxgauge::stats::BarChart;
@@ -29,6 +31,10 @@ fn usage() -> ExitCode {
   sgxgauge suite   [--setting <low|medium|high>] [--scale <divisor>] [--modes <m1,m2,..>]
                    [--reps <n>] [--jobs <n>] [--faults <spec>] [--cell-budget <cycles>]
                    [--retries <n>] [--checkpoint <path>] [--resume <path>]
+  sgxgauge trace   <workload> --mode <vanilla|native|libos> --setting <low|medium|high>
+                   [--scale <divisor>] [--out <file.jsonl|file.csv>] [--jobs <n>]
+                   [--sample <cycles>] [--capacity <records>] [--switchless <workers>]
+                   [--pf] [--faults <spec>] [--cell-budget <cycles>]
 
 fault spec (comma-separated, e.g. \"seed=7,aex=3@50000,syscall=20\"):
   seed=<u64>                   PRNG seed (default 1)
@@ -64,21 +70,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn parse_mode(s: &str) -> Result<ExecMode, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "vanilla" => Ok(ExecMode::Vanilla),
-        "native" => Ok(ExecMode::Native),
-        "libos" => Ok(ExecMode::LibOs),
-        other => Err(format!("unknown mode `{other}`")),
-    }
+    s.parse()
 }
 
 fn parse_setting(s: &str) -> Result<InputSetting, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "low" => Ok(InputSetting::Low),
-        "medium" => Ok(InputSetting::Medium),
-        "high" => Ok(InputSetting::High),
-        other => Err(format!("unknown setting `{other}`")),
-    }
+    s.parse()
 }
 
 fn workloads_for(scale: u64) -> Vec<Box<dyn Workload>> {
@@ -357,12 +353,146 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale: u64 = flags
+        .get("scale")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|_| "bad --scale")?;
+    let mode = parse_mode(flags.get("mode").ok_or("--mode is required")?)?;
+    let setting = parse_setting(flags.get("setting").ok_or("--setting is required")?)?;
+    let jobs: usize = flags
+        .get("jobs")
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|_| "bad --jobs")?;
+    let mut tc = TraceConfig::default();
+    if let Some(s) = flags.get("sample") {
+        tc.sample_interval_cycles = s.parse().map_err(|_| "bad --sample".to_owned())?;
+    }
+    if let Some(s) = flags.get("capacity") {
+        tc.capacity = s.parse().map_err(|_| "bad --capacity".to_owned())?;
+        if tc.capacity == 0 {
+            return Err("--capacity must be at least 1".to_owned());
+        }
+    }
+    let wl = find_workload(scale, name)?;
+    // Route through the sweep executor: traces come from per-cell private
+    // sinks keyed on simulated clocks, so `--jobs` provably cannot change
+    // a single byte of the output.
+    let base = runner(flags)?;
+    let mut cfg = base.config().clone();
+    cfg.repetitions = 1;
+    let mut suite_runner = SuiteRunner::new(cfg)
+        .modes(&[mode])
+        .settings(&[setting])
+        .threads(jobs)
+        .tracing(tc);
+    if let Some(plan) = base.fault_plan() {
+        suite_runner = suite_runner.faults(plan.clone());
+    }
+    if let Some(budget) = base.cell_budget_cycles() {
+        suite_runner = suite_runner.cell_budget(budget);
+    }
+    let sweep = suite_runner.run(&[wl.as_ref()]);
+    let cell = sweep.cells.first().ok_or("empty sweep")?;
+    let r = cell.result.as_ref().map_err(|e| e.to_string())?;
+    let sink = r
+        .trace
+        .as_ref()
+        .ok_or("run produced no trace (internal error)")?;
+
+    println!(
+        "workload : {} | mode {} | setting {}",
+        r.workload, r.mode, r.setting
+    );
+    println!(
+        "runtime  : {} cycles ({:.3} s at {:.1} GHz)",
+        r.runtime_cycles,
+        r.runtime_seconds(),
+        r.clock_ghz()
+    );
+    println!(
+        "trace    : {} records retained of {} emitted ({} dropped), {} timeline points",
+        humanize(sink.len() as u64),
+        humanize(sink.emitted()),
+        humanize(sink.dropped()),
+        r.timeline.len()
+    );
+    let mut table = ReportTable::new(
+        "Per-phase cycle attribution",
+        &[
+            "phase",
+            "cycles",
+            "app",
+            "transition",
+            "paging",
+            "mee",
+            "epc_faults",
+        ],
+    );
+    for p in &r.phases {
+        table.push_row(vec![
+            p.phase.clone(),
+            humanize(p.total_cycles()),
+            humanize(p.app_cycles),
+            humanize(p.transition_cycles),
+            humanize(p.paging_cycles),
+            humanize(p.mee_cycles),
+            humanize(p.epc_faults),
+        ]);
+    }
+    println!("{table}");
+    if let Some(out) = flags.get("out") {
+        let path = PathBuf::from(out);
+        match Format::from_path(&path) {
+            Some(Format::Jsonl) => TraceJsonl(sink).emit(&path)?,
+            Some(Format::Csv) => timeline_table(r).emit(&path)?,
+            Some(Format::Json) | None => {
+                return Err(format!(
+                    "--out `{out}`: use a .jsonl (event stream) or .csv (timeline) extension"
+                ))
+            }
+        }
+        println!("[out] {}", path.display());
+    }
+    Ok(())
+}
+
+/// The sampled counter timeline of a traced report as a CSV-ready table.
+fn timeline_table(r: &RunReport) -> ReportTable {
+    let mut headers = vec!["cycles"];
+    if let Some(first) = r.timeline.first() {
+        headers.extend(first.snap.fields().map(|(name, _)| name));
+    }
+    let mut table = ReportTable::new(
+        &format!("{} {} {} counter timeline", r.workload, r.mode, r.setting),
+        &headers,
+    );
+    for point in &r.timeline {
+        let mut row = vec![point.cycles.to_string()];
+        row.extend(point.snap.fields().map(|(_, v)| v.to_string()));
+        table.push_row(row);
+    }
+    table
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `trace` takes its workload as a positional argument before the flags.
+    let (positional, flag_args) = if cmd == "trace" {
+        match args.get(1).filter(|a| !a.starts_with("--")) {
+            Some(name) => (Some(name.clone()), &args[2..]),
+            None => {
+                eprintln!("error: trace needs a workload name");
+                return usage();
+            }
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let flags = match parse_flags(flag_args) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -374,6 +504,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "compare" => cmd_compare(&flags),
         "suite" => cmd_suite(&flags),
+        "trace" => cmd_trace(positional.as_deref().unwrap_or_default(), &flags),
         _ => {
             return usage();
         }

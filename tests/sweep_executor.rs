@@ -49,8 +49,8 @@ fn parallel_suite_sweep_matches_sequential() {
             s.workload
         );
         assert_eq!(
-            sr.sgx.fields(),
-            pr.sgx.fields(),
+            sr.sgx.fields().collect::<Vec<_>>(),
+            pr.sgx.fields().collect::<Vec<_>>(),
             "{} sgx counters",
             s.workload
         );

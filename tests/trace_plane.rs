@@ -1,0 +1,222 @@
+//! Integration: the unified simulation-time tracing plane.
+//!
+//! Traces are keyed on *simulated* thread clocks and collected in
+//! per-cell private sinks, so they must be byte-identical across runs
+//! and across sweep parallelism; EPC-fault events must reproduce the
+//! paper's boundary cliff (they only appear once residency reaches the
+//! watermark); phase-span misuse must surface as a typed, deterministic
+//! workload error; and the typed grid key must round-trip through its
+//! display form.
+
+use sgxgauge::core::{
+    CellKey, Env, ExecMode, InputSetting, Runner, RunnerConfig, SuiteRunner, TraceConfig, Workload,
+    WorkloadError, WorkloadOutput, WorkloadSpec,
+};
+use sgxgauge::workloads::suite_scaled;
+use trace::{TraceError, TraceEvent};
+
+fn quick_traced_runner() -> Runner {
+    Runner::new(RunnerConfig::quick_test()).tracing(TraceConfig::default())
+}
+
+fn find(scale: u64, name: &str) -> Box<dyn Workload> {
+    suite_scaled(scale)
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .expect("workload in suite")
+}
+
+/// Renders the JSONL trace of every cell of one sweep, concatenated in
+/// grid order.
+fn sweep_jsonl(jobs: usize) -> String {
+    let workloads = suite_scaled(2048);
+    let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    let sweep = SuiteRunner::new(RunnerConfig::quick_test())
+        .modes(&[ExecMode::Vanilla, ExecMode::Native])
+        .settings(&[InputSetting::Low])
+        .threads(jobs)
+        .tracing(TraceConfig::default())
+        .run(&refs);
+    let mut out = String::new();
+    for cell in &sweep.cells {
+        let Ok(r) = &cell.result else { continue };
+        out.push_str(&format!("# {}\n", cell.cell));
+        out.push_str(&r.trace.as_ref().expect("traced cell").render_jsonl());
+    }
+    assert!(!out.is_empty(), "sweep produced no traces");
+    out
+}
+
+/// The whole-suite trace stream is byte-identical run to run and under
+/// `--jobs 1` vs `--jobs 8`: per-cell sinks keyed on simulated clocks
+/// leave host scheduling nothing to perturb.
+#[test]
+fn trace_stream_is_byte_identical_across_runs_and_jobs() {
+    let sequential = sweep_jsonl(1);
+    assert_eq!(sequential, sweep_jsonl(1), "run-to-run drift");
+    assert_eq!(sequential, sweep_jsonl(8), "parallelism drift");
+}
+
+/// Tracing observes the simulation without perturbing it: cycle counts
+/// and outputs match an untraced run exactly.
+#[test]
+fn tracing_charges_zero_simulated_cycles() {
+    let wl = find(2048, "btree");
+    let untraced = Runner::new(RunnerConfig::quick_test())
+        .run_once(wl.as_ref(), ExecMode::Native, InputSetting::Low)
+        .expect("untraced run");
+    let traced = quick_traced_runner()
+        .run_once(wl.as_ref(), ExecMode::Native, InputSetting::Low)
+        .expect("traced run");
+    assert_eq!(untraced.runtime_cycles, traced.runtime_cycles);
+    assert_eq!(untraced.output.checksum, traced.output.checksum);
+    assert_eq!(untraced.sgx.epc_faults, traced.sgx.epc_faults);
+    assert!(untraced.trace.is_none() && traced.trace.is_some());
+}
+
+/// The paper's EPC boundary cliff, event-resolved: below the watermark
+/// (Low fits in the quick-test EPC) no `epc_fault` events exist at all;
+/// past it (High overflows) they appear, and every one fires with
+/// residency pinned to the watermark band (full EPC minus at most one
+/// eviction batch).
+#[test]
+fn epc_fault_events_appear_only_past_the_watermark() {
+    // Scale 24 straddles the quick-test EPC (1024 pages = 4 MiB): the
+    // Low arena fits, the High arena overflows.
+    let wl = find(24, "btree");
+    let faults_of = |setting| {
+        let r = quick_traced_runner()
+            .run_once(wl.as_ref(), ExecMode::Native, setting)
+            .expect("run");
+        let sink = r.trace.expect("traced");
+        sink.records()
+            .filter_map(|rec| match rec.event {
+                TraceEvent::EpcFault { resident_pages, .. } => Some(resident_pages),
+                _ => None,
+            })
+            .collect::<Vec<u64>>()
+    };
+    let low = faults_of(InputSetting::Low);
+    assert!(
+        low.is_empty(),
+        "Low fits in EPC yet recorded {} paging-fault events",
+        low.len()
+    );
+    let high = faults_of(InputSetting::High);
+    assert!(
+        !high.is_empty(),
+        "High overflows EPC yet recorded no faults"
+    );
+    // with_tiny_epc(1024, 16): faults only fire with the EPC full, so
+    // residency at fault time stays within one 16-page EWB batch of the
+    // peak.
+    let peak = *high.iter().max().unwrap();
+    let floor = peak.saturating_sub(16);
+    assert!(
+        high.iter().all(|&r| r >= floor),
+        "fault below the watermark band: min {} < {floor}",
+        high.iter().min().unwrap()
+    );
+}
+
+/// A workload that misuses the phase-span API.
+struct BadPhases {
+    /// Close a span that was never opened (vs leaving one open).
+    mismatch: bool,
+}
+
+impl Workload for BadPhases {
+    fn name(&self) -> &'static str {
+        "BadPhases"
+    }
+
+    fn property(&self) -> &'static str {
+        "test"
+    }
+
+    fn supported_modes(&self) -> &'static [ExecMode] {
+        &[ExecMode::Vanilla, ExecMode::Native]
+    }
+
+    fn spec(&self, _: InputSetting) -> WorkloadSpec {
+        WorkloadSpec::new(1 << 16, "bad-phases")
+    }
+
+    fn setup(&self, _: &mut Env, _: InputSetting) -> Result<(), WorkloadError> {
+        Ok(())
+    }
+
+    fn execute(&self, env: &mut Env, _: InputSetting) -> Result<WorkloadOutput, WorkloadError> {
+        env.compute(100);
+        if self.mismatch {
+            env.phase("build");
+            env.phase_end("probe")?; // typed error propagates via `?`
+        } else {
+            env.phase("build"); // never closed — caught at run teardown
+        }
+        Ok(WorkloadOutput::default())
+    }
+}
+
+/// Phase-span misuse is a typed, deterministic (fatal, non-retryable)
+/// error — and only when tracing is on; untraced, the spans are no-ops.
+#[test]
+fn phase_misuse_is_a_typed_fatal_error() {
+    let mismatch = quick_traced_runner()
+        .run_once(
+            &BadPhases { mismatch: true },
+            ExecMode::Native,
+            InputSetting::Low,
+        )
+        .expect_err("mismatched spans must fail");
+    assert_eq!(
+        mismatch,
+        WorkloadError::Trace(TraceError::PhaseMismatch {
+            expected: "build".into(),
+            found: "probe".into(),
+        })
+    );
+    let unclosed = quick_traced_runner()
+        .run_once(
+            &BadPhases { mismatch: false },
+            ExecMode::Native,
+            InputSetting::Low,
+        )
+        .expect_err("unclosed span must fail");
+    assert!(
+        matches!(unclosed, WorkloadError::Trace(_)),
+        "unexpected error {unclosed:?}"
+    );
+    assert_eq!(unclosed.class(), sgxgauge::core::ErrorClass::Fatal);
+    // Untraced, the same workload runs clean: spans cost nothing and
+    // cannot fail when no sink is installed.
+    for mismatch in [true, false] {
+        Runner::new(RunnerConfig::quick_test())
+            .run_once(&BadPhases { mismatch }, ExecMode::Native, InputSetting::Low)
+            .expect("untraced spans are no-ops");
+    }
+}
+
+/// The typed grid key round-trips through its display form and rejects
+/// malformed strings.
+#[test]
+fn cell_key_display_round_trips() {
+    let key = CellKey {
+        workload: 3,
+        mode: ExecMode::LibOs,
+        setting: InputSetting::High,
+        rep: 2,
+    };
+    assert_eq!(key.to_string(), "3/LibOS/High/2");
+    assert_eq!(key.to_string().parse::<CellKey>(), Ok(key));
+    assert_eq!("3/libos/high/2".parse::<CellKey>(), Ok(key));
+    for bad in [
+        "",
+        "1/libos/high",
+        "1/libos/high/2/9",
+        "x/libos/high/2",
+        "1/warp/high/0",
+    ] {
+        assert!(bad.parse::<CellKey>().is_err(), "accepted `{bad}`");
+    }
+}
