@@ -16,6 +16,10 @@
 //! * [`UNWRAP`] — simulator code must surface errors as values;
 //!   `unwrap`/`expect` in non-test code turns modeling bugs into aborts
 //!   mid-sweep. Justified panics go in the allowlist with a reason.
+//! * [`FS_WRITE`] — artifact writes in `crates/core` must go through the
+//!   injectable `ArtifactIo` plane (`core::io`); a direct `std::fs`
+//!   call bypasses durability (fsync + rename), integrity footers, the
+//!   recovery journal, and chaos testing all at once.
 
 use crate::lexer::Tok;
 use crate::lexer::{test_spans, Token};
@@ -31,9 +35,12 @@ pub const WALLCLOCK: &str = "wallclock";
 pub const COUNTER_CAST: &str = "counter-cast";
 /// Rule id: `unwrap`/`expect` in non-test simulator code.
 pub const UNWRAP: &str = "unwrap";
+/// Rule id: direct `std::fs` use in `crates/core` outside the
+/// `ArtifactIo` real backend.
+pub const FS_WRITE: &str = "fs-write";
 
 /// All rule ids, in reporting order.
-pub const ALL_RULES: &[&str] = &[COST_LITERALS, WALLCLOCK, COUNTER_CAST, UNWRAP];
+pub const ALL_RULES: &[&str] = &[COST_LITERALS, WALLCLOCK, COUNTER_CAST, UNWRAP, FS_WRITE];
 
 /// Cost literals below this value are too common to claim as canonical
 /// (e.g. the 16-page eviction batch); only the big cycle costs are.
@@ -49,6 +56,21 @@ const SIM_SRC: &[&str] = &[
     "crates/sgx-sim/src/",
     "crates/mem-sim/src/",
     "crates/libos-sim/src/",
+];
+
+/// `std::fs` free functions that land bytes on (or remove them from)
+/// disk; in `crates/core` these must be reached through `ArtifactIo`.
+const FS_OPS: &[&str] = &[
+    "write",
+    "read",
+    "read_to_string",
+    "read_dir",
+    "rename",
+    "copy",
+    "remove_file",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
 ];
 
 /// Model-derived context shared by all rules.
@@ -172,6 +194,32 @@ pub fn check_source(rel: &str, src: &str, ctx: &RuleContext) -> Vec<Finding> {
         }
     }
 
+    if fs_write_scope(rel) {
+        for (idx, t) in toks.iter().enumerate() {
+            if in_test(idx) {
+                continue;
+            }
+            if let Tok::Ident(s) = &t.tok {
+                let banned = match s.as_str() {
+                    "File" | "OpenOptions" => true,
+                    "fs" => FS_OPS.iter().any(|op| is_path(&toks, idx, &["fs", op])),
+                    _ => false,
+                };
+                if banned {
+                    findings.push(Finding {
+                        rule: FS_WRITE,
+                        file: rel.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "direct filesystem access `{s}` outside the ArtifactIo \
+                             real backend; route artifact I/O through core::io"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     if sim_src_scope(rel) {
         for (idx, w) in toks.windows(4).enumerate() {
             if in_test(idx) {
@@ -195,6 +243,9 @@ pub fn check_source(rel: &str, src: &str, ctx: &RuleContext) -> Vec<Finding> {
                 }
             }
         }
+    }
+
+    if unwrap_scope(rel) {
         for (idx, w) in toks.windows(3).enumerate() {
             if in_test(idx) {
                 continue;
@@ -244,6 +295,21 @@ fn wallclock_scope(rel: &str) -> bool {
         || rel.starts_with("crates/faults/src/")
         || rel.starts_with("crates/trace/src/")
         || rel == "crates/core/src/sweep.rs"
+        || rel == "crates/core/src/io.rs"
+}
+
+/// Whether `rel` must surface errors as values rather than panic: the
+/// simulator crates plus the artifact I/O plane, whose failures are the
+/// whole point of the crash-safety model — aborting on them would turn
+/// every injected fault into a harness crash.
+fn unwrap_scope(rel: &str) -> bool {
+    sim_src_scope(rel) || rel == "crates/core/src/io.rs"
+}
+
+/// Whether `rel` is banned from direct `std::fs` access: everything in
+/// `crates/core/src/` except the `ArtifactIo` real backend itself.
+fn fs_write_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/") && rel != "crates/core/src/io.rs"
 }
 
 /// Whether `rel` lies in one of the simulator crates' `src/` trees.

@@ -150,6 +150,61 @@ mod tests {
 }
 
 #[test]
+fn seeded_fs_write_is_caught_in_core_outside_the_io_backend() {
+    let src = "fn f() { std::fs::write(\"x\", \"y\").ok(); }";
+    let findings = rules::check_source("crates/core/src/emit.rs", src, &ctx());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, rules::FS_WRITE);
+    assert!(findings[0].message.contains("ArtifactIo"));
+    // The real backend is the one sanctioned std::fs user.
+    assert!(rules::check_source("crates/core/src/io.rs", src, &ctx()).is_empty());
+    // Other crates (the bench harness, the sim crates) are out of scope.
+    assert!(rules::check_source("crates/bench/src/lib.rs", src, &ctx()).is_empty());
+}
+
+#[test]
+fn fs_write_catches_file_handles_and_ignores_test_code() {
+    let src = r#"
+use std::fs::File;
+fn f() { let _ = File::create("x"); }
+fn g() { let _ = std::fs::OpenOptions::new(); }
+"#;
+    let findings = rules::check_source("crates/core/src/checkpoint.rs", src, &ctx());
+    assert!(findings.iter().all(|f| f.rule == rules::FS_WRITE));
+    assert!(
+        findings.len() >= 3,
+        "import, File::create, and OpenOptions all fire: {findings:?}"
+    );
+    let test_only = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { std::fs::write("x", "y").ok(); }
+}
+"#;
+    assert!(rules::check_source("crates/core/src/checkpoint.rs", test_only, &ctx()).is_empty());
+}
+
+#[test]
+fn unwrap_and_wallclock_scopes_cover_the_artifact_io_plane() {
+    let unwrap_src = "fn f(x: Option<u64>) -> u64 { x.unwrap() }";
+    assert!(
+        rules::check_source("crates/core/src/io.rs", unwrap_src, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::UNWRAP)
+    );
+    // Poison recovery on the chaos-state mutex is handling, not a panic.
+    let ok = "fn f(m: &Mutex<u64>) -> u64 { *m.lock().unwrap_or_else(|p| p.into_inner()) }";
+    assert!(rules::check_source("crates/core/src/io.rs", ok, &ctx()).is_empty());
+    let clock_src = "fn f() { let _ = Instant::now(); }";
+    assert!(
+        rules::check_source("crates/core/src/io.rs", clock_src, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::WALLCLOCK)
+    );
+}
+
+#[test]
 fn allowlist_suppresses_by_path_and_message() {
     let src = "fn g(x: Option<u64>) -> u64 { x.expect(\"pool is non-empty\") }";
     let findings = rules::check_source("crates/sgx-sim/src/switchless.rs", src, &ctx());

@@ -16,16 +16,33 @@
 //! (all numbers are unsigned 64-bit decimals; `f64` metrics are stored
 //! as their IEEE-754 bit patterns) written and parsed entirely by this
 //! module.
+//!
+//! Since the crash-safe artifact plane landed, every checkpoint write is
+//! a *journaled, sealed publish* through [`crate::io`]: the file carries
+//! a CRC32 integrity footer, each rewrite records intent → commit in the
+//! sibling recovery journal, and resume first runs [`io::recover`] to
+//! repair or quarantine state a crash left behind. A checksum mismatch
+//! on load is a typed [`ArtifactError::Corrupt`] (the bad file is kept
+//! at `<path>.corrupt`); v2 files *without* a footer still load, so
+//! pre-integrity checkpoints remain resumable.
 
-use crate::emit::{Emitter, JsonDoc};
+use crate::io::{self, ArtifactError, ArtifactIo, IoErrorKind, Journal, RealFs};
 use crate::runner::RunReport;
-use crate::sweep::{CellError, CellErrorKind, CellKey, Fnv, SuiteRunner, SweepCell, SweepReport};
+use crate::sweep::{
+    AttemptFailure, CellError, CellErrorKind, CellKey, Fnv, SuiteRunner, SweepCell, SweepError,
+    SweepReport,
+};
 use crate::workload::{Workload, WorkloadOutput};
 use mem_sim::Counters;
 use sgx_sim::{CounterField, DriverStats, SgxCounters};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// Bounded retry budget for checkpoint publishes: transient (EIO) and
+/// torn write failures are redone this many times before the sweep
+/// latches the error.
+const PUBLISH_ATTEMPTS: usize = 4;
 
 /// Checkpoint file format version; bumped on incompatible layout change.
 ///
@@ -42,38 +59,72 @@ impl SuiteRunner {
     ///
     /// # Errors
     ///
-    /// A human-readable description when the checkpoint cannot be read,
-    /// parsed, verified against this sweep, or written.
+    /// A typed [`SweepError`] when the checkpoint cannot be read,
+    /// verified, or written, or when the quarantine tolerance is
+    /// exceeded.
     pub fn run_with_checkpoint(
         &self,
         workloads: &[&dyn Workload],
         path: &Path,
         resume: bool,
-    ) -> Result<SweepReport, String> {
+    ) -> Result<SweepReport, SweepError> {
+        self.run_with_checkpoint_io(workloads, path, resume, &RealFs)
+    }
+
+    /// [`SuiteRunner::run_with_checkpoint`] through an injectable
+    /// [`ArtifactIo`] backend — the entry point the chaos matrix drives
+    /// with a fault-injecting filesystem.
+    ///
+    /// On entry the checkpoint's recovery journal is replayed
+    /// ([`io::recover`]): an interrupted publish whose temp sibling
+    /// verifies is completed, torn state is quarantined. Resume then
+    /// loads the (integrity-checked) file, rejects grid mismatches, and
+    /// executes only the remaining cells; every completed cell is
+    /// re-published as a sealed, journaled checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SweepError`].
+    pub fn run_with_checkpoint_io(
+        &self,
+        workloads: &[&dyn Workload],
+        path: &Path,
+        resume: bool,
+        io: &dyn ArtifactIo,
+    ) -> Result<SweepReport, SweepError> {
+        io::recover(io, path)?;
         let grid = self.grid(workloads);
         let grid_fp = grid_fingerprint(self, workloads);
         let mut prefilled = Vec::new();
         let mut retained = BTreeMap::new();
-        if resume && path.exists() {
-            let stored = load_checkpoint(path)?;
+        if resume && io.exists(path) {
+            let stored = load_checkpoint_io(io, path)?;
             if stored.grid_fp != grid_fp {
-                return Err(format!(
-                    "checkpoint {} describes a different sweep \
-                     (grid fingerprint {:#018x}, expected {:#018x})",
-                    path.display(),
-                    stored.grid_fp,
-                    grid_fp
-                ));
+                return Err(SweepError::Artifact(ArtifactError::Mismatch {
+                    path: path.to_path_buf(),
+                    message: format!(
+                        "checkpoint describes a different sweep \
+                         (grid fingerprint {:#018x}, expected {:#018x})",
+                        stored.grid_fp, grid_fp
+                    ),
+                }));
             }
             for cell in stored.cells {
                 let index = cell.index;
-                let adopted = adopt_cell(cell, &grid, workloads)?;
+                let adopted = adopt_cell(cell, &grid, workloads).map_err(|message| {
+                    SweepError::Artifact(ArtifactError::Format {
+                        path: path.to_path_buf(),
+                        message,
+                    })
+                })?;
                 retained.insert(index, cell_json(index, &adopted));
                 prefilled.push((index, adopted));
             }
         }
         let sink = CheckpointSink {
             path: path.to_path_buf(),
+            io,
+            journal: Journal::for_artifact(path),
             state: Mutex::new(SinkState {
                 grid_fp,
                 cells: retained,
@@ -86,6 +137,10 @@ impl SuiteRunner {
         sink.flush()?;
         let report = self.execute_resumable(workloads, self.thread_count(), prefilled, Some(&sink));
         sink.take_error()?;
+        // Clean end of run: the journal has no pending intent, retire it
+        // so the next startup's recovery scan is a no-op.
+        sink.journal.retire(io)?;
+        self.enforce_quarantine(&report)?;
         Ok(report)
     }
 }
@@ -115,9 +170,12 @@ fn grid_fingerprint(suite: &SuiteRunner, workloads: &[&dyn Workload]) -> u64 {
 }
 
 /// Accumulates completed cells and rewrites the checkpoint file after
-/// each one. Shared across sweep workers behind its internal mutex.
-pub(crate) struct CheckpointSink {
+/// each one — every rewrite a sealed, journaled, retry-bounded publish.
+/// Shared across sweep workers behind its internal mutex.
+pub(crate) struct CheckpointSink<'a> {
     path: PathBuf,
+    io: &'a dyn ArtifactIo,
+    journal: Journal,
     state: Mutex<SinkState>,
 }
 
@@ -125,33 +183,49 @@ struct SinkState {
     grid_fp: u64,
     /// Grid index → serialized cell JSON, kept sorted for stable files.
     cells: BTreeMap<usize, String>,
-    /// First write failure, surfaced when the sweep finishes (workers
-    /// cannot propagate it mid-flight).
-    error: Option<String>,
+    /// First unrecoverable write failure, surfaced when the sweep
+    /// finishes (workers cannot propagate it mid-flight).
+    error: Option<ArtifactError>,
 }
 
-impl CheckpointSink {
-    /// Records a completed cell and rewrites the file.
+impl CheckpointSink<'_> {
+    /// Records a completed cell and rewrites the file. Skipped cells
+    /// are never offered here, so a resume re-runs them.
     pub(crate) fn record(&self, index: usize, cell: &SweepCell) {
         let mut state = self.state.lock().expect("sink lock is never poisoned");
         state.cells.insert(index, cell_json(index, cell));
-        let doc = JsonDoc {
-            body: render(&state),
-        };
-        if let Err(e) = doc.emit(&self.path) {
+        if let Err(e) = self.publish(&state) {
             state.error.get_or_insert(e);
         }
     }
 
-    fn flush(&self) -> Result<(), String> {
-        let state = self.state.lock().expect("sink lock is never poisoned");
-        JsonDoc {
-            body: render(&state),
+    /// One sealed, journaled publish with the bounded transient-retry
+    /// budget: torn writes and transient EIO are redone, everything
+    /// else (ENOSPC, crash, corruption) surfaces immediately.
+    fn publish(&self, state: &SinkState) -> Result<(), ArtifactError> {
+        let sealed = io::seal(&render(state));
+        let mut last = ArtifactError::io(
+            "publish",
+            &self.path,
+            IoErrorKind::Other,
+            "publish retry budget exhausted",
+        );
+        for _ in 0..PUBLISH_ATTEMPTS {
+            match io::publish(self.io, &self.journal, &self.path, &sealed) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() => last = e,
+                Err(e) => return Err(e),
+            }
         }
-        .emit(&self.path)
+        Err(last)
     }
 
-    fn take_error(&self) -> Result<(), String> {
+    fn flush(&self) -> Result<(), ArtifactError> {
+        let state = self.state.lock().expect("sink lock is never poisoned");
+        self.publish(&state)
+    }
+
+    fn take_error(&self) -> Result<(), ArtifactError> {
         match self
             .state
             .lock()
@@ -202,6 +276,24 @@ fn cell_json(index: usize, cell: &SweepCell) -> String {
         out.push_str(key);
         out.push_str("\":");
         out.push_str(&v.to_string());
+    }
+    // The attempt trail is optional (emitted only when non-empty), so
+    // v2 files written before trails existed parse unchanged.
+    if !cell.trail.is_empty() {
+        out.push_str(",\"trail\":[");
+        for (i, a) in cell.trail.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"attempt\":");
+            out.push_str(&a.attempt.to_string());
+            out.push_str(",\"kind\":");
+            json_string(&mut out, &a.kind.to_string());
+            out.push_str(",\"message\":");
+            json_string(&mut out, &a.message);
+            out.push('}');
+        }
+        out.push(']');
     }
     match &cell.result {
         Ok(r) => {
@@ -303,6 +395,9 @@ pub struct StoredCell {
     pub attempts: usize,
     /// Accounted retry backoff.
     pub backoff_cycles: u64,
+    /// The non-final attempt failures (empty for files that predate
+    /// attempt trails).
+    pub trail: Vec<AttemptFailure>,
     /// The stored outcome.
     pub result: StoredResult,
 }
@@ -336,15 +431,47 @@ pub enum StoredResult {
     },
 }
 
-/// Reads and parses a checkpoint file.
+/// Reads, integrity-checks and parses a checkpoint file on the real
+/// filesystem. See [`load_checkpoint_io`].
 ///
 /// # Errors
 ///
-/// A description of the IO, syntax, or schema problem.
-pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
-    let root = parse_json(&text)?;
+/// A typed [`ArtifactError`] describing the I/O, integrity, syntax, or
+/// schema problem.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, ArtifactError> {
+    load_checkpoint_io(&RealFs, path)
+}
+
+/// [`load_checkpoint`] through an injectable backend.
+///
+/// The integrity footer (when present) is verified first: a mismatch is
+/// [`ArtifactError::Corrupt`] — *not* a JSON parse error — and the bad
+/// file is preserved at `<path>.corrupt` for inspection. Files without
+/// a footer (written before the integrity format) still load.
+///
+/// # Errors
+///
+/// A typed [`ArtifactError`].
+pub fn load_checkpoint_io(io: &dyn ArtifactIo, path: &Path) -> Result<Checkpoint, ArtifactError> {
+    let text = io.read(path)?;
+    let body = match io::unseal(path, &text) {
+        Ok((_crc, body)) => body,
+        Err(e @ ArtifactError::Corrupt { .. }) => {
+            // Keep the evidence: a checksum mismatch moves the file
+            // aside instead of letting a resume half-trust it.
+            io.rename(path, &io::corrupt_sibling(path)).ok();
+            return Err(e);
+        }
+        Err(e) => return Err(e),
+    };
+    parse_checkpoint_body(body).map_err(|message| ArtifactError::Format {
+        path: path.to_path_buf(),
+        message,
+    })
+}
+
+fn parse_checkpoint_body(body: &str) -> Result<Checkpoint, String> {
+    let root = parse_json(body)?;
     let obj = root.as_obj("checkpoint")?;
     let version = get(obj, "version")?.as_u64("version")?;
     if version != CHECKPOINT_VERSION {
@@ -389,12 +516,27 @@ fn parse_cell(v: &Json) -> Result<StoredCell, String> {
         .as_str("key")?
         .parse::<CellKey>()
         .map_err(|e| format!("checkpoint cell {index}: {e}"))?;
+    let mut trail = Vec::new();
+    if let Ok(stored) = get(obj, "trail") {
+        for t in stored.as_arr("trail")? {
+            let t = t.as_obj("trail")?;
+            trail.push(AttemptFailure {
+                attempt: get(t, "attempt")?.as_u64("attempt")? as usize,
+                kind: get(t, "kind")?
+                    .as_str("kind")?
+                    .parse()
+                    .map_err(|e| format!("checkpoint cell {index} trail: {e}"))?,
+                message: get(t, "message")?.as_str("message")?.to_owned(),
+            });
+        }
+    }
     Ok(StoredCell {
         index,
         workload: get(obj, "workload")?.as_str("workload")?.to_owned(),
         key,
         attempts: get(obj, "attempts")?.as_u64("attempts")? as usize,
         backoff_cycles: get(obj, "backoff")?.as_u64("backoff")?,
+        trail,
         result,
     })
 }
@@ -504,6 +646,7 @@ fn adopt_cell(
         result,
         attempts: stored.attempts,
         backoff_cycles: stored.backoff_cycles,
+        trail: stored.trail,
     })
 }
 
@@ -879,7 +1022,7 @@ mod tests {
         let err = other
             .run_with_checkpoint(&[&Tick], &path, true)
             .expect_err("must refuse to resume");
-        assert!(err.contains("different sweep"), "{err}");
+        assert!(err.to_string().contains("different sweep"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -890,7 +1033,7 @@ mod tests {
         let err = suite()
             .run_with_checkpoint(&[&Tick], &path, true)
             .expect_err("must reject");
-        assert!(!err.is_empty());
+        assert!(!err.to_string().is_empty());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -3,12 +3,19 @@
 //! Reports (CSV), checkpoints (JSON) and traces (JSONL) used to each own
 //! their file-writing code. They now share one [`Emitter`] trait: an
 //! emitter knows its [`Format`] and how to [`render`](Emitter::render)
-//! itself to text; [`Emitter::emit`] publishes that text atomically
-//! (temp sibling + rename, parent directories created), so a crash
-//! mid-write never leaves a torn artifact behind — the guarantee the
-//! checkpoint writer pioneered, now shared by every output.
+//! itself to text; [`Emitter::emit`] publishes that text atomically and
+//! *durably* through the [`crate::io`] artifact plane — temp sibling,
+//! fsync, read-back verification, rename, directory sync — so neither a
+//! crash nor a silently torn write can publish a truncated artifact.
+//!
+//! Every emission is injectable: [`Emitter::emit_with`] (and the sealed
+//! variant, which appends a CRC32 integrity footer) takes any
+//! [`ArtifactIo`] backend, which is how the chaos matrix drives these
+//! paths through deterministic fault injection. Errors are the typed
+//! [`ArtifactError`], not strings.
 
-use std::path::{Path, PathBuf};
+use crate::io::{self, ArtifactError, ArtifactIo, RealFs};
+use std::path::Path;
 
 /// The on-disk formats the suite emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,14 +63,37 @@ pub trait Emitter {
     /// Renders the complete artifact as text.
     fn render(&self) -> String;
 
-    /// Publishes the rendered artifact to `path` atomically, creating
-    /// parent directories as needed.
+    /// Publishes the rendered artifact to `path` atomically and durably
+    /// on the real filesystem, creating parent directories as needed.
     ///
     /// # Errors
     ///
-    /// A human-readable description of the I/O failure.
-    fn emit(&self, path: &Path) -> Result<(), String> {
-        write_atomic(path, &self.render())
+    /// A typed [`ArtifactError`].
+    fn emit(&self, path: &Path) -> Result<(), ArtifactError> {
+        self.emit_with(&RealFs, path)
+    }
+
+    /// [`Emitter::emit`] through an injectable [`ArtifactIo`] backend.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ArtifactError`]; torn/transient failures are safe to
+    /// retry.
+    fn emit_with(&self, io: &dyn ArtifactIo, path: &Path) -> Result<(), ArtifactError> {
+        io::write_atomic_with(io, path, &self.render())
+    }
+
+    /// Like [`Emitter::emit_with`], but seals the artifact with the
+    /// `#sgxgauge-integrity` CRC32 footer so readers can verify it was
+    /// published whole. Plain [`Emitter::emit`] stays footer-free, so
+    /// default outputs remain byte-identical to earlier releases.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ArtifactError`]; torn/transient failures are safe to
+    /// retry.
+    fn emit_sealed_with(&self, io: &dyn ArtifactIo, path: &Path) -> Result<(), ArtifactError> {
+        io::write_atomic_with(io, path, &io::seal(&self.render()))
     }
 }
 
@@ -99,24 +129,16 @@ impl Emitter for TraceJsonl<'_> {
     }
 }
 
-/// Whole-file atomic write: parent directories are created, the contents
-/// land in a temp sibling, and a rename publishes them.
+/// Whole-file atomic durable write on the real filesystem: parent
+/// directories are created, the contents land in a temp sibling
+/// (fsynced and read back to verify), and a rename followed by a
+/// directory sync publishes them.
 ///
 /// # Errors
 ///
-/// A human-readable description of the I/O failure.
-pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
-        }
-    }
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish {}: {e}", path.display()))
+/// A typed [`ArtifactError`].
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), ArtifactError> {
+    io::write_atomic_with(&RealFs, path, contents)
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 pub mod checkpoint;
 pub mod emit;
 pub mod env;
+pub mod io;
 pub mod modes;
 pub mod report;
 pub mod runner;
@@ -49,10 +50,13 @@ pub mod workload;
 pub use checkpoint::{load_checkpoint, Checkpoint, CHECKPOINT_VERSION};
 pub use emit::{Emitter, Format};
 pub use env::{Env, EnvConfig, Region, SimThread};
+pub use io::{ArtifactError, ArtifactIo, ChaosFs, IoErrorKind, RealFs, RecoveryReport};
 pub use modes::{ExecMode, InputSetting};
 pub use report::{RatioRow, ReportTable};
 pub use runner::{RunReport, Runner, RunnerConfig, TraceConfig};
-pub use sweep::{CellError, CellErrorKind, CellKey, SuiteRunner, SweepCell, SweepReport};
+pub use sweep::{
+    CellError, CellErrorKind, CellKey, SuiteRunner, SweepCell, SweepError, SweepReport,
+};
 pub use workload::{
     ErrorClass, TransientError, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
 };

@@ -204,6 +204,39 @@ pub fn sweep_table(title: &str, sweep: &SweepReport) -> ReportTable {
     table
 }
 
+/// Renders the sweep's poisoned cells: one row per quarantined or
+/// skipped cell with its typed grid key, error class, attempt count and
+/// condensed attempt trail — the supervisor's evidence table. Empty
+/// when the sweep is healthy.
+pub fn quarantine_table(sweep: &SweepReport) -> ReportTable {
+    let mut table = ReportTable::new(
+        "Quarantined cells",
+        &["cell", "workload", "class", "attempts", "error", "trail"],
+    );
+    let poisoned = sweep.quarantined().chain(
+        sweep
+            .skipped()
+            .filter_map(|c| c.result.as_ref().err().map(|e| (c, e))),
+    );
+    for (cell, err) in poisoned {
+        let trail = cell
+            .trail
+            .iter()
+            .map(|a| format!("#{} {}: {}", a.attempt, a.kind, a.message))
+            .collect::<Vec<_>>()
+            .join("; ");
+        table.push_row(vec![
+            cell.cell.to_string(),
+            cell.workload.to_owned(),
+            err.kind.to_string(),
+            cell.attempts.to_string(),
+            err.message.clone(),
+            trail,
+        ]);
+    }
+    table
+}
+
 /// A generic printable/CSV-able table.
 #[derive(Debug, Clone, Default)]
 pub struct ReportTable {
@@ -435,6 +468,7 @@ mod tests {
                     },
                     attempts: 1,
                     backoff_cycles: 0,
+                    trail: Vec::new(),
                     workload: "t",
                     result: match result {
                         Ok(rt) => {
@@ -450,6 +484,17 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn quarantine_table_enumerates_poisoned_cells() {
+        let sweep = sweep_of(vec![(0, Ok(100)), (1, Err("deterministic boom"))]);
+        let t = quarantine_table(&sweep);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][2], "fatal");
+        assert!(t.rows[0][4].contains("deterministic boom"));
+        let healthy = sweep_of(vec![(0, Ok(100))]);
+        assert!(quarantine_table(&healthy).rows.is_empty());
     }
 
     #[test]

@@ -32,14 +32,15 @@
 //! ```
 
 use crate::checkpoint::CheckpointSink;
+use crate::io::ArtifactError;
 use crate::modes::{ExecMode, InputSetting};
 use crate::runner::{RunReport, Runner, RunnerConfig};
 use crate::workload::{ErrorClass, Workload, WorkloadError};
 use faults::FaultPlan;
 use sgx_sim::costs::RETRY_BACKOFF_BASE_CYCLES;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The typed key of one benchmark-grid cell.
 ///
@@ -123,6 +124,11 @@ pub enum CellErrorKind {
     TimedOut,
     /// The cell panicked rather than returning an error.
     Panicked,
+    /// The cell was never executed: the sweep stopped claiming work
+    /// (quarantine threshold exceeded, or a cooperative shutdown was
+    /// requested) before this cell's turn. Skipped cells are never
+    /// checkpointed, so a resume runs them.
+    Skipped,
 }
 
 impl std::fmt::Display for CellErrorKind {
@@ -132,6 +138,7 @@ impl std::fmt::Display for CellErrorKind {
             CellErrorKind::Fatal => "fatal",
             CellErrorKind::TimedOut => "timed-out",
             CellErrorKind::Panicked => "panicked",
+            CellErrorKind::Skipped => "skipped",
         })
     }
 }
@@ -145,6 +152,7 @@ impl std::str::FromStr for CellErrorKind {
             "fatal" => Ok(CellErrorKind::Fatal),
             "timed-out" => Ok(CellErrorKind::TimedOut),
             "panicked" => Ok(CellErrorKind::Panicked),
+            "skipped" => Ok(CellErrorKind::Skipped),
             other => Err(format!("unknown cell error kind `{other}`")),
         }
     }
@@ -179,12 +187,35 @@ impl CellError {
     pub fn panicked(&self) -> bool {
         self.kind == CellErrorKind::Panicked
     }
+
+    /// True when this outcome poisons the cell: a deterministic fatal
+    /// error or a panic that persisted across the whole retry budget.
+    /// Quarantined cells are recorded (with their attempt trail) and
+    /// counted against [`SuiteRunner::max_quarantine`] instead of
+    /// aborting the sweep.
+    pub fn quarantines(&self) -> bool {
+        matches!(self.kind, CellErrorKind::Fatal | CellErrorKind::Panicked)
+    }
 }
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}: {}", self.kind, self.message)
     }
+}
+
+/// One failed attempt in a cell's retry history. The trail records
+/// every *non-final* failure (the final outcome lives in
+/// [`SweepCell::result`]), so a quarantined cell carries the evidence
+/// of what it did on each attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFailure {
+    /// 1-based attempt ordinal.
+    pub attempt: usize,
+    /// How that attempt failed.
+    pub kind: CellErrorKind,
+    /// The attempt's error text.
+    pub message: String,
 }
 
 /// One executed grid cell: its coordinate plus the outcome.
@@ -201,6 +232,50 @@ pub struct SweepCell {
     /// Total simulated-cycle backoff accounted across retries (never
     /// slept on the host; purely part of the resilience ledger).
     pub backoff_cycles: u64,
+    /// The failures of every non-final attempt, oldest first (empty
+    /// when the first attempt settled the cell). Excluded from
+    /// [`SweepReport::fingerprint`] so checkpoints that predate trails
+    /// still resume fingerprint-identically.
+    pub trail: Vec<AttemptFailure>,
+}
+
+/// Why a sweep could not produce (or persist) its report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The artifact plane failed (checkpoint write, recovery, corrupt
+    /// resume file) in a way retries could not fix.
+    Artifact(ArtifactError),
+    /// More cells were quarantined than [`SuiteRunner::max_quarantine`]
+    /// tolerates: the run is globally sick and failed fast. Completed
+    /// cells are already checkpointed; a resume re-runs the skipped
+    /// remainder.
+    QuarantineExceeded {
+        /// Number of quarantined (fatal/panicked) cells observed.
+        quarantined: usize,
+        /// The configured tolerance.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Artifact(e) => write!(f, "artifact plane failure: {e}"),
+            SweepError::QuarantineExceeded { quarantined, max } => write!(
+                f,
+                "sweep is globally sick: {quarantined} cells quarantined \
+                 (tolerance {max}); completed cells are checkpointed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<ArtifactError> for SweepError {
+    fn from(e: ArtifactError) -> Self {
+        SweepError::Artifact(e)
+    }
 }
 
 /// All cells of one sweep, in grid order regardless of how many threads
@@ -230,6 +305,26 @@ impl SweepReport {
             .iter()
             .filter(move |c| c.cell.workload == workload)
             .filter_map(|c| c.result.as_ref().ok())
+    }
+
+    /// Quarantined cells (fatal or panicked past the retry budget), in
+    /// grid order.
+    pub fn quarantined(&self) -> impl Iterator<Item = (&SweepCell, &CellError)> {
+        self.errors().filter(|(_, e)| e.quarantines())
+    }
+
+    /// Cells the sweep never executed because it stopped claiming work
+    /// (quarantine threshold tripped or shutdown requested).
+    pub fn skipped(&self) -> impl Iterator<Item = &SweepCell> {
+        self.cells.iter().filter(|c| {
+            matches!(
+                c.result,
+                Err(CellError {
+                    kind: CellErrorKind::Skipped,
+                    ..
+                })
+            )
+        })
     }
 
     /// An order-sensitive digest over every cell's identity, counters and
@@ -318,6 +413,8 @@ pub struct SuiteRunner {
     settings: Vec<InputSetting>,
     threads: usize,
     retries: usize,
+    max_quarantine: Option<usize>,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl SuiteRunner {
@@ -330,6 +427,8 @@ impl SuiteRunner {
             settings: InputSetting::ALL.to_vec(),
             threads: 0,
             retries: 0,
+            max_quarantine: None,
+            stop: None,
         }
     }
 
@@ -393,6 +492,34 @@ impl SuiteRunner {
         self.retries
     }
 
+    /// Tolerates at most `n` quarantined cells before the sweep is
+    /// declared globally sick: workers stop claiming cells, the
+    /// remainder is marked [`CellErrorKind::Skipped`], and
+    /// [`SuiteRunner::try_run`] (and the checkpointed runners) fail
+    /// fast with [`SweepError::QuarantineExceeded`].
+    #[must_use]
+    pub fn max_quarantine(mut self, n: usize) -> Self {
+        self.max_quarantine = Some(n);
+        self
+    }
+
+    /// The configured quarantine tolerance, if any.
+    pub fn quarantine_budget(&self) -> Option<usize> {
+        self.max_quarantine
+    }
+
+    /// Installs a cooperative shutdown flag: once set (e.g. by a signal
+    /// handler), workers finish their current cell, stop claiming new
+    /// ones, and the sweep returns with the remainder marked
+    /// [`CellErrorKind::Skipped`]. Completed cells are already in the
+    /// checkpoint, so a later `--resume` continues where the shutdown
+    /// left off.
+    #[must_use]
+    pub fn stop_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop = Some(flag);
+        self
+    }
+
     /// The underlying per-cell runner.
     pub fn runner(&self) -> &Runner {
         &self.runner
@@ -434,6 +561,30 @@ impl SuiteRunner {
         self.execute(workloads, self.thread_count())
     }
 
+    /// [`SuiteRunner::run`], but enforcing the quarantine tolerance:
+    /// returns [`SweepError::QuarantineExceeded`] when more cells were
+    /// quarantined than [`SuiteRunner::max_quarantine`] allows.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::QuarantineExceeded`] when the run is globally sick.
+    pub fn try_run(&self, workloads: &[&dyn Workload]) -> Result<SweepReport, SweepError> {
+        let report = self.execute(workloads, self.thread_count());
+        self.enforce_quarantine(&report)?;
+        Ok(report)
+    }
+
+    /// Checks a finished report against the quarantine tolerance.
+    pub(crate) fn enforce_quarantine(&self, report: &SweepReport) -> Result<(), SweepError> {
+        if let Some(max) = self.max_quarantine {
+            let quarantined = report.quarantined().count();
+            if quarantined > max {
+                return Err(SweepError::QuarantineExceeded { quarantined, max });
+            }
+        }
+        Ok(())
+    }
+
     /// Resolves the configured thread count (`0` → one per core).
     pub(crate) fn thread_count(&self) -> usize {
         if self.threads == 0 {
@@ -467,7 +618,7 @@ impl SuiteRunner {
         workloads: &[&dyn Workload],
         threads: usize,
         prefilled: Vec<(usize, SweepCell)>,
-        sink: Option<&CheckpointSink>,
+        sink: Option<&CheckpointSink<'_>>,
     ) -> SweepReport {
         let cells = self.grid(workloads);
         let n = cells.len();
@@ -475,14 +626,28 @@ impl SuiteRunner {
         let next = AtomicUsize::new(0);
         let mut initial: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
         let mut skip = vec![false; n];
+        let mut seeded_quarantine = 0usize;
         for (i, cell) in prefilled {
+            if let Err(e) = &cell.result {
+                if e.quarantines() {
+                    seeded_quarantine += 1;
+                }
+            }
             skip[i] = true;
             initial[i] = Some(cell);
         }
+        let quarantined = AtomicUsize::new(seeded_quarantine);
+        let sick = AtomicBool::new(
+            self.max_quarantine
+                .is_some_and(|max| seeded_quarantine > max),
+        );
         let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new(initial);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
+                    if sick.load(Ordering::Relaxed) || self.stop_requested() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -491,6 +656,14 @@ impl SuiteRunner {
                         continue;
                     }
                     let done = self.run_cell(workloads, cells[i]);
+                    if let Err(e) = &done.result {
+                        if e.quarantines() {
+                            let q = quarantined.fetch_add(1, Ordering::Relaxed) + 1;
+                            if self.max_quarantine.is_some_and(|max| q > max) {
+                                sick.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
                     if let Some(sink) = sink {
                         sink.record(i, &done);
                     }
@@ -500,13 +673,23 @@ impl SuiteRunner {
                 });
             }
         });
-        let cells = slots
+        // Unclaimed slots (the sweep went sick or was asked to stop)
+        // become Skipped cells: enumerated in the report, absent from
+        // the checkpoint, re-run on resume.
+        let out = slots
             .into_inner()
             .expect("workers finished cleanly")
             .into_iter()
-            .map(|s| s.expect("every queue index was claimed and filled"))
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| skipped_cell(workloads, cells[i])))
             .collect();
-        SweepReport { cells }
+        SweepReport { cells: out }
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Executes one cell, retrying transient failures within the retry
@@ -516,6 +699,7 @@ impl SuiteRunner {
         let max_attempts = self.retries + 1;
         let mut attempts = 0;
         let mut backoff_cycles = 0u64;
+        let mut trail: Vec<AttemptFailure> = Vec::new();
         let result = loop {
             attempts += 1;
             let salt = attempt_salt(w.name(), &cell, attempts);
@@ -534,6 +718,11 @@ impl SuiteRunner {
                 // Deterministic exponential backoff, accounted in
                 // simulated cycles — the sweep never sleeps on the host.
                 backoff_cycles += RETRY_BACKOFF_BASE_CYCLES << (attempts - 1);
+                trail.push(AttemptFailure {
+                    attempt: attempts,
+                    kind: err.kind,
+                    message: err.message,
+                });
                 continue;
             }
             // Exhausted (or not retryable): the LAST error is the
@@ -546,7 +735,23 @@ impl SuiteRunner {
             result,
             attempts,
             backoff_cycles,
+            trail,
         }
+    }
+}
+
+/// The placeholder for a cell the sweep never claimed.
+fn skipped_cell(workloads: &[&dyn Workload], cell: CellKey) -> SweepCell {
+    SweepCell {
+        cell,
+        workload: workloads[cell.workload].name(),
+        result: Err(CellError {
+            kind: CellErrorKind::Skipped,
+            message: "sweep stopped before this cell was executed".to_string(),
+        }),
+        attempts: 0,
+        backoff_cycles: 0,
+        trail: Vec::new(),
     }
 }
 
@@ -894,10 +1099,80 @@ mod tests {
             CellErrorKind::Fatal,
             CellErrorKind::TimedOut,
             CellErrorKind::Panicked,
+            CellErrorKind::Skipped,
         ] {
             let shown = kind.to_string();
             assert_eq!(shown.parse::<CellErrorKind>().unwrap(), kind);
         }
         assert!("weird".parse::<CellErrorKind>().is_err());
+    }
+
+    #[test]
+    fn retry_trail_records_every_non_final_failure() {
+        let w = Flaky::failing(2);
+        let sweep = tiny_suite().retries(3).run_sequential(&[&w]);
+        let cell = &sweep.cells[0];
+        assert!(cell.result.is_ok());
+        assert_eq!(
+            cell.trail.len(),
+            2,
+            "two transient failures preceded success"
+        );
+        assert_eq!(cell.trail[0].attempt, 1);
+        assert_eq!(cell.trail[1].attempt, 2);
+        assert!(cell
+            .trail
+            .iter()
+            .all(|a| a.kind == CellErrorKind::Transient));
+    }
+
+    fn broken_suite(reps: usize) -> SuiteRunner {
+        let mut cfg = RunnerConfig::quick_test();
+        cfg.repetitions = reps;
+        SuiteRunner::new(cfg)
+            .modes(&[ExecMode::Vanilla])
+            .settings(&[InputSetting::Low])
+            .threads(1)
+    }
+
+    #[test]
+    fn quarantine_threshold_fails_fast_and_skips_the_remainder() {
+        let s = broken_suite(4).max_quarantine(0);
+        let err = s.try_run(&[&Broken]).unwrap_err();
+        match err {
+            SweepError::QuarantineExceeded { quarantined, max } => {
+                assert_eq!(quarantined, 1);
+                assert_eq!(max, 0);
+            }
+            other => panic!("expected QuarantineExceeded, got {other:?}"),
+        }
+        // The report (via the non-failing path) enumerates both the
+        // quarantined cell and the skipped remainder.
+        let report = s.run(&[&Broken]);
+        assert_eq!(report.quarantined().count(), 1);
+        assert_eq!(
+            report.skipped().count(),
+            3,
+            "one worker stops after first quarantine"
+        );
+    }
+
+    #[test]
+    fn quarantine_within_tolerance_completes_the_sweep() {
+        let s = broken_suite(3).max_quarantine(3);
+        let report = s.try_run(&[&Broken]).expect("within tolerance");
+        assert_eq!(report.quarantined().count(), 3);
+        assert_eq!(report.skipped().count(), 0);
+    }
+
+    #[test]
+    fn stop_flag_skips_unclaimed_cells() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let s = broken_suite(4).stop_flag(Arc::clone(&flag));
+        let report = s.run(&[&Broken]);
+        assert_eq!(report.skipped().count(), 4, "pre-set flag skips everything");
+        flag.store(false, Ordering::Relaxed);
+        let report = s.run(&[&Broken]);
+        assert_eq!(report.skipped().count(), 0);
     }
 }

@@ -1,0 +1,170 @@
+//! Declarative host-I/O fault plans and their spec-string grammar.
+//!
+//! The plans in [`crate::plan`] perturb the *simulated* machine; this
+//! module describes faults of the **host** filesystem the harness writes
+//! its artifacts (reports, checkpoints, traces) to. The chaos backend in
+//! `sgxgauge-core::io` compiles an [`IoFaultPlan`] into a deterministic
+//! fault stream over artifact operations, reusing the same seeded
+//! xorshift discipline as the simulated-fault plane: the same plan and
+//! seed produce the same injection sequence on every run.
+
+/// A seeded, declarative host-I/O fault plan.
+///
+/// Parsed from a comma-separated spec string:
+///
+/// ```text
+/// seed=<u64>            PRNG seed (default 1)
+/// enospc=<permille>     each artifact write fails with ENOSPC with p/1000
+/// eio=<permille>        each artifact write fails transiently with p/1000
+/// torn=<permille>       each artifact write lands only a prefix with p/1000
+/// crash_rename=<n>      the n-th rename (1-based) crashes the harness:
+///                       the rename does not happen and every later
+///                       operation fails (the process is "dead")
+/// ```
+///
+/// ```
+/// use faults::IoFaultPlan;
+/// let p = IoFaultPlan::parse("seed=9,enospc=10,torn=5,crash_rename=3").unwrap();
+/// assert_eq!(p.seed, 9);
+/// assert_eq!(p.enospc_permille, 10);
+/// assert_eq!(p.crash_rename, Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// Base PRNG seed for the per-operation draws.
+    pub seed: u64,
+    /// Per-write ENOSPC (disk full) probability in permille (0–1000).
+    pub enospc_permille: u32,
+    /// Per-write transient-EIO probability in permille (0–1000).
+    pub eio_permille: u32,
+    /// Per-write torn-write (prefix only lands) probability in permille.
+    pub torn_permille: u32,
+    /// Crash the harness at the n-th rename (1-based), if set.
+    pub crash_rename: Option<u64>,
+}
+
+impl IoFaultPlan {
+    /// Parses the spec grammar documented on the type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending item.
+    pub fn parse(spec: &str) -> Result<IoFaultPlan, String> {
+        let mut plan = IoFaultPlan {
+            seed: 1,
+            ..IoFaultPlan::default()
+        };
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("io fault item `{item}` is not key=value"))?;
+            match key.trim() {
+                "seed" => plan.seed = parse_u64("seed", val)?,
+                "enospc" => plan.enospc_permille = parse_permille("enospc", val)?,
+                "eio" => plan.eio_permille = parse_permille("eio", val)?,
+                "torn" => plan.torn_permille = parse_permille("torn", val)?,
+                "crash_rename" => {
+                    let n = parse_u64("crash_rename", val)?;
+                    if n == 0 {
+                        return Err("crash_rename is 1-based; use crash_rename=1".into());
+                    }
+                    plan.crash_rename = Some(n);
+                }
+                other => return Err(format!("unknown io fault item `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.enospc_permille == 0
+            && self.eio_permille == 0
+            && self.torn_permille == 0
+            && self.crash_rename.is_none()
+    }
+
+    /// An order-sensitive FNV-1a digest of the plan (for logs and
+    /// provenance records).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.seed);
+        mix(u64::from(self.enospc_permille));
+        mix(u64::from(self.eio_permille));
+        mix(u64::from(self.torn_permille));
+        match self.crash_rename {
+            Some(n) => {
+                mix(1);
+                mix(n);
+            }
+            None => mix(0),
+        }
+        h
+    }
+}
+
+fn parse_u64(what: &str, s: &str) -> Result<u64, String> {
+    s.trim()
+        .replace('_', "")
+        .parse()
+        .map_err(|_| format!("{what}: `{s}` is not a number"))
+}
+
+fn parse_permille(what: &str, s: &str) -> Result<u32, String> {
+    let v = parse_u64(what, s)?;
+    if v > 1000 {
+        return Err(format!("{what}: permille {v} exceeds 1000"));
+    }
+    Ok(v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let p = IoFaultPlan::parse("seed=4,enospc=10,eio=20,torn=5,crash_rename=2").unwrap();
+        assert_eq!(p.seed, 4);
+        assert_eq!(p.enospc_permille, 10);
+        assert_eq!(p.eio_permille, 20);
+        assert_eq!(p.torn_permille, 5);
+        assert_eq!(p.crash_rename, Some(2));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_spec_defaults_to_seed_one_and_no_faults() {
+        let p = IoFaultPlan::parse("").unwrap();
+        assert_eq!(p.seed, 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_items() {
+        assert!(IoFaultPlan::parse("bogus").is_err());
+        assert!(IoFaultPlan::parse("enospc=1001").is_err());
+        assert!(IoFaultPlan::parse("crash_rename=0").is_err());
+        assert!(IoFaultPlan::parse("volcano=7").is_err());
+        assert!(IoFaultPlan::parse("seed=notanumber").is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_plans() {
+        let a = IoFaultPlan::parse("seed=1,eio=10").unwrap();
+        let b = IoFaultPlan::parse("seed=2,eio=10").unwrap();
+        let c = IoFaultPlan::parse("seed=1,torn=10").unwrap();
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(
+            a.digest(),
+            IoFaultPlan::parse("seed=1,eio=10").unwrap().digest()
+        );
+    }
+}

@@ -26,9 +26,11 @@
 #![deny(missing_docs)]
 
 pub mod hook;
+pub mod iofaults;
 pub mod plan;
 pub mod prng;
 
 pub use hook::{FaultHook, InjectedFault};
+pub use iofaults::IoFaultPlan;
 pub use plan::{AexStorm, EpcSpike, FaultPlan};
 pub use prng::XorShift64;

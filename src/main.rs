@@ -8,12 +8,15 @@
 //! ```
 
 use sgxgauge::core::emit::{Emitter, Format, TraceJsonl};
-use sgxgauge::core::report::{cycle_breakdown, humanize, sweep_table, RatioRow, ReportTable};
-use sgxgauge::core::{
-    EnvConfig, ExecMode, InputSetting, RunReport, Runner, RunnerConfig, SuiteRunner, TraceConfig,
-    Workload,
+use sgxgauge::core::io as artifact_io;
+use sgxgauge::core::report::{
+    cycle_breakdown, humanize, quarantine_table, sweep_table, RatioRow, ReportTable,
 };
-use sgxgauge::faults::FaultPlan;
+use sgxgauge::core::{
+    ArtifactIo, ChaosFs, EnvConfig, ExecMode, InputSetting, RealFs, RunReport, Runner,
+    RunnerConfig, SuiteRunner, TraceConfig, Workload,
+};
+use sgxgauge::faults::{FaultPlan, IoFaultPlan};
 use sgxgauge::stats::BarChart;
 use sgxgauge::workloads::{suite, suite_scaled};
 use std::collections::HashMap;
@@ -30,18 +33,34 @@ fn usage() -> ExitCode {
   sgxgauge compare --workload <name> --setting <low|medium|high> [--scale <divisor>]
   sgxgauge suite   [--setting <low|medium|high>] [--scale <divisor>] [--modes <m1,m2,..>]
                    [--reps <n>] [--jobs <n>] [--faults <spec>] [--cell-budget <cycles>]
-                   [--retries <n>] [--checkpoint <path>] [--resume <path>]
+                   [--retries <n>] [--max-quarantine <n>] [--checkpoint <path>]
+                   [--resume <path>] [--report <file.csv>] [--io-faults <spec>]
   sgxgauge trace   <workload> --mode <vanilla|native|libos> --setting <low|medium|high>
                    [--scale <divisor>] [--out <file.jsonl|file.csv>] [--jobs <n>]
                    [--sample <cycles>] [--capacity <records>] [--switchless <workers>]
-                   [--pf] [--faults <spec>] [--cell-budget <cycles>]
+                   [--pf] [--faults <spec>] [--cell-budget <cycles>] [--io-faults <spec>]
 
 fault spec (comma-separated, e.g. \"seed=7,aex=3@50000,syscall=20\"):
   seed=<u64>                   PRNG seed (default 1)
   aex=<exits>@<period>         AEX storm: <exits> forced exits every <period> cycles
   epc=<frames>@<period>:<dur>  EPC pressure: reserve <frames> for <dur> cycles every <period>
   syscall=<permille>           transient host-syscall failure rate (0..=1000)
-  bitflip=<permille>           per-read file bit-flip rate (0..=1000)"
+  bitflip=<permille>           per-read file bit-flip rate (0..=1000)
+
+host io fault spec (comma-separated, e.g. \"seed=7,eio=20,torn=5,crash_rename=3\"):
+  seed=<u64>                   PRNG seed (default 1)
+  enospc=<permille>            artifact write fails with ENOSPC (0..=1000)
+  eio=<permille>               artifact write fails transiently (0..=1000)
+  torn=<permille>              artifact write silently lands a prefix (0..=1000)
+  crash_rename=<n>             crash the harness at the n-th artifact rename
+
+--max-quarantine <n>  tolerate at most n quarantined (fatal/panicked) cells,
+                      then fail fast; completed cells stay checkpointed
+--resume <path>       verifies the checkpoint's CRC32 integrity footer and
+                      replays its recovery journal (repairing or quarantining
+                      interrupted writes) before adopting completed cells
+--report <file.csv>   emit the suite table as CSV sealed with an integrity
+                      footer"
     );
     ExitCode::from(2)
 }
@@ -297,6 +316,11 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(budget) = runner.cell_budget_cycles() {
         suite_runner = suite_runner.cell_budget(budget);
     }
+    if let Some(max) = flags.get("max-quarantine") {
+        let max: usize = max.parse().map_err(|_| "bad --max-quarantine")?;
+        suite_runner = suite_runner.max_quarantine(max);
+    }
+    let io = artifact_backend(flags)?;
     let workloads = workloads_for(scale);
     let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w.as_ref()).collect();
     let checkpoint = flags.get("checkpoint").map(PathBuf::from);
@@ -305,9 +329,30 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
         (Some(c), Some(r)) if c != r => {
             return Err("--checkpoint and --resume must name the same file".to_owned())
         }
-        (_, Some(path)) => suite_runner.run_with_checkpoint(&refs, path, true)?,
-        (Some(path), None) => suite_runner.run_with_checkpoint(&refs, path, false)?,
-        (None, None) => suite_runner.run(&refs),
+        (_, Some(path)) => {
+            let recovery = artifact_io::recover(io.as_ref(), path).map_err(|e| e.to_string())?;
+            if !recovery.is_clean() {
+                for repaired in &recovery.repaired {
+                    eprintln!(
+                        "[recovery] completed interrupted write: {}",
+                        repaired.display()
+                    );
+                }
+                for quarantined in &recovery.quarantined {
+                    eprintln!(
+                        "[recovery] quarantined torn write: {}",
+                        quarantined.display()
+                    );
+                }
+            }
+            suite_runner
+                .run_with_checkpoint_io(&refs, path, true, io.as_ref())
+                .map_err(|e| e.to_string())?
+        }
+        (Some(path), None) => suite_runner
+            .run_with_checkpoint_io(&refs, path, false, io.as_ref())
+            .map_err(|e| e.to_string())?,
+        (None, None) => suite_runner.try_run(&refs).map_err(|e| e.to_string())?,
     };
     for (cell, err) in sweep.errors() {
         if cell.attempts > 1 {
@@ -318,6 +363,10 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
         } else {
             eprintln!("{} in {}: {err}", cell.workload, cell.cell.mode);
         }
+    }
+    let quarantine = quarantine_table(&sweep);
+    if !quarantine.rows.is_empty() {
+        eprintln!("{quarantine}");
     }
     let mut table = ReportTable::new(
         &format!("Suite at {setting} (scale 1/{scale})"),
@@ -350,7 +399,30 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
             sweep_table("Suite aggregate (geomean over reps)", &sweep)
         );
     }
+    if let Some(out) = flags.get("report") {
+        let path = PathBuf::from(out);
+        table
+            .emit_sealed_with(io.as_ref(), &path)
+            .map_err(|e| e.to_string())?;
+        println!("[report] {}", path.display());
+    }
     Ok(())
+}
+
+/// The artifact I/O backend the CLI should publish through: the real
+/// filesystem, or a deterministic chaos wrapper when `--io-faults` is given.
+fn artifact_backend(flags: &HashMap<String, String>) -> Result<Box<dyn ArtifactIo>, String> {
+    match flags.get("io-faults") {
+        None => Ok(Box::new(RealFs)),
+        Some(spec) => {
+            let plan = IoFaultPlan::parse(spec)?;
+            if plan.is_empty() {
+                Ok(Box::new(RealFs))
+            } else {
+                Ok(Box::new(ChaosFs::over_real(plan)))
+            }
+        }
+    }
 }
 
 fn cmd_trace(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
@@ -443,9 +515,14 @@ fn cmd_trace(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
     println!("{table}");
     if let Some(out) = flags.get("out") {
         let path = PathBuf::from(out);
+        let io = artifact_backend(flags)?;
         match Format::from_path(&path) {
-            Some(Format::Jsonl) => TraceJsonl(sink).emit(&path)?,
-            Some(Format::Csv) => timeline_table(r).emit(&path)?,
+            Some(Format::Jsonl) => TraceJsonl(sink)
+                .emit_with(io.as_ref(), &path)
+                .map_err(|e| e.to_string())?,
+            Some(Format::Csv) => timeline_table(r)
+                .emit_with(io.as_ref(), &path)
+                .map_err(|e| e.to_string())?,
             Some(Format::Json) | None => {
                 return Err(format!(
                     "--out `{out}`: use a .jsonl (event stream) or .csv (timeline) extension"
