@@ -5,6 +5,7 @@
 //! the L1 exists so that hot lines do not reach the LLC at all, which is
 //! what makes LLC-miss counts meaningful for cache-friendly workloads.
 
+use crate::setidx::SetIndex;
 use crate::LINE_SHIFT;
 
 /// Outcome of a cache access, naming the level that supplied the line.
@@ -79,10 +80,16 @@ impl Default for L1Cache {
 #[derive(Debug, Clone)]
 pub struct Llc {
     tags: Vec<u64>,
-    stamps: Vec<u32>,
-    sets: usize,
+    /// LRU stamps; u64 so the clock cannot wrap within a run (a u32
+    /// clock wraps after 2^32 accesses — the run lengths the batched
+    /// access path sustains — making ancient lines look freshly used).
+    stamps: Vec<u64>,
+    /// Division-free `line -> set` mapping, exact against `%` (the
+    /// default 12 MB geometry has 12288 sets, which is not a power of
+    /// two, so this is the multiply-high reciprocal path).
+    set_index: SetIndex,
     ways: usize,
-    clock: u32,
+    clock: u64,
 }
 
 impl Llc {
@@ -99,7 +106,7 @@ impl Llc {
         Llc {
             tags: vec![u64::MAX; sets * ways],
             stamps: vec![0; sets * ways],
-            sets,
+            set_index: SetIndex::new(sets),
             ways,
             clock: 0,
         }
@@ -107,36 +114,42 @@ impl Llc {
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line as usize) % self.sets
+        self.set_index.index(line)
     }
 
     /// Probes for `line`, filling it on a miss; returns `true` on hit.
+    ///
+    /// The hit scan runs first as a bare equality walk — most probes
+    /// hit, and keeping victim bookkeeping out of that path lets it
+    /// vectorize. The miss path then picks the victim exactly as the
+    /// old combined scan did: the *last* invalid way if any exists,
+    /// else the smallest stamp.
+    #[inline]
     pub fn access(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = set * self.ways;
-        self.clock = self.clock.wrapping_add(1);
+        let base = self.set_of(line) * self.ways;
+        self.clock += 1;
+        let clock = self.clock;
+        let tags = &mut self.tags[base..base + self.ways];
+        if let Some(w) = tags.iter().position(|&t| t == line) {
+            self.stamps[base + w] = clock;
+            return true;
+        }
+        let stamps = &mut self.stamps[base..base + self.ways];
         let mut victim = 0;
-        let mut oldest_age = 0;
-        for w in 0..self.ways {
-            let t = self.tags[base + w];
-            if t == line {
-                self.stamps[base + w] = self.clock;
-                return true;
-            }
-            if t == u64::MAX {
-                // Prefer an invalid way; give it an unbeatable age.
+        let mut victim_stamp = u64::MAX;
+        let mut have_invalid = false;
+        for w in 0..tags.len() {
+            if tags[w] == u64::MAX {
+                // Prefer an invalid way over evicting a live line.
                 victim = w;
-                oldest_age = u32::MAX;
-                continue;
-            }
-            let age = self.clock.wrapping_sub(self.stamps[base + w]);
-            if age >= oldest_age && oldest_age != u32::MAX {
+                have_invalid = true;
+            } else if !have_invalid && stamps[w] < victim_stamp {
                 victim = w;
-                oldest_age = age;
+                victim_stamp = stamps[w];
             }
         }
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        tags[victim] = line;
+        stamps[victim] = clock;
         false
     }
 
@@ -149,7 +162,7 @@ impl Llc {
 
     /// Number of sets (exposed for tests and sizing diagnostics).
     pub fn sets(&self) -> usize {
-        self.sets
+        self.set_index.sets()
     }
 
     /// Associativity.
@@ -204,6 +217,37 @@ mod tests {
         let llc = Llc::default();
         assert_eq!(llc.ways(), 16);
         assert_eq!(llc.sets() * llc.ways() * 64, 12 << 20);
+    }
+
+    #[test]
+    fn llc_lru_survives_beyond_u32_clock() {
+        // Companion to the TLB clock-width fix: stamps crossing the old
+        // u32 wrap point must still compare in true age order.
+        let mut llc = Llc::new(256, 2);
+        llc.clock = u64::from(u32::MAX) - 1;
+        llc.access(0);
+        llc.access(2);
+        llc.access(0); // refresh 0; 2 is LRU with a pre-wrap stamp
+        llc.access(4); // must evict 2
+        assert!(llc.contains(0));
+        assert!(!llc.contains(2));
+        assert!(llc.contains(4));
+    }
+
+    #[test]
+    fn power_of_two_llc_uses_mask_indexing() {
+        let llc = Llc::new(1 << 20, 16); // 1024 sets -> mask path
+        assert!(llc.set_index.uses_mask());
+        for line in (0..10_000u64).chain([u64::MAX - 5, u64::MAX]) {
+            assert_eq!(llc.set_of(line), (line % llc.sets() as u64) as usize);
+        }
+        // Default geometry (12288 sets) takes the reciprocal path and
+        // must still agree with division exactly.
+        let llc = Llc::default();
+        assert!(!llc.set_index.uses_mask());
+        for line in (0..100_000u64).chain([u64::MAX - 5, u64::MAX, 1 << 58]) {
+            assert_eq!(llc.set_of(line), (line % llc.sets() as u64) as usize);
+        }
     }
 
     #[test]

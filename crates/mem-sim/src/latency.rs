@@ -5,6 +5,77 @@
 //! CPU cycles. They are deliberately public and adjustable so that
 //! sensitivity studies (e.g. a slower MEE) can be expressed as data.
 
+use std::error::Error;
+use std::fmt;
+
+/// A rejected latency configuration: the hierarchy must be monotone
+/// (`l1_hit <= llc_hit <= dram`, `walk_fast <= walk_slow`) and the MEE
+/// multiplier must not discount DRAM (`mee_mult_x100 >= 100`).
+///
+/// The hot access path charges `mem_cycles - l1_hit` to the stall
+/// counter and `dram_encrypted() - dram` to the MEE counter; a
+/// non-monotone model would underflow those subtractions, so
+/// [`LatencyModel::validate`] rejects it up front (invoked by
+/// `Machine::new`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyError {
+    /// `llc_hit < l1_hit`: an LLC hit may not be cheaper than an L1 hit.
+    LlcFasterThanL1 {
+        /// The offending `l1_hit`.
+        l1_hit: u64,
+        /// The offending `llc_hit`.
+        llc_hit: u64,
+    },
+    /// `dram < llc_hit`: DRAM may not be cheaper than an LLC hit.
+    DramFasterThanLlc {
+        /// The offending `llc_hit`.
+        llc_hit: u64,
+        /// The offending `dram`.
+        dram: u64,
+    },
+    /// `walk_slow < walk_fast`: a cold walk may not beat a cached walk.
+    SlowWalkFasterThanFast {
+        /// The offending `walk_fast`.
+        walk_fast: u64,
+        /// The offending `walk_slow`.
+        walk_slow: u64,
+    },
+    /// `mee_mult_x100 < 100`: encryption may not make DRAM cheaper.
+    MeeDiscountsDram {
+        /// The offending multiplier.
+        mee_mult_x100: u64,
+    },
+}
+
+impl fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyError::LlcFasterThanL1 { l1_hit, llc_hit } => write!(
+                f,
+                "llc_hit ({llc_hit}) must be >= l1_hit ({l1_hit}): the stall \
+                 decomposition charges mem_cycles - l1_hit per line"
+            ),
+            LatencyError::DramFasterThanLlc { llc_hit, dram } => {
+                write!(f, "dram ({dram}) must be >= llc_hit ({llc_hit})")
+            }
+            LatencyError::SlowWalkFasterThanFast {
+                walk_fast,
+                walk_slow,
+            } => write!(
+                f,
+                "walk_slow ({walk_slow}) must be >= walk_fast ({walk_fast})"
+            ),
+            LatencyError::MeeDiscountsDram { mee_mult_x100 } => write!(
+                f,
+                "mee_mult_x100 ({mee_mult_x100}) must be >= 100: the MEE \
+                 premium dram_encrypted() - dram may not be negative"
+            ),
+        }
+    }
+}
+
+impl Error for LatencyError {}
+
 /// Cycle latencies for every event class the simulator charges.
 ///
 /// Construct via [`LatencyModel::default`] and override individual fields:
@@ -13,7 +84,7 @@
 /// let lat = mem_sim::LatencyModel { dram: 250, ..Default::default() };
 /// assert_eq!(lat.dram, 250);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// L1 data-cache hit latency. Every access costs at least this much.
     pub l1_hit: u64,
@@ -61,6 +132,43 @@ impl LatencyModel {
     pub fn dram_encrypted(&self) -> u64 {
         self.dram * self.mee_mult_x100 / 100
     }
+
+    /// Checks the monotonicity invariants the hot access path relies on.
+    ///
+    /// The per-line stall charge is `mem_cycles - l1_hit` and the MEE
+    /// premium is `dram_encrypted() - dram`; both underflow (debug panic,
+    /// silent wrap in release) for a non-monotone model, so `Machine::new`
+    /// rejects one before any access can be issued.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated ordering as a typed [`LatencyError`].
+    pub fn validate(&self) -> Result<(), LatencyError> {
+        if self.llc_hit < self.l1_hit {
+            return Err(LatencyError::LlcFasterThanL1 {
+                l1_hit: self.l1_hit,
+                llc_hit: self.llc_hit,
+            });
+        }
+        if self.dram < self.llc_hit {
+            return Err(LatencyError::DramFasterThanLlc {
+                llc_hit: self.llc_hit,
+                dram: self.dram,
+            });
+        }
+        if self.walk_slow < self.walk_fast {
+            return Err(LatencyError::SlowWalkFasterThanFast {
+                walk_fast: self.walk_fast,
+                walk_slow: self.walk_slow,
+            });
+        }
+        if self.mee_mult_x100 < 100 {
+            return Err(LatencyError::MeeDiscountsDram {
+                mee_mult_x100: self.mee_mult_x100,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +201,69 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(l.dram_encrypted(), l.dram);
+    }
+
+    #[test]
+    fn default_model_validates() {
+        assert_eq!(LatencyModel::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn non_monotone_models_rejected_with_typed_errors() {
+        let llc_under_l1 = LatencyModel {
+            l1_hit: 50,
+            llc_hit: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            llc_under_l1.validate(),
+            Err(LatencyError::LlcFasterThanL1 {
+                l1_hit: 50,
+                llc_hit: 10
+            })
+        ));
+        let dram_under_llc = LatencyModel {
+            dram: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            dram_under_llc.validate(),
+            Err(LatencyError::DramFasterThanLlc { .. })
+        ));
+        let walk_inverted = LatencyModel {
+            walk_fast: 200,
+            walk_slow: 100,
+            ..Default::default()
+        };
+        assert!(matches!(
+            walk_inverted.validate(),
+            Err(LatencyError::SlowWalkFasterThanFast { .. })
+        ));
+        let mee_discount = LatencyModel {
+            mee_mult_x100: 99,
+            ..Default::default()
+        };
+        assert!(matches!(
+            mee_discount.validate(),
+            Err(LatencyError::MeeDiscountsDram { mee_mult_x100: 99 })
+        ));
+        // Errors render a human-readable reason.
+        let msg = mee_discount.validate().unwrap_err().to_string();
+        assert!(msg.contains("mee_mult_x100"));
+    }
+
+    #[test]
+    fn boundary_equalities_are_valid() {
+        // Equal latencies are monotone: the stall charge is exactly zero.
+        let flat = LatencyModel {
+            l1_hit: 10,
+            llc_hit: 10,
+            dram: 10,
+            walk_fast: 24,
+            walk_slow: 24,
+            mee_mult_x100: 100,
+            ..Default::default()
+        };
+        assert_eq!(flat.validate(), Ok(()));
     }
 }

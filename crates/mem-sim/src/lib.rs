@@ -34,15 +34,19 @@
 
 pub mod cache;
 pub mod counters;
+mod fxhash;
 pub mod latency;
 pub mod machine;
 pub mod paging;
+mod setidx;
 pub mod tlb;
 
 pub use cache::Llc;
 pub use counters::Counters;
-pub use latency::LatencyModel;
-pub use machine::{AccessAttrs, AccessKind, AccessOutcome, Machine, MachineConfig, ThreadId};
+pub use latency::{LatencyError, LatencyModel};
+pub use machine::{
+    AccessAttrs, AccessKind, AccessOutcome, Machine, MachineConfig, StreamRun, ThreadId,
+};
 pub use paging::PageTable;
 pub use tlb::Tlb;
 

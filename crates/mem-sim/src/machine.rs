@@ -3,7 +3,7 @@
 
 use crate::cache::{L1Cache, Llc};
 use crate::counters::Counters;
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyError, LatencyModel};
 use crate::paging::{PageStatus, PageTable, WalkCache};
 use crate::tlb::{Tlb, TlbOutcome};
 use crate::{LINE_SHIFT, PAGE_SHIFT};
@@ -48,6 +48,31 @@ impl AccessAttrs {
         epcm_check: true,
         encrypted_dram: true,
     };
+}
+
+/// One pre-decomposed run of a batched access stream: `len` contiguous
+/// bytes at `vaddr`, read or written.
+///
+/// Workload inner loops that issue many accesses back to back describe
+/// them as a slice of runs and hand the whole slice to
+/// [`Machine::access_stream`], amortizing per-call dispatch (bounds
+/// checks, latency-model loads, counter flushes) over the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRun {
+    /// Starting virtual address of the run.
+    pub vaddr: u64,
+    /// Length in bytes; zero-length runs are skipped.
+    pub len: u64,
+    /// Whether the run loads or stores.
+    pub kind: AccessKind,
+}
+
+impl StreamRun {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(vaddr: u64, len: u64, kind: AccessKind) -> Self {
+        StreamRun { vaddr, len, kind }
+    }
 }
 
 /// What happened during one [`Machine::access`] call.
@@ -131,21 +156,49 @@ pub struct Machine {
     /// The trace plane, when armed. Boxed so the disabled case is one
     /// null-pointer check; the per-line access loop never touches it.
     sink: Option<Box<trace::TraceSink>>,
+    /// Conservative lower bound on the sink's next periodic-sample
+    /// instant (`u64::MAX` when disarmed or sampling is off). The
+    /// sink's schedule only moves forward, so `trace_sample_due` can
+    /// answer "not yet" with a single integer compare — no pointer
+    /// chase into the boxed sink — which is what keeps sampling off
+    /// the batched hot path.
+    sample_cache: u64,
 }
 
 impl Machine {
     /// Creates a machine with no threads; call [`Machine::add_thread`]
     /// before issuing accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency model is non-monotone (see
+    /// [`LatencyModel::validate`]); use [`Machine::try_new`] to handle
+    /// the error instead.
     pub fn new(cfg: MachineConfig) -> Self {
+        match Machine::try_new(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("invalid MachineConfig: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects latency models whose orderings
+    /// would underflow the stall/MEE decompositions in the access path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated latency ordering.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, LatencyError> {
+        cfg.latency.validate()?;
         let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
-        Machine {
+        Ok(Machine {
             cfg,
             threads: Vec::new(),
             llc,
             page_table: PageTable::new(),
             counters: Counters::new(),
             sink: None,
-        }
+            sample_cache: u64::MAX,
+        })
     }
 
     /// Adds a hardware thread and returns its id. Thread ids are dense,
@@ -176,12 +229,15 @@ impl Machine {
     /// The access is decomposed into 64-byte lines; each line is
     /// translated (per page), charged through the cache hierarchy, and
     /// accumulated into the thread clock and the global counters.
+    /// Equivalent to [`Machine::access_stream`] with a single run.
     ///
-    /// Accesses with `len == 0` are no-ops.
+    /// Accesses with `len == 0` are no-ops. Accesses extending past the
+    /// top of the address space are clamped to its last byte.
     ///
     /// # Panics
     ///
     /// Panics if `tid` was not returned by [`Machine::add_thread`].
+    #[inline]
     pub fn access(
         &mut self,
         tid: ThreadId,
@@ -190,85 +246,167 @@ impl Machine {
         kind: AccessKind,
         attrs: &AccessAttrs,
     ) -> AccessOutcome {
+        self.access_stream(tid, &[StreamRun { vaddr, len, kind }], attrs)
+    }
+
+    /// Issues a batch of accesses on thread `tid` and returns the
+    /// aggregate outcome: `cycles` summed over the batch, the boolean
+    /// flags OR-ed across it.
+    ///
+    /// This is the hot path. Processing runs in a batch lets the machine
+    /// load the latency model once, keep every counter in a register
+    /// across the whole slice, and flush the totals a single time —
+    /// per-access bookkeeping that dominated the old call-per-access
+    /// profile. Each run is decomposed and charged exactly as
+    /// [`Machine::access`] would, in order, so a stream of N runs is
+    /// observably identical (outcome totals and counter snapshots) to N
+    /// sequential `access` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was not returned by [`Machine::add_thread`].
+    pub fn access_stream(
+        &mut self,
+        tid: ThreadId,
+        runs: &[StreamRun],
+        attrs: &AccessAttrs,
+    ) -> AccessOutcome {
         let mut out = AccessOutcome::default();
-        if len == 0 {
-            return out;
-        }
-        let lat = self.cfg.latency.clone();
+        let lat = self.cfg.latency;
         #[cfg(feature = "audit")]
         let c0 = self.counters;
-        let t = &mut self.threads[tid.0];
-        let first_line = vaddr >> LINE_SHIFT;
-        let last_line = (vaddr + len - 1) >> LINE_SHIFT;
-        let mut cur_page = u64::MAX;
+        let Machine {
+            threads,
+            llc,
+            page_table,
+            counters,
+            ..
+        } = self;
+        let t = &mut threads[tid.0];
+        // Batch-local accumulators: counters stay in registers across the
+        // whole slice and are flushed to `self.counters` exactly once.
+        let mut stlb_hits = 0u64;
+        let mut dtlb_misses = 0u64;
+        let mut page_faults = 0u64;
+        let mut walk_cycles = 0u64;
+        let mut mem_reads = 0u64;
+        let mut mem_writes = 0u64;
+        let mut llc_accesses = 0u64;
+        let mut llc_misses = 0u64;
+        let mut mee_cycles = 0u64;
+        let mut stall_cycles = 0u64;
         let mut cycles = 0u64;
-        for line in first_line..=last_line {
-            let page = line >> (PAGE_SHIFT - LINE_SHIFT);
-            if page != cur_page {
-                cur_page = page;
-                // Translate once per page crossed.
-                match t.tlb.translate(page) {
-                    TlbOutcome::L1Hit => {}
-                    TlbOutcome::StlbHit => {
-                        self.counters.stlb_hits += 1;
-                        cycles += STLB_HIT_CYCLES;
-                    }
-                    TlbOutcome::Miss => {
-                        self.counters.dtlb_misses += 1;
-                        out.dtlb_miss = true;
-                        // Demand paging: is this the first touch?
-                        if self.page_table.touch(page) == PageStatus::MinorFault {
-                            self.counters.page_faults += 1;
-                            out.minor_fault = true;
-                            cycles += lat.minor_fault;
-                            t.walk_cache.flush(); // the fault handler ran
-                        }
-                        let fast = t.walk_cache.walk(page);
-                        let mut walk = if fast { lat.walk_fast } else { lat.walk_slow };
-                        if attrs.epcm_check {
-                            walk += lat.epcm_check;
-                        }
-                        self.counters.walk_cycles += walk;
-                        cycles += walk;
-                    }
-                }
+        for run in runs {
+            if run.len == 0 {
+                continue;
             }
-            // Cache hierarchy.
-            match kind {
-                AccessKind::Read => self.counters.mem_reads += 1,
-                AccessKind::Write => self.counters.mem_writes += 1,
+            let first_line = run.vaddr >> LINE_SHIFT;
+            // The last byte is computed with checked arithmetic: a run
+            // reaching past the top of the address space clamps to its
+            // final byte instead of wrapping (silent in release, panic in
+            // debug) to line 0.
+            let last_byte = run.vaddr.saturating_add(run.len - 1);
+            let last_line = last_byte >> LINE_SHIFT;
+            // As 0/1 so read/write counting is branchless: the kind of
+            // successive runs is data-dependent, and a conditional here
+            // mispredicts on every mixed stream.
+            let is_read = matches!(run.kind, AccessKind::Read) as u64;
+            // Translate once per page crossed.
+            macro_rules! translate {
+                ($page:expr) => {
+                    match t.tlb.translate($page) {
+                        TlbOutcome::L1Hit => {}
+                        TlbOutcome::StlbHit => {
+                            stlb_hits += 1;
+                            cycles += STLB_HIT_CYCLES;
+                        }
+                        TlbOutcome::Miss => {
+                            dtlb_misses += 1;
+                            out.dtlb_miss = true;
+                            // Demand paging: is this the first touch?
+                            if page_table.touch($page) == PageStatus::MinorFault {
+                                page_faults += 1;
+                                out.minor_fault = true;
+                                cycles += lat.minor_fault;
+                                t.walk_cache.flush(); // the fault handler ran
+                            }
+                            let fast = t.walk_cache.walk($page);
+                            let mut walk = if fast { lat.walk_fast } else { lat.walk_slow };
+                            if attrs.epcm_check {
+                                walk += lat.epcm_check;
+                            }
+                            walk_cycles += walk;
+                            cycles += walk;
+                        }
+                    }
+                };
             }
-            let mem_cycles = if t.l1.access(line) {
-                lat.l1_hit
-            } else {
-                self.counters.llc_accesses += 1;
-                if self.llc.access(line) {
-                    lat.llc_hit
-                } else {
-                    self.counters.llc_misses += 1;
-                    out.llc_miss = true;
-                    if attrs.encrypted_dram {
-                        let enc = lat.dram_encrypted();
-                        self.counters.mee_cycles += enc - lat.dram.min(enc);
-                        enc
+            // Charge one line through the cache hierarchy.
+            macro_rules! touch_line {
+                ($line:expr) => {
+                    mem_reads += is_read;
+                    mem_writes += 1 - is_read;
+                    let mem_cycles = if t.l1.access($line) {
+                        lat.l1_hit
                     } else {
-                        lat.dram
-                    }
+                        llc_accesses += 1;
+                        if llc.access($line) {
+                            lat.llc_hit
+                        } else {
+                            llc_misses += 1;
+                            out.llc_miss = true;
+                            if attrs.encrypted_dram {
+                                let enc = lat.dram_encrypted();
+                                mee_cycles += enc - lat.dram.min(enc);
+                                enc
+                            } else {
+                                lat.dram
+                            }
+                        }
+                    };
+                    // Safe subtraction: `Machine::try_new` rejected any
+                    // model with `llc_hit < l1_hit` or `dram < llc_hit`.
+                    stall_cycles += mem_cycles - lat.l1_hit;
+                    cycles += mem_cycles;
+                };
+            }
+            // The first line always translates its page, so the running
+            // page needs no `None`/sentinel state (a sentinel value would
+            // collide with the genuine top page of the address space);
+            // single-line runs — the bulk of pointer-chase streams — take
+            // exactly this prologue and skip the loop below entirely.
+            let mut cur_page = first_line >> (PAGE_SHIFT - LINE_SHIFT);
+            translate!(cur_page);
+            touch_line!(first_line);
+            for line in first_line + 1..=last_line {
+                let page = line >> (PAGE_SHIFT - LINE_SHIFT);
+                if page != cur_page {
+                    cur_page = page;
+                    translate!(page);
                 }
-            };
-            self.counters.stall_cycles += mem_cycles - lat.l1_hit;
-            cycles += mem_cycles;
+                touch_line!(line);
+            }
         }
         t.cycles += cycles;
         out.cycles = cycles;
-        // Every cycle this access charged must be accounted to exactly one
+        counters.stlb_hits += stlb_hits;
+        counters.dtlb_misses += dtlb_misses;
+        counters.page_faults += page_faults;
+        counters.walk_cycles += walk_cycles;
+        counters.mem_reads += mem_reads;
+        counters.mem_writes += mem_writes;
+        counters.llc_accesses += llc_accesses;
+        counters.llc_misses += llc_misses;
+        counters.mee_cycles += mee_cycles;
+        counters.stall_cycles += stall_cycles;
+        // Every cycle this batch charged must be accounted to exactly one
         // counter bucket: STLB-hit penalties, OS fault handling, page
         // walks, hierarchy stalls, or the L1 baseline per line. A drift
         // here means the perf-counter decomposition the reports print no
         // longer sums to the cycles the workloads observe.
         #[cfg(feature = "audit")]
         {
-            let d = self.counters - c0;
+            let d = *counters - c0;
             assert_eq!(
                 out.cycles,
                 STLB_HIT_CYCLES * d.stlb_hits
@@ -370,11 +508,13 @@ impl Machine {
     /// surviving [`Machine::reset_measurement`] is intentional so the
     /// harness can arm right after resetting.
     pub fn set_trace_sink(&mut self, sink: trace::TraceSink) {
+        self.sample_cache = sink.next_sample_at();
         self.sink = Some(Box::new(sink));
     }
 
     /// Disarms the trace plane, returning the sink and its records.
     pub fn take_trace_sink(&mut self) -> Option<trace::TraceSink> {
+        self.sample_cache = u64::MAX;
         self.sink.take().map(|b| *b)
     }
 
@@ -401,16 +541,28 @@ impl Machine {
         if let Some(sink) = self.sink.as_deref_mut() {
             let now = self.threads[tid.0].cycles;
             sink.emit(now, tid.0 as u32, event);
+            // Recording a sample re-arms the sink's schedule; advance the
+            // fast-path bound so polling goes back to one compare.
+            self.sample_cache = sink.next_sample_at();
         }
     }
 
     /// Whether a periodic counter sample is due at thread `tid`'s clock.
     /// The SGX layer polls this and emits [`trace::TraceEvent::Sample`]
     /// with a snapshot it assembles.
+    ///
+    /// The common "not yet" answer is a single integer compare against a
+    /// cached lower bound of the sink's schedule; the sink itself (which
+    /// may have re-armed later via direct [`Machine::trace_sink_mut`]
+    /// emission) is only consulted once that bound is reached.
     #[inline]
     pub fn trace_sample_due(&self, tid: ThreadId) -> bool {
+        let now = self.threads[tid.0].cycles;
+        if now < self.sample_cache {
+            return false;
+        }
         match self.sink.as_deref() {
-            Some(sink) => sink.sample_due(self.threads[tid.0].cycles),
+            Some(sink) => sink.sample_due(now),
             None => false,
         }
     }
@@ -526,5 +678,93 @@ mod tests {
         m.access(t, 0x4000, 8, AccessKind::Read, &AccessAttrs::PLAIN);
         let stalls = m.counters().stall_cycles;
         assert!(stalls >= m.config().latency.dram - m.config().latency.l1_hit);
+    }
+
+    #[test]
+    fn access_at_top_of_address_space_clamps_instead_of_overflowing() {
+        // Regression: `(vaddr + len - 1)` used to overflow (debug panic,
+        // silent wrap to line 0 in release) for accesses reaching the top
+        // of the address space. The run now clamps to the final byte.
+        let (mut m, t) = machine();
+        let out = m.access(t, u64::MAX - 7, 64, AccessKind::Read, &AccessAttrs::PLAIN);
+        // Clamped run covers bytes [MAX-7, MAX]: exactly one line.
+        assert_eq!(m.counters().mem_reads, 1);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn top_page_is_translated_not_skipped() {
+        // Regression: a `cur_page = u64::MAX` sentinel would collide with
+        // the genuine top page number and skip its translation entirely.
+        let (mut m, t) = machine();
+        let out = m.access(t, u64::MAX - 63, 64, AccessKind::Read, &AccessAttrs::PLAIN);
+        assert!(out.dtlb_miss);
+        assert_eq!(m.counters().dtlb_misses, 1);
+        assert_eq!(m.counters().page_faults, 1);
+    }
+
+    #[test]
+    fn non_monotone_latency_rejected_at_construction() {
+        let cfg = MachineConfig {
+            latency: LatencyModel {
+                l1_hit: 50,
+                llc_hit: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            Machine::try_new(cfg),
+            Err(LatencyError::LlcFasterThanL1 { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MachineConfig")]
+    fn new_panics_on_non_monotone_latency() {
+        let cfg = MachineConfig {
+            latency: LatencyModel {
+                mee_mult_x100: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let _ = Machine::new(cfg);
+    }
+
+    #[test]
+    fn stream_matches_sequential_access_calls() {
+        let runs: Vec<StreamRun> = (0..64)
+            .map(|i| StreamRun::new(0x4000 + i * 192, 128, AccessKind::Read))
+            .chain((0..64).map(|i| StreamRun::new(0x9_0000 + i * 64, 8, AccessKind::Write)))
+            .collect();
+        let (mut a, ta) = machine();
+        let (mut b, tb) = machine();
+        let batched = a.access_stream(ta, &runs, &AccessAttrs::EPC);
+        let mut seq = AccessOutcome::default();
+        for r in &runs {
+            let o = b.access(tb, r.vaddr, r.len, r.kind, &AccessAttrs::EPC);
+            seq.cycles += o.cycles;
+            seq.dtlb_miss |= o.dtlb_miss;
+            seq.llc_miss |= o.llc_miss;
+            seq.minor_fault |= o.minor_fault;
+        }
+        assert_eq!(batched, seq);
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.cycles_of(ta), b.cycles_of(tb));
+    }
+
+    #[test]
+    fn empty_stream_and_zero_runs_are_noops() {
+        let (mut m, t) = machine();
+        let out = m.access_stream(t, &[], &AccessAttrs::PLAIN);
+        assert_eq!(out, AccessOutcome::default());
+        let out = m.access_stream(
+            t,
+            &[StreamRun::new(0x4000, 0, AccessKind::Write)],
+            &AccessAttrs::PLAIN,
+        );
+        assert_eq!(out, AccessOutcome::default());
+        assert_eq!(m.counters().mem_writes, 0);
     }
 }

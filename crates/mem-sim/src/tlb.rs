@@ -6,6 +6,8 @@
 //! whole structure ([`Tlb::flush`]), which is the mechanism behind the
 //! paper's dTLB-miss explosions (§2.3, Appendix B).
 
+use crate::setidx::SetIndex;
+
 /// Result of a TLB lookup, telling the machine which structure satisfied
 /// the translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,22 +22,47 @@ pub enum TlbOutcome {
 
 /// One set-associative TLB level.
 ///
-/// Flushes are O(1): every entry carries the epoch it was installed in,
-/// and a flush just bumps the level's epoch. This matters because SGX
-/// flushes the TLB on *every* enclave transition and ECALL-heavy
-/// workloads perform millions of them.
+/// Flushes are O(1): validity is carried by the LRU stamps themselves.
+/// An entry is live iff its stamp is at least the level's `era`, and a
+/// flush just advances `era` past the current clock, staling every entry
+/// at once. This matters because SGX flushes the TLB on *every* enclave
+/// transition and ECALL-heavy workloads perform millions of them.
+///
+/// Three hot-path properties the rest of the simulator relies on:
+///
+/// * the LRU clock and stamps are `u64`. They used to be `u32`, which
+///   wraps after 2^32 lookups — exactly the run lengths the batched
+///   access-stream API sustains — making ancient entries look freshly
+///   used and silently corrupting replacement order. A u64 clock at one
+///   tick per lookup cannot wrap within any feasible run.
+/// * the set index is division-free: a mask when the set count is a
+///   power of two (every Table 3 geometry is), else an exact
+///   multiply-high reciprocal ([`SetIndex`]).
+/// * validity needs no third per-entry array (the old scheme kept an
+///   install-epoch word per way) and no reserved tag value: the hit
+///   predicate is two loads, `tag == page && stamp >= era`, and the
+///   miss victim is simply the globally smallest stamp in the set —
+///   every stale stamp predates `era`, so stale ways are always
+///   consumed before a live way is evicted, exactly as the epoch
+///   scheme's "first invalid way wins" rule did. Which *particular*
+///   stale way is overwritten can differ from the old scheme, but stale
+///   entries can never hit, so the live contents of the set — the only
+///   observable state — evolve identically.
 #[derive(Debug, Clone)]
 struct TlbLevel {
-    /// `sets x ways` page-number tags; `u64::MAX` marks an empty way.
+    /// `sets x ways` page-number tags. No value is reserved: a tag is
+    /// meaningful only when its stamp says the way is live.
     tags: Vec<u64>,
-    /// LRU stamps parallel to `tags`.
-    stamps: Vec<u32>,
-    /// Install epoch parallel to `tags`; stale epoch == invalid.
-    epochs: Vec<u64>,
-    sets: usize,
+    /// LRU stamps parallel to `tags`; doubles as the validity bit
+    /// (live iff `stamp >= era`).
+    stamps: Vec<u64>,
+    /// Division-free `page -> set` mapping, exact against `%`.
+    set_index: SetIndex,
     ways: usize,
-    clock: u32,
-    epoch: u64,
+    clock: u64,
+    /// Stamps below this are stale. Starts at 1 so the zero-initialized
+    /// stamps mark every way invalid.
+    era: u64,
 }
 
 impl TlbLevel {
@@ -45,70 +72,76 @@ impl TlbLevel {
         TlbLevel {
             tags: vec![u64::MAX; entries],
             stamps: vec![0; entries],
-            epochs: vec![0; entries],
-            sets,
+            set_index: SetIndex::new(sets),
             ways,
             clock: 0,
-            epoch: 1,
+            era: 1,
         }
     }
 
     #[inline]
     fn set_of(&self, page: u64) -> usize {
-        (page as usize) % self.sets
+        self.set_index.index(page)
     }
 
+    /// Single-pass probe: looks up `page`, refreshing LRU and returning
+    /// `true` on a hit; on a miss installs `page` over the victim way
+    /// (a stale way if one exists, else the LRU way) chosen during the
+    /// same scan.
+    ///
+    /// This replaces the old `lookup` + `insert` pair, which scanned the
+    /// set twice on every miss. The hit scan is the entire common case:
+    /// two loads and two compares per way, no validity side-array.
     #[inline]
-    fn valid(&self, idx: usize) -> bool {
-        self.epochs[idx] == self.epoch && self.tags[idx] != u64::MAX
-    }
-
-    /// Looks up `page`; on hit refreshes LRU and returns `true`.
-    fn lookup(&mut self, page: u64) -> bool {
-        let set = self.set_of(page);
-        let base = set * self.ways;
-        self.clock = self.clock.wrapping_add(1);
-        for w in 0..self.ways {
-            if self.valid(base + w) && self.tags[base + w] == page {
-                self.stamps[base + w] = self.clock;
-                return true;
+    fn probe_install(&mut self, page: u64) -> bool {
+        let base = self.set_of(page) * self.ways;
+        self.clock += 1;
+        let clock = self.clock;
+        let era = self.era;
+        let tags = &mut self.tags[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        // The hit scan visits every way instead of exiting at the match:
+        // at most one live way can hold `page` (installs only happen on
+        // misses), so accumulating the match index is equivalent — and a
+        // fixed-trip-count loop compiles to straight-line compares with a
+        // single well-predicted branch at the end, where the early-exit
+        // version mispredicts on the (data-dependent) hit way.
+        let mut hit = usize::MAX;
+        for w in 0..tags.len() {
+            if tags[w] == page && stamps[w] >= era {
+                hit = w;
             }
         }
+        if hit != usize::MAX {
+            stamps[hit] = clock;
+            return true;
+        }
+        // Miss: the smallest stamp is the victim. Stale stamps all
+        // predate `era` and every live stamp is >= `era`, so this
+        // reuses stale ways before evicting any live one; among live
+        // ways it is exactly LRU. Zero-filled stamps make a cold set
+        // fill left to right, matching the old first-invalid-way rule.
+        let mut victim = 0;
+        for w in 1..stamps.len() {
+            if stamps[w] < stamps[victim] {
+                victim = w;
+            }
+        }
+        tags[victim] = page;
+        stamps[victim] = clock;
         false
     }
 
-    /// Installs `page`, evicting the LRU way of its set if needed.
-    fn insert(&mut self, page: u64) {
-        let set = self.set_of(page);
-        let base = set * self.ways;
-        self.clock = self.clock.wrapping_add(1);
-        let mut victim = 0;
-        let mut oldest_age = 0;
-        for w in 0..self.ways {
-            if !self.valid(base + w) {
-                victim = w;
-                break;
-            }
-            // Age relative to the current clock handles stamp wraparound.
-            let age = self.clock.wrapping_sub(self.stamps[base + w]);
-            if age >= oldest_age {
-                victim = w;
-                oldest_age = age;
-            }
-        }
-        self.tags[base + victim] = page;
-        self.stamps[base + victim] = self.clock;
-        self.epochs[base + victim] = self.epoch;
-    }
-
     fn flush(&mut self) {
-        self.epoch += 1;
+        // Anything stamped from here on (stamps start at clock + 1) is
+        // live; everything already present is stale.
+        self.era = self.clock + 1;
     }
 
     fn resident(&self, page: u64) -> bool {
         let set = self.set_of(page);
         let base = set * self.ways;
-        (0..self.ways).any(|w| self.valid(base + w) && self.tags[base + w] == page)
+        (0..self.ways).any(|w| self.tags[base + w] == page && self.stamps[base + w] >= self.era)
     }
 }
 
@@ -150,15 +183,15 @@ impl Tlb {
     /// missing levels (the fill models the hardware installing the PTE
     /// after a successful walk).
     pub fn translate(&mut self, page: u64) -> TlbOutcome {
-        if self.l1.lookup(page) {
+        // Each level is probed and filled in one set scan; an L1 miss
+        // installs into the L1 unconditionally (the hardware fill), and
+        // the STLB is only written when it missed too.
+        if self.l1.probe_install(page) {
             return TlbOutcome::L1Hit;
         }
-        if self.stlb.lookup(page) {
-            self.l1.insert(page);
+        if self.stlb.probe_install(page) {
             return TlbOutcome::StlbHit;
         }
-        self.stlb.insert(page);
-        self.l1.insert(page);
         TlbOutcome::Miss
     }
 
@@ -242,5 +275,75 @@ mod tests {
     #[should_panic]
     fn zero_ways_rejected() {
         let _ = Tlb::new(4, 0, 8, 2);
+    }
+
+    #[test]
+    fn lru_order_survives_beyond_u32_clock() {
+        // Regression for the old u32 LRU clock: after 2^32 lookups the
+        // clock wrapped and ancient entries looked freshly used. Start
+        // the (now u64) clock just under the old wrap point and check
+        // that replacement order stays exact as stamps cross it.
+        let mut t = Tlb::new(2, 2, 4, 2);
+        t.l1.clock = u64::from(u32::MAX) - 1;
+        t.stlb.clock = u64::from(u32::MAX) - 1;
+        t.translate(10);
+        t.translate(20);
+        t.translate(10); // refresh 10; 20 is LRU with a pre-wrap stamp
+        t.translate(30); // must evict 20, not 10
+        assert!(t.l1.resident(10));
+        assert!(!t.l1.resident(20));
+        assert!(t.l1.resident(30));
+        assert!(t.l1.clock > u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_division_fallback() {
+        // 6 entries / 2 ways = 3 sets: exercises the reciprocal path
+        // behind the mask. Pages 0 and 3 collide in set 0; page 1 does
+        // not.
+        let mut t = Tlb::new(6, 2, 12, 2);
+        assert!(!t.l1.set_index.uses_mask());
+        assert_eq!(t.l1.set_of(0), t.l1.set_of(3));
+        assert_ne!(t.l1.set_of(0), t.l1.set_of(1));
+        for p in [0u64, 3, 6, 9] {
+            t.translate(p);
+        }
+        // Set 0 holds the two most recent colliding pages.
+        assert!(!t.l1.resident(0));
+        assert!(t.l1.resident(6));
+        assert!(t.l1.resident(9));
+    }
+
+    #[test]
+    fn mask_and_division_agree_for_power_of_two_sets() {
+        let masked = TlbLevel::new(64, 4); // 16 sets -> mask path
+        assert!(masked.set_index.uses_mask());
+        for page in (0..10_000u64).chain([u64::MAX - 7, u64::MAX]) {
+            assert_eq!(
+                masked.set_of(page),
+                (page % masked.set_index.sets() as u64) as usize
+            );
+        }
+        let odd = TlbLevel::new(6, 2); // 3 sets -> reciprocal path
+        for page in (0..10_000u64).chain([u64::MAX - 7, u64::MAX]) {
+            assert_eq!(odd.set_of(page), (page % 3) as usize);
+        }
+    }
+
+    #[test]
+    fn probe_install_prefers_invalid_ways_over_eviction() {
+        // After a flush every way is stale; refills must reuse stale ways
+        // rather than evicting each other out of a half-empty set.
+        let mut t = Tlb::new(4, 4, 8, 2); // one L1 set, 4 ways
+        for p in 0..4 {
+            t.translate(p);
+        }
+        t.flush();
+        for p in 10..13 {
+            t.translate(p); // 3 installs into a 4-way set
+        }
+        for p in 10..13 {
+            assert!(t.l1.resident(p));
+        }
     }
 }

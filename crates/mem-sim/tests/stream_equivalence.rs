@@ -1,0 +1,129 @@
+//! Equivalence of the batched hot path with the one-call-per-access path.
+//!
+//! `Machine::access_stream` exists purely as a throughput optimization:
+//! for any decomposition of an access sequence into runs, it must charge
+//! the exact cycles and counters that a loop of `Machine::access` calls
+//! would. These properties pin that contract, including at the edges the
+//! batched path clamps (top-of-address-space runs) and under the `audit`
+//! feature's cycle-decomposition identity (which runs inside the stream
+//! path itself).
+
+use mem_sim::{AccessAttrs, AccessKind, Machine, MachineConfig, StreamRun, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn arb_run() -> impl Strategy<Value = (u64, u64, AccessKind)> {
+    (
+        0u64..(64 * PAGE_SIZE),
+        0u64..512,
+        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)],
+    )
+}
+
+/// Top-of-address-space runs, including ones whose naive `vaddr + len`
+/// wraps (the clamp regression from the pre-stream hot path).
+fn arb_edge_run() -> impl Strategy<Value = (u64, u64, AccessKind)> {
+    (
+        (u64::MAX - 4 * PAGE_SIZE)..u64::MAX,
+        0u64..512,
+        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)],
+    )
+}
+
+fn assert_streams_match(runs: &[StreamRun], attrs: &AccessAttrs) {
+    let mut batched = Machine::new(MachineConfig::default());
+    let tb = batched.add_thread();
+    let mut sequential = Machine::new(MachineConfig::default());
+    let ts = sequential.add_thread();
+
+    let out = batched.access_stream(tb, runs, attrs);
+    let mut cycles = 0u64;
+    let mut dtlb_miss = false;
+    let mut llc_miss = false;
+    let mut minor_fault = false;
+    for r in runs {
+        let o = sequential.access(ts, r.vaddr, r.len, r.kind, attrs);
+        cycles += o.cycles;
+        dtlb_miss |= o.dtlb_miss;
+        llc_miss |= o.llc_miss;
+        minor_fault |= o.minor_fault;
+    }
+    assert_eq!(out.cycles, cycles, "aggregate cycles diverge");
+    assert_eq!(out.dtlb_miss, dtlb_miss, "dTLB-miss flags diverge");
+    assert_eq!(out.llc_miss, llc_miss, "LLC-miss flags diverge");
+    assert_eq!(out.minor_fault, minor_fault, "fault flags diverge");
+    assert_eq!(
+        batched.counters(),
+        sequential.counters(),
+        "counter snapshots diverge"
+    );
+    assert_eq!(batched.cycles_of(tb), sequential.cycles_of(ts));
+}
+
+fn to_runs(tuples: &[(u64, u64, AccessKind)]) -> Vec<StreamRun> {
+    tuples
+        .iter()
+        .map(|&(vaddr, len, kind)| StreamRun::new(vaddr, len, kind))
+        .collect()
+}
+
+proptest! {
+    /// Any decomposition into runs charges exactly what a loop of
+    /// single `access` calls charges, for plain memory.
+    #[test]
+    fn stream_equals_access_loop_plain(tuples in prop::collection::vec(arb_run(), 0..120)) {
+        assert_streams_match(&to_runs(&tuples), &AccessAttrs::PLAIN);
+    }
+
+    /// Same, with EPC attributes (MEE multiplier + EPCM check cycles on
+    /// every walk) so the attribute-dependent arms stay covered.
+    #[test]
+    fn stream_equals_access_loop_epc(tuples in prop::collection::vec(arb_run(), 0..120)) {
+        assert_streams_match(&to_runs(&tuples), &AccessAttrs::EPC);
+    }
+
+    /// Runs hugging `u64::MAX` clamp instead of wrapping, and still match
+    /// the sequential path byte for byte.
+    #[test]
+    fn stream_equals_access_loop_at_address_space_top(
+        edge in prop::collection::vec(arb_edge_run(), 1..40),
+        low in prop::collection::vec(arb_run(), 0..20),
+    ) {
+        // Interleave edge and low runs so TLB/LLC state is shared.
+        let mut tuples = Vec::new();
+        let mut lo = low.iter();
+        for (i, e) in edge.iter().enumerate() {
+            tuples.push(*e);
+            if i % 2 == 0 {
+                if let Some(l) = lo.next() {
+                    tuples.push(*l);
+                }
+            }
+        }
+        assert_streams_match(&to_runs(&tuples), &AccessAttrs::PLAIN);
+    }
+}
+
+#[test]
+fn top_of_address_space_run_touches_one_clamped_line() {
+    // vaddr + len - 1 would be u64::MAX + 56 without the clamp; the run
+    // must resolve to the single last line, not wrap to page zero.
+    let mut m = Machine::new(MachineConfig::default());
+    let t = m.add_thread();
+    let out = m.access(t, u64::MAX - 7, 64, AccessKind::Read, &AccessAttrs::PLAIN);
+    assert!(out.cycles > 0);
+    assert_eq!(m.counters().mem_reads, 1, "exactly one clamped line");
+    assert_eq!(m.counters().page_faults, 1, "top page demand-faults once");
+}
+
+#[test]
+fn zero_length_runs_charge_nothing() {
+    let mut m = Machine::new(MachineConfig::default());
+    let t = m.add_thread();
+    let runs = [
+        StreamRun::new(0, 0, AccessKind::Read),
+        StreamRun::new(u64::MAX, 0, AccessKind::Write),
+    ];
+    let out = m.access_stream(t, &runs, &AccessAttrs::PLAIN);
+    assert_eq!(out.cycles, 0);
+    assert_eq!(*m.counters(), mem_sim::Counters::default());
+}

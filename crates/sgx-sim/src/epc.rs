@@ -12,7 +12,7 @@
 //! [`crate::machine::SgxMachine`].
 
 use crate::enclave::EnclaveId;
-use std::collections::HashMap;
+use crate::pagedir::{FrameIndex, PageSet};
 
 /// Identity of one enclave page: which enclave, which virtual page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,10 +80,13 @@ pub struct Epc {
     reserved: usize,
     batch: usize,
     frames: Vec<FrameMeta>,
-    /// Map from page to its index in `frames`.
-    resident: HashMap<PageKey, usize>,
+    /// Map from page to its index in `frames`. A dense per-enclave
+    /// directory ([`crate::pagedir`]), not a hash map: [`Epc::touch`] is
+    /// the hottest probe in the simulator and must not pay a hash per
+    /// access.
+    resident: FrameIndex,
     /// Pages currently swapped out to untrusted memory (encrypted).
-    evicted_set: HashMap<PageKey, ()>,
+    evicted_set: PageSet,
     clock_hand: usize,
     /// Lookups into the residency map, for asserting probe budgets in
     /// tests (the resident fast path must cost exactly one).
@@ -96,17 +99,23 @@ impl Epc {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` or `batch` is zero.
+    /// Panics if `capacity` or `batch` is zero, or if `capacity` does
+    /// not fit the `u32` frame indices of the residency directory (real
+    /// EPCs are tens of thousands of frames).
     pub fn new(capacity: usize, batch: usize) -> Self {
         assert!(capacity > 0, "EPC needs at least one frame");
         assert!(batch > 0, "eviction batch must be positive");
+        assert!(
+            capacity < u32::MAX as usize,
+            "EPC capacity must fit u32 frame indices"
+        );
         Epc {
             capacity,
             reserved: 0,
             batch,
             frames: Vec::with_capacity(capacity),
-            resident: HashMap::new(),
-            evicted_set: HashMap::new(),
+            resident: FrameIndex::default(),
+            evicted_set: PageSet::default(),
             clock_hand: 0,
             probes: 0,
         }
@@ -154,7 +163,7 @@ impl Epc {
 
     /// Whether `key` is resident (diagnostic query; not probe-counted).
     pub fn is_resident(&self, key: PageKey) -> bool {
-        self.resident.contains_key(&key)
+        self.resident.get(key).is_some()
     }
 
     /// Single-probe resident fast path: if `key` is resident, refreshes
@@ -164,8 +173,8 @@ impl Epc {
     /// `is_resident` + `ensure_resident` double probe.
     pub fn touch(&mut self, key: PageKey) -> bool {
         self.probes += 1;
-        if let Some(&idx) = self.resident.get(&key) {
-            self.frames[idx].referenced = true;
+        if let Some(idx) = self.resident.get(key) {
+            self.frames[idx as usize].referenced = true;
             true
         } else {
             false
@@ -180,7 +189,7 @@ impl Epc {
 
     /// Whether `key` has been evicted (encrypted in untrusted DRAM).
     pub fn is_evicted(&self, key: PageKey) -> bool {
-        self.evicted_set.contains_key(&key)
+        self.evicted_set.contains(key)
     }
 
     /// Iterates the keys of every resident page, in frame order.
@@ -223,9 +232,9 @@ impl Epc {
             ));
         }
         for (i, f) in self.frames.iter().enumerate() {
-            match self.resident.get(&f.key) {
-                Some(&idx) if idx == i => {}
-                Some(&idx) => {
+            match self.resident.get(f.key) {
+                Some(idx) if idx as usize == i => {}
+                Some(idx) => {
                     return Err(format!(
                         "frame {i} holds {:?} but the map points at frame {idx}",
                         f.key
@@ -236,7 +245,7 @@ impl Epc {
             if f.victim {
                 return Err(format!("victim mark leaked on resident frame {i}"));
             }
-            if self.evicted_set.contains_key(&f.key) {
+            if self.evicted_set.contains(f.key) {
                 return Err(format!("page {:?} is both resident and evicted", f.key));
             }
         }
@@ -272,8 +281,8 @@ impl Epc {
     /// clock reference bit.
     pub fn ensure_resident(&mut self, key: PageKey) -> EpcEvent {
         self.probes += 1;
-        if let Some(&idx) = self.resident.get(&key) {
-            self.frames[idx].referenced = true;
+        if let Some(idx) = self.resident.get(key) {
+            self.frames[idx as usize].referenced = true;
             return EpcEvent {
                 kind: EpcFaultKind::Resident,
                 evicted: Vec::new(),
@@ -294,7 +303,7 @@ impl Epc {
                 "EWB batch must be exactly min(batch, frames)"
             );
         }
-        let kind = if self.evicted_set.remove(&key).is_some() {
+        let kind = if self.evicted_set.remove(key) {
             EpcFaultKind::LoadBack
         } else {
             EpcFaultKind::Alloc
@@ -307,7 +316,7 @@ impl Epc {
         // Reuse a hole left by eviction if one exists, else push.
         if self.frames.len() < self.effective_capacity() {
             self.frames.push(meta);
-            self.resident.insert(key, self.frames.len() - 1);
+            self.resident.insert(key, (self.frames.len() - 1) as u32);
         } else {
             unreachable!("evict_batch guarantees free space");
         }
@@ -320,8 +329,8 @@ impl Epc {
     /// the enclave loader for measured content pages whose EWB'd image
     /// survives the post-measurement EPC release.
     pub fn mark_evicted(&mut self, key: PageKey) {
-        if !self.resident.contains_key(&key) {
-            self.evicted_set.insert(key, ());
+        if self.resident.get(key).is_none() {
+            self.evicted_set.insert(key);
         }
         self.audit();
     }
@@ -334,7 +343,7 @@ impl Epc {
     /// position relative to the surviving frames, so tearing one enclave
     /// down does not perturb the replacement order of its neighbours.
     pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
-        self.evicted_set.retain(|k, _| k.enclave != enclave);
+        self.evicted_set.remove_enclave(enclave);
         if !self.frames.iter().any(|f| f.key.enclave == enclave) {
             return 0;
         }
@@ -347,9 +356,9 @@ impl Epc {
             .count();
         let before = self.frames.len();
         self.frames.retain(|f| f.key.enclave != enclave);
-        self.resident.retain(|k, _| k.enclave != enclave);
+        self.resident.remove_enclave(enclave);
         for (i, f) in self.frames.iter().enumerate() {
-            self.resident.insert(f.key, i);
+            self.resident.insert(f.key, i as u32);
         }
         self.clock_hand = if self.frames.is_empty() {
             0
@@ -401,12 +410,12 @@ impl Epc {
         victim_idxs.sort_unstable_by(|a, b| b.cmp(a));
         for idx in victim_idxs {
             let meta = self.frames.swap_remove(idx);
-            self.resident.remove(&meta.key);
-            self.evicted_set.insert(meta.key, ());
+            self.resident.remove(meta.key);
+            self.evicted_set.insert(meta.key);
             // swap_remove moved the tail frame into `idx`.
             if idx < self.frames.len() {
                 let moved = self.frames[idx].key;
-                self.resident.insert(moved, idx);
+                self.resident.insert(moved, idx as u32);
             }
         }
         if !self.frames.is_empty() {

@@ -48,6 +48,7 @@ pub mod enclave;
 pub mod epc;
 pub mod epcm;
 pub mod machine;
+mod pagedir;
 pub mod switchless;
 
 pub use attest::{ereport, verify_report, Report};

@@ -147,6 +147,23 @@ impl TraceSink {
         self.sample_interval != 0 && cycles >= self.next_sample
     }
 
+    /// The next simulated instant at which a periodic sample becomes
+    /// due, or `u64::MAX` when periodic sampling is disabled.
+    ///
+    /// The schedule only ever moves forward (each recorded sample
+    /// re-arms it later), so callers may cache this value as a
+    /// conservative lower bound and skip consulting the sink entirely
+    /// until their clock reaches it — the basis of the machine's cheap
+    /// `trace_sample_due` fast path.
+    #[inline]
+    pub fn next_sample_at(&self) -> u64 {
+        if self.sample_interval == 0 {
+            u64::MAX
+        } else {
+            self.next_sample
+        }
+    }
+
     fn note_sample(&mut self, cycles: u64) {
         if self.sample_interval != 0 && cycles >= self.next_sample {
             // Re-arm at the next grid point strictly after `cycles`, so a
