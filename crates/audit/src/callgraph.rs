@@ -1,0 +1,409 @@
+//! The workspace-wide call-reachability graph the semantic passes run
+//! on.
+//!
+//! Nodes are the function definitions collected by [`crate::parser`];
+//! edges are name-matched call sites. Resolution is deliberately an
+//! *over-approximation*: a call site `foo(...)` or `.foo(...)` creates
+//! an edge to **every** workspace function named `foo` (and a
+//! `Type::foo(...)` path call to every `foo` defined in an impl of
+//! `Type`). That errs toward reporting — a hot-path purity finding in a
+//! same-named function that is not actually on the path is a false
+//! positive to allowlist, never a silent miss. The converse edges the
+//! graph *cannot* see (calls through stored closures, `fn`-pointer
+//! fields, or macro-synthesized names) are the documented
+//! false-negative set; see DESIGN.md §13.
+//!
+//! Calls to names with no workspace definition (std, vendored stubs)
+//! produce no edges, but the raw call-site list per function is kept so
+//! pattern passes (allocation, panic, lock detection) can inspect them.
+
+use crate::lexer::Tok;
+use crate::parser::FileIr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function node: `(file index, fn index within that file)`.
+pub type NodeId = (usize, usize);
+
+/// One extracted call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name: the bare identifier before `(`.
+    pub name: String,
+    /// The path segment immediately before the name (`Epc` in
+    /// `Epc::touch(..)`, empty for free and method calls).
+    pub qualifier: String,
+    /// Whether this is a method call (`.name(...)`).
+    pub method: bool,
+    /// Whether this is a macro invocation (`name!(...)`).
+    pub macro_call: bool,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The call graph over a set of parsed files.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Call sites per node, in source order.
+    pub calls: BTreeMap<NodeId, Vec<CallSite>>,
+    /// Definitions by bare name.
+    by_name: BTreeMap<String, Vec<NodeId>>,
+    /// Definitions by `Type::name` qualification.
+    by_qual: BTreeMap<String, Vec<NodeId>>,
+    /// Qualifiers the workspace itself defines: impl'd type names, file
+    /// stems (module names), and the path keywords. A qualified call
+    /// whose qualifier is *not* in this set targets std or a vendored
+    /// stub (`Vec::new`, `HashMap::default`) and produces no edges —
+    /// falling back to bare-name matching there would wire every
+    /// constructor in the workspace into every caller.
+    known_quals: BTreeSet<String>,
+}
+
+/// Keywords and control-flow identifiers that look like calls
+/// (`if (..)`, `while (..)`) but are not.
+const NON_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "fn", "let", "mut", "ref", "where", "impl", "dyn", "unsafe", "async", "await", "use",
+    "pub", "crate", "self", "Self", "super", "mod", "const", "static", "type", "struct", "enum",
+    "trait", "union",
+];
+
+impl CallGraph {
+    /// Builds the graph from parsed files, skipping test-gated spans
+    /// and `#[cfg(feature = "audit")]`/`#[cfg(debug_assertions)]`-gated
+    /// code (compiled out of release, so its calls are not real edges
+    /// for release-behavior passes).
+    pub fn build(files: &[FileIr]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for kw in ["self", "Self", "crate", "super"] {
+            g.known_quals.insert(kw.to_string());
+        }
+        for (fi, file) in files.iter().enumerate() {
+            if let Some(stem) = file
+                .path
+                .rsplit('/')
+                .next()
+                .and_then(|n| n.strip_suffix(".rs"))
+            {
+                g.known_quals.insert(stem.to_string());
+            }
+            for (ni, f) in file.fns.iter().enumerate() {
+                if f.in_test || gated_fn(file, f) {
+                    continue;
+                }
+                g.by_name.entry(f.name.clone()).or_default().push((fi, ni));
+                g.by_qual.entry(f.qual.clone()).or_default().push((fi, ni));
+                if let Some((ty, _)) = f.qual.split_once("::") {
+                    g.known_quals.insert(ty.to_string());
+                }
+            }
+        }
+        for (fi, file) in files.iter().enumerate() {
+            for (ni, f) in file.fns.iter().enumerate() {
+                if f.in_test || f.body.is_none() || gated_fn(file, f) {
+                    continue;
+                }
+                let mut sites = Vec::new();
+                for (s, e) in file.own_ranges(ni) {
+                    extract_calls(file, s, e, &mut sites);
+                }
+                g.calls.insert((fi, ni), sites);
+            }
+        }
+        g
+    }
+
+    /// Nodes defined under the bare `name`.
+    pub fn defs_named(&self, name: &str) -> &[NodeId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes defined under the `Type::name` qualification.
+    pub fn defs_qualified(&self, qual: &str) -> &[NodeId] {
+        self.by_qual.get(qual).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolves one call site to candidate definitions, applying the
+    /// `accept` filter (typically a file-scope restriction).
+    fn resolve(&self, site: &CallSite, accept: &dyn Fn(NodeId) -> bool) -> Vec<NodeId> {
+        if site.macro_call {
+            return Vec::new();
+        }
+        // `Type::name(..)`: prefer the qualified match when one exists.
+        if !site.qualifier.is_empty() {
+            let qual = format!("{}::{}", site.qualifier, site.name);
+            let hits: Vec<NodeId> = self
+                .defs_qualified(&qual)
+                .iter()
+                .copied()
+                .filter(|&n| accept(n))
+                .collect();
+            if !hits.is_empty() {
+                return hits;
+            }
+            // A workspace-qualified call with no exact match (module
+            // path like `costs::lookup(..)`, or a trait method under a
+            // known type) still matches by bare name below; a call
+            // qualified by a type the workspace never defines
+            // (`Vec::new`, `HashMap::default`) targets std and has no
+            // workspace edges at all.
+            if !self.known_quals.contains(&site.qualifier) {
+                return Vec::new();
+            }
+        }
+        self.defs_named(&site.name)
+            .iter()
+            .copied()
+            .filter(|&n| accept(n))
+            .collect()
+    }
+
+    /// The transitive closure of nodes reachable from `roots` through
+    /// call edges, `roots` included. `accept` restricts which
+    /// definitions participate (e.g. only simulator crates).
+    pub fn reachable_from(
+        &self,
+        roots: &[NodeId],
+        accept: &dyn Fn(NodeId) -> bool,
+    ) -> BTreeSet<NodeId> {
+        let mut seen: BTreeSet<NodeId> = roots.iter().copied().collect();
+        let mut work: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = work.pop() {
+            let Some(sites) = self.calls.get(&n) else {
+                continue;
+            };
+            for site in sites {
+                for callee in self.resolve(site, accept) {
+                    if seen.insert(callee) {
+                        work.push(callee);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All nodes from which any node in `sinks` is reachable (the
+    /// reverse closure), `sinks` included.
+    pub fn reaching(
+        &self,
+        sinks: &BTreeSet<NodeId>,
+        accept: &dyn Fn(NodeId) -> bool,
+    ) -> BTreeSet<NodeId> {
+        // Materialize forward edges once, then invert.
+        let mut rev: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (&caller, sites) in &self.calls {
+            for site in sites {
+                for callee in self.resolve(site, accept) {
+                    rev.entry(callee).or_default().push(caller);
+                }
+            }
+        }
+        let mut seen: BTreeSet<NodeId> = sinks.clone();
+        let mut work: Vec<NodeId> = sinks.iter().copied().collect();
+        while let Some(n) = work.pop() {
+            if let Some(callers) = rev.get(&n) {
+                for &c in callers {
+                    if seen.insert(c) {
+                        work.push(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Whether `f`'s body sits inside a compile-gated span
+/// (`#[cfg(feature = "audit")]`, `#[cfg(debug_assertions)]`).
+fn gated_fn(file: &FileIr, f: &crate::parser::FnDef) -> bool {
+    f.body.is_some_and(|(s, _)| file.in_gated(s))
+}
+
+/// Extracts call sites from the token range `[s, e]` of `file`,
+/// skipping compile-gated spans.
+fn extract_calls(file: &FileIr, s: usize, e: usize, out: &mut Vec<CallSite>) {
+    let toks = &file.tokens;
+    let mut i = s;
+    while i <= e {
+        if file.in_gated(i) {
+            i += 1;
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i].tok else {
+            i += 1;
+            continue;
+        };
+        if NON_CALLS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| &t.tok);
+        // Macro invocation: `name!(..)` / `name![..]` / `name!{..}`.
+        if next == Some(&Tok::Punct('!')) {
+            let after = toks.get(i + 2).map(|t| &t.tok);
+            if matches!(
+                after,
+                Some(&Tok::Punct('(')) | Some(&Tok::Punct('[')) | Some(&Tok::Punct('{'))
+            ) {
+                out.push(CallSite {
+                    name: name.clone(),
+                    qualifier: String::new(),
+                    method: false,
+                    macro_call: true,
+                    line: toks[i].line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        // Call: `name(` or `name::<T>(`.
+        let call_paren = match next {
+            Some(&Tok::Punct('(')) => true,
+            Some(&Tok::Punct(':')) => {
+                // Turbofish `name::<..>(`: only when followed by `<`.
+                toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                    && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct('<'))
+            }
+            _ => false,
+        };
+        if call_paren {
+            let method = i >= 1 && toks[i - 1].tok == Tok::Punct('.');
+            // Qualifier: `Seg :: name` (two colons immediately before).
+            let qualifier = if !method
+                && i >= 3
+                && toks[i - 1].tok == Tok::Punct(':')
+                && toks[i - 2].tok == Tok::Punct(':')
+            {
+                match &toks[i - 3].tok {
+                    Tok::Ident(q) => q.clone(),
+                    _ => String::new(),
+                }
+            } else {
+                String::new()
+            };
+            out.push(CallSite {
+                name: name.clone(),
+                qualifier,
+                method,
+                macro_call: false,
+                line: toks[i].line,
+            });
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<FileIr> {
+        srcs.iter().map(|(p, s)| FileIr::parse(p, s)).collect()
+    }
+
+    #[test]
+    fn free_method_and_path_calls_are_extracted() {
+        let fs = files(&[(
+            "a.rs",
+            "fn caller() { helper(); obj.method_x(); Epc::touch(k); vec![1]; }",
+        )]);
+        let g = CallGraph::build(&fs);
+        let sites = g.calls.get(&(0, 0)).unwrap();
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "method_x", "touch", "vec"]);
+        assert!(sites[1].method);
+        assert_eq!(sites[2].qualifier, "Epc");
+        assert!(sites[3].macro_call);
+    }
+
+    #[test]
+    fn reachability_follows_method_name_matches() {
+        let fs = files(&[
+            (
+                "a.rs",
+                "impl Machine { fn access(&mut self) { self.probe(); } }",
+            ),
+            (
+                "b.rs",
+                "impl Tlb { fn probe(&mut self) { self.fill(); } fn fill(&mut self) {} }\n\
+                 fn unrelated() {}",
+            ),
+        ]);
+        let g = CallGraph::build(&fs);
+        let roots = g.defs_qualified("Machine::access").to_vec();
+        let reach = g.reachable_from(&roots, &|_| true);
+        assert!(reach.contains(&(1, 0)), "probe reachable");
+        assert!(reach.contains(&(1, 1)), "fill reachable transitively");
+        assert_eq!(reach.len(), 3, "unrelated is not reachable");
+    }
+
+    #[test]
+    fn qualified_call_prefers_matching_impl() {
+        let fs = files(&[
+            ("a.rs", "fn caller() { Epc::touch(1); }"),
+            (
+                "b.rs",
+                "impl Epc { fn touch(&mut self) {} }\nimpl PageTable { fn touch(&mut self) { boom(); } }\nfn boom() {}",
+            ),
+        ]);
+        let g = CallGraph::build(&fs);
+        let reach = g.reachable_from(g.defs_named("caller"), &|_| true);
+        assert!(reach.contains(&(1, 0)), "Epc::touch matched");
+        assert!(!reach.contains(&(1, 1)), "PageTable::touch not matched");
+        assert!(!reach.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn unqualified_method_call_overapproximates_to_all_impls() {
+        let fs = files(&[
+            ("a.rs", "fn caller(x: &mut Thing) { x.touch(); }"),
+            (
+                "b.rs",
+                "impl Epc { fn touch(&mut self) {} }\nimpl PageTable { fn touch(&mut self) {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&fs);
+        let reach = g.reachable_from(g.defs_named("caller"), &|_| true);
+        assert!(reach.contains(&(1, 0)) && reach.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn reverse_reachability_finds_emitting_callers() {
+        let fs = files(&[
+            ("emit.rs", "impl Table { fn emit(&self) {} }"),
+            (
+                "use.rs",
+                "fn aggregates() { build(); } fn build() { t.emit(); } fn innocent() {}",
+            ),
+        ]);
+        let g = CallGraph::build(&fs);
+        let sinks: BTreeSet<NodeId> = g.defs_named("emit").iter().copied().collect();
+        let reaching = g.reaching(&sinks, &|_| true);
+        assert!(reaching.contains(&(1, 0)), "aggregates reaches emit");
+        assert!(reaching.contains(&(1, 1)), "build reaches emit");
+        assert!(!reaching.contains(&(1, 2)), "innocent does not");
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let fs = files(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests { fn t() { target(); } }\nfn target() {}",
+        )]);
+        let g = CallGraph::build(&fs);
+        let sinks: BTreeSet<NodeId> = g.defs_named("target").iter().copied().collect();
+        let reaching = g.reaching(&sinks, &|_| true);
+        assert_eq!(reaching.len(), 1, "only target itself");
+    }
+
+    #[test]
+    fn control_flow_keywords_are_not_calls() {
+        let fs = files(&[(
+            "a.rs",
+            "fn f(x: u64) { if (x > 0) { g(); } while (h()) {} }",
+        )]);
+        let g = CallGraph::build(&fs);
+        let names: Vec<&str> = g.calls[&(0, 0)].iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["g", "h"]);
+    }
+}

@@ -4,20 +4,45 @@
 //! about the paper constants and accounting identities it reproduces.
 //! The dynamic half of the same contract is the `audit` cargo feature of
 //! `sgx-sim`/`mem-sim` (runtime invariant checks); this crate is the
-//! static half, run as `cargo run -p audit -- --check` in CI.
+//! static half, run as `cargo run -p audit -- --check --json` in CI.
 //!
-//! See [`rules`] for what is enforced and why, and DESIGN.md's
-//! "Invariant catalogue" for the full list with paper citations. Each
-//! rule has an allowlist file under `crates/audit/allowlists/<rule>.allow`
-//! for individually justified exceptions.
+//! Two analysis layers share one scan:
+//!
+//! * **Token rules** ([`rules`]) — flat-lexer pattern checks (cost
+//!   literals, wall-clock reads, counter casts, unwrap, fs writes).
+//! * **Semantic passes** ([`passes`]) — a recursive-descent item parse
+//!   ([`parser`]) plus a workspace call graph ([`callgraph`]) feed four
+//!   reachability-aware passes: determinism (`hash-iter`), cycle
+//!   conservation (`cycle-routing`), hot-path purity (`hot-path`), and
+//!   phase-span balance (`phase-balance`).
+//!
+//! Three suppression planes, each with stale-entry detection:
+//!
+//! * `crates/audit/allowlists/<rule>.allow` — individually justified
+//!   exceptions, with the reason recorded in a comment. Entries that
+//!   match nothing are *stale* (warn; error under `--strict`).
+//! * `crates/audit/baseline/workspace.baseline` — accepted findings
+//!   carried across PRs. A stale baseline entry always fails `--check`:
+//!   the debt was paid, so the entry must go.
+//! * `crates/audit/manifests/cycle-routing.manifest` — the reviewed
+//!   list of counter-mutating functions; staleness is reported by the
+//!   `cycle-routing` pass itself.
+//!
+//! See DESIGN.md §13 for the pass catalogue and the call-graph
+//! approximation's documented false-negative edges.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod rules;
 
+use passes::cycles::CycleManifest;
 use rules::RuleContext;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,7 +56,8 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
-    /// Human-readable description; allowlist substrings match against it.
+    /// Human-readable description; allowlist/baseline substrings match
+    /// against it.
     pub message: String,
 }
 
@@ -48,21 +74,47 @@ impl fmt::Display for Finding {
 /// Result of a workspace scan.
 #[derive(Debug, Clone, Default)]
 pub struct ScanReport {
-    /// Violations that survived the allowlists, in path order.
+    /// Violations that survived the allowlists and the baseline, in
+    /// (path, line, rule) order.
     pub findings: Vec<Finding>,
     /// Number of violations suppressed by allowlist entries.
     pub suppressed: usize,
+    /// Number of violations suppressed by the committed baseline.
+    pub baselined: usize,
+    /// Suppressions (allowlist + baseline) per rule id.
+    pub suppressed_by_rule: BTreeMap<String, usize>,
+    /// Allowlist entries that matched no finding this scan (stale).
+    pub stale_allow: Vec<String>,
+    /// Baseline entries that matched no finding this scan (stale).
+    pub stale_baseline: Vec<String>,
     /// Number of `.rs` files checked.
     pub files_checked: usize,
 }
 
-/// One allowlist entry: findings in files ending with `path_suffix`
-/// whose message contains `substring` (empty = any) are suppressed.
+/// One suppression entry: findings for `rule` in files ending with
+/// `path_suffix` whose message contains `substring` (empty = any) are
+/// suppressed.
 #[derive(Debug, Clone)]
 struct AllowEntry {
     rule: String,
     path_suffix: String,
     substring: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && f.file.ends_with(&self.path_suffix)
+            && (self.substring.is_empty() || f.message.contains(&self.substring))
+    }
+
+    fn describe(&self) -> String {
+        if self.substring.is_empty() {
+            format!("{} {}", self.rule, self.path_suffix)
+        } else {
+            format!("{} {} {}", self.rule, self.path_suffix, self.substring)
+        }
+    }
 }
 
 /// The merged allowlists of every rule.
@@ -121,11 +173,62 @@ impl Allowlist {
 
     /// Whether `f` is covered by an entry.
     pub fn permits(&self, f: &Finding) -> bool {
-        self.entries.iter().any(|e| {
-            e.rule == f.rule
-                && f.file.ends_with(&e.path_suffix)
-                && (e.substring.is_empty() || f.message.contains(&e.substring))
-        })
+        self.entries.iter().any(|e| e.matches(f))
+    }
+
+    fn match_index(&self, f: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| e.matches(f))
+    }
+}
+
+/// The committed baseline: accepted findings carried across PRs so that
+/// `--check` only fails on *new* debt. One entry per line:
+/// `rule path-suffix [message substring]`; `#` comments.
+///
+/// Unlike allowlists (justified forever-exceptions), baseline entries
+/// are debt: when the underlying finding disappears, the entry is
+/// *stale* and fails the scan until removed.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: Vec<AllowEntry>,
+}
+
+impl Baseline {
+    /// Loads the baseline from `path`; a missing file is an empty
+    /// baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Ok(Self::from_str(&text))
+    }
+
+    /// Parses baseline text (for tests and [`Baseline::load`]).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(text: &str) -> Baseline {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                let rule = parts.next()?.to_string();
+                let path_suffix = parts.next()?.to_string();
+                let substring = parts.collect::<Vec<_>>().join(" ");
+                Some(AllowEntry {
+                    rule,
+                    path_suffix,
+                    substring,
+                })
+            })
+            .collect();
+        Baseline { entries }
+    }
+
+    fn match_index(&self, f: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| e.matches(f))
     }
 }
 
@@ -175,12 +278,97 @@ pub fn load_context(root: &Path) -> Result<RuleContext, String> {
     Ok(ctx)
 }
 
-/// Scans the workspace rooted at `root` with every rule, applying the
-/// allowlists under `crates/audit/allowlists/`.
+/// Scans in-memory `(rel_path, source)` pairs with every token rule and
+/// semantic pass, then applies `allow` and `baseline` with stale-entry
+/// tracking. This is the testable core of [`scan_workspace`].
+pub fn scan_sources(
+    sources: &[(String, String)],
+    ctx: &RuleContext,
+    allow: &Allowlist,
+    baseline: &Baseline,
+    manifest: &CycleManifest,
+) -> ScanReport {
+    let mut raw = Vec::new();
+    for (rel, src) in sources {
+        raw.extend(rules::check_source(rel, src, ctx));
+    }
+    let ws = passes::Workspace::build(sources);
+    raw.extend(ws.run_passes(ctx, manifest));
+    raw.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    let mut report = ScanReport {
+        files_checked: sources.len(),
+        ..ScanReport::default()
+    };
+    let mut allow_used = vec![false; allow.entries.len()];
+    let mut base_used = vec![false; baseline.entries.len()];
+    for f in raw {
+        if let Some(i) = allow.match_index(&f) {
+            allow_used[i] = true;
+            report.suppressed += 1;
+            *report
+                .suppressed_by_rule
+                .entry(f.rule.to_string())
+                .or_default() += 1;
+        } else if let Some(i) = baseline.match_index(&f) {
+            base_used[i] = true;
+            report.baselined += 1;
+            *report
+                .suppressed_by_rule
+                .entry(f.rule.to_string())
+                .or_default() += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report.stale_allow = allow
+        .entries
+        .iter()
+        .zip(&allow_used)
+        .filter(|(_, used)| !**used)
+        .map(|(e, _)| e.describe())
+        .collect();
+    report.stale_baseline = baseline
+        .entries
+        .iter()
+        .zip(&base_used)
+        .filter(|(_, used)| !**used)
+        .map(|(e, _)| e.describe())
+        .collect();
+    report
+}
+
+/// Workspace-relative path of the committed baseline.
+pub const BASELINE_PATH: &str = "crates/audit/baseline/workspace.baseline";
+/// Workspace-relative path of the cycle-routing manifest.
+pub const MANIFEST_PATH: &str = "crates/audit/manifests/cycle-routing.manifest";
+
+/// Loads the cycle-routing manifest from `root`; a missing file is an
+/// empty manifest.
+pub fn load_manifest(root: &Path) -> Result<CycleManifest, String> {
+    let path = root.join(MANIFEST_PATH);
+    if !path.exists() {
+        return Ok(CycleManifest::default());
+    }
+    let text = fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Ok(CycleManifest::parse(MANIFEST_PATH, &text))
+}
+
+/// Scans the workspace rooted at `root` with every rule and pass,
+/// applying the allowlists, the committed baseline, and the
+/// cycle-routing manifest.
 pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     let ctx = load_context(root)?;
     let allow = Allowlist::load(&root.join("crates/audit/allowlists"))?;
-    let mut report = ScanReport::default();
+    let baseline = Baseline::load(&root.join(BASELINE_PATH))?;
+    let manifest = load_manifest(root)?;
+    let mut sources = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -189,47 +377,105 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
             .replace('\\', "/");
         let src =
             fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        report.files_checked += 1;
-        for finding in rules::check_source(&rel, &src, &ctx) {
-            if allow.permits(&finding) {
-                report.suppressed += 1;
-            } else {
-                report.findings.push(finding);
-            }
-        }
+        sources.push((rel, src));
     }
-    Ok(report)
+    Ok(scan_sources(&sources, &ctx, &allow, &baseline, &manifest))
 }
 
-/// Process exit code for a report under `--check` semantics: nonzero
-/// iff any violation survived the allowlists.
-pub fn exit_code(report: &ScanReport) -> i32 {
-    i32::from(!report.findings.is_empty())
+/// Process exit code for a report under `--check` semantics.
+///
+/// * `0` — clean: no surviving findings, no stale baseline entries,
+///   and (under `--strict`) no stale allowlist entries.
+/// * `1` — violations survived the suppression planes, or the baseline
+///   has stale entries (paid-off debt that must be removed), or
+///   `strict` and the allowlists have stale entries.
+///
+/// (`2` is reserved by the CLI for usage/IO errors.)
+pub fn exit_code(report: &ScanReport, strict: bool) -> i32 {
+    let fail = !report.findings.is_empty()
+        || !report.stale_baseline.is_empty()
+        || (strict && !report.stale_allow.is_empty());
+    i32::from(fail)
 }
 
-/// Renders findings as a JSON array (hand-rolled; the build is offline
-/// and serde is not vendored).
+/// Renders the report as SARIF-shaped JSON (hand-rolled; the build is
+/// offline and serde is not vendored). The scan-level counters that
+/// SARIF has no standard slot for — per-rule suppressed counts, stale
+/// suppression entries, files checked — ride in `runs[0].properties`.
 pub fn to_json(report: &ScanReport) -> String {
-    let mut s = String::from("{\n  \"findings\": [");
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    // tool.driver with the rule registry.
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"gauge-audit\",\n");
+    s.push_str("          \"rules\": [");
+    for (i, info) in rules::RULE_INFO.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(info.id),
+            json_escape(info.summary)
+        ));
+    }
+    s.push_str("\n          ]\n        }\n      },\n");
+    // results.
+    s.push_str("      \"results\": [");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
             json_escape(f.rule),
+            json_escape(&f.message),
             json_escape(&f.file),
-            f.line,
-            json_escape(&f.message)
+            f.line
         ));
     }
     if !report.findings.is_empty() {
-        s.push_str("\n  ");
+        s.push_str("\n      ");
     }
+    s.push_str("],\n");
+    // Non-standard scan counters.
+    s.push_str("      \"properties\": {\n");
     s.push_str(&format!(
-        "],\n  \"suppressed\": {},\n  \"files_checked\": {}\n}}",
-        report.suppressed, report.files_checked
+        "        \"filesChecked\": {},\n        \"suppressedByAllowlist\": {},\n        \
+         \"suppressedByBaseline\": {},\n",
+        report.files_checked, report.suppressed, report.baselined
     ));
+    s.push_str("        \"suppressedByRule\": {");
+    for (i, (rule, n)) in report.suppressed_by_rule.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n          \"{}\": {}", json_escape(rule), n));
+    }
+    if !report.suppressed_by_rule.is_empty() {
+        s.push_str("\n        ");
+    }
+    s.push_str("},\n");
+    s.push_str("        \"staleAllowlistEntries\": [");
+    for (i, e) in report.stale_allow.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\"", json_escape(e)));
+    }
+    s.push_str("],\n");
+    s.push_str("        \"staleBaselineEntries\": [");
+    for (i, e) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\"", json_escape(e)));
+    }
+    s.push_str("]\n      }\n    }\n  ]\n}");
     s
 }
 
@@ -277,16 +523,23 @@ mod tests {
     }
 
     #[test]
-    fn exit_code_reflects_findings() {
+    fn exit_code_reflects_findings_and_staleness() {
         let mut r = ScanReport::default();
-        assert_eq!(exit_code(&r), 0);
+        assert_eq!(exit_code(&r, false), 0);
+        r.stale_allow.push("unwrap x.rs".into());
+        assert_eq!(exit_code(&r, false), 0, "stale allowlist only warns");
+        assert_eq!(exit_code(&r, true), 1, "--strict promotes it");
+        r.stale_allow.clear();
+        r.stale_baseline.push("unwrap x.rs".into());
+        assert_eq!(exit_code(&r, false), 1, "stale baseline always fails");
+        r.stale_baseline.clear();
         r.findings.push(Finding {
             rule: rules::UNWRAP,
             file: "x.rs".into(),
             line: 1,
             message: "m".into(),
         });
-        assert_eq!(exit_code(&r), 1);
+        assert_eq!(exit_code(&r, false), 1);
     }
 
     #[test]
@@ -306,5 +559,81 @@ mod tests {
         assert!(!allow.permits(&f), "substring must match");
         f.file = "crates/sgx-sim/src/machine.rs".into();
         assert!(!allow.permits(&f), "path suffix must match");
+    }
+
+    #[test]
+    fn baseline_suppresses_and_tracks_staleness() {
+        let ctx = RuleContext::from_sources(
+            "pub const EWB_CYCLES: u64 = 12_000;",
+            "pub struct Counters { pub epc_faults: u64 }",
+        );
+        let sources = vec![(
+            "crates/sgx-sim/src/x.rs".to_string(),
+            "fn f(v: &Option<u32>) -> u32 { v.unwrap() }".to_string(),
+        )];
+        let baseline = Baseline::from_str(
+            "unwrap crates/sgx-sim/src/x.rs\nunwrap crates/sgx-sim/src/gone.rs\n",
+        );
+        let r = scan_sources(
+            &sources,
+            &ctx,
+            &Allowlist::default(),
+            &baseline,
+            &CycleManifest::default(),
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.baselined, 1);
+        assert_eq!(r.suppressed_by_rule.get("unwrap"), Some(&1));
+        assert_eq!(r.stale_baseline, vec!["unwrap crates/sgx-sim/src/gone.rs"]);
+        assert_eq!(exit_code(&r, false), 1, "stale baseline entry fails");
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_reported_not_fatal() {
+        let ctx = RuleContext::from_sources(
+            "pub const EWB_CYCLES: u64 = 12_000;",
+            "pub struct Counters { pub epc_faults: u64 }",
+        );
+        let sources = vec![(
+            "crates/core/src/clean.rs".to_string(),
+            "pub fn ok() -> u32 { 3 }".to_string(),
+        )];
+        let allow = Allowlist::from_str_for_rule(rules::UNWRAP, "crates/core/src/clean.rs\n");
+        let r = scan_sources(
+            &sources,
+            &ctx,
+            &allow,
+            &Baseline::default(),
+            &CycleManifest::default(),
+        );
+        assert_eq!(r.stale_allow, vec!["unwrap crates/core/src/clean.rs"]);
+        assert_eq!(exit_code(&r, false), 0);
+        assert_eq!(exit_code(&r, true), 1);
+    }
+
+    #[test]
+    fn sarif_json_has_rules_results_and_properties() {
+        let mut r = ScanReport {
+            files_checked: 2,
+            ..ScanReport::default()
+        };
+        r.suppressed_by_rule.insert("unwrap".into(), 3);
+        r.findings.push(Finding {
+            rule: rules::HASH_ITER,
+            file: "crates/core/src/report.rs".into(),
+            line: 7,
+            message: "hash iter \"x\"".into(),
+        });
+        let j = to_json(&r);
+        assert!(j.contains("\"version\": \"2.1.0\""));
+        assert!(j.contains("\"name\": \"gauge-audit\""));
+        assert!(j.contains("\"ruleId\": \"hash-iter\""));
+        assert!(j.contains("\"startLine\": 7"));
+        assert!(j.contains("\"suppressedByRule\""));
+        assert!(j.contains("\"unwrap\": 3"));
+        // Every registered rule appears in the driver rule table.
+        for rule in rules::ALL_RULES {
+            assert!(j.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+        }
     }
 }

@@ -1,0 +1,409 @@
+//! Rule `hash-iter`: the determinism pass.
+//!
+//! The suite's headline guarantee is byte-identical artifacts across
+//! runs and `--jobs` levels. Iterating a hash-ordered container
+//! (`HashMap`/`HashSet`, or the FxHash variants) produces a
+//! randomized-per-process (or at best insertion-dependent) order, so any
+//! such iteration in a function *from which an artifact sink is
+//! reachable* — an [`Emitter`] write, report aggregation, checkpoint
+//! serialization, or `gauge-stats` — can leak nondeterministic order
+//! into committed bytes.
+//!
+//! A flagged site is exempt when the iterated values demonstrably do
+//! not depend on order by the end of the same (or immediately
+//! following) statement: routed through an explicit sort
+//! (`sort`/`sort_by`/...), re-keyed into a `BTreeMap`/`BTreeSet`, or
+//! reduced by an order-insensitive fold (`sum`, `count`, `min`, `max`,
+//! `all`, `any`, `len`, `fold` is *not* exempt — it is order-sensitive
+//! in general).
+//!
+//! [`Emitter`]: ../../core/emit/trait.Emitter.html
+
+use super::{idents_in, statement_end, Workspace};
+use crate::callgraph::NodeId;
+use crate::lexer::Tok;
+use crate::parser::FileIr;
+use crate::rules::HASH_ITER;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Container type names whose iteration order is hash-dependent.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Iterator-producing methods on those containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers that make an iteration order-safe when they appear by
+/// the end of the same or the immediately following statement.
+const ORDER_SAFE: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "product",
+];
+
+/// File paths whose every function counts as an artifact sink.
+const SINK_FILES: &[&str] = &[
+    "crates/core/src/emit.rs",
+    "crates/core/src/report.rs",
+    "crates/core/src/checkpoint.rs",
+];
+
+/// Function names that count as sinks wherever they are defined.
+const SINK_FNS: &[&str] = &[
+    "emit",
+    "emit_with",
+    "emit_sealed_with",
+    "render",
+    "write_atomic_with",
+];
+
+/// Runs the pass over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    // 1. Sinks: emission/aggregation functions.
+    let mut sinks: BTreeSet<NodeId> = BTreeSet::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        let file_is_sink = SINK_FILES.contains(&file.path.as_str())
+            || file.path.starts_with("crates/gauge-stats/src/");
+        for (ni, f) in file.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            if file_is_sink || SINK_FNS.contains(&f.name.as_str()) {
+                sinks.insert((fi, ni));
+            }
+        }
+    }
+    // 2. Functions from which a sink is reachable.
+    let emitting = ws.graph.reaching(&sinks, &|_| true);
+
+    // 3. Flag hash-ordered iteration inside those functions. Bindings
+    // are scoped: a function sees hash-typed names from its own
+    // signature and body plus item-level declarations (struct fields,
+    // statics) outside every function — a `rows: &HashMap` parameter in
+    // one function must not taint another function's unrelated `rows`.
+    let mut out = Vec::new();
+    for &(fi, ni) in &emitting {
+        let file = &ws.files[fi];
+        let fndef = &file.fns[ni];
+        if fndef.in_test {
+            continue;
+        }
+        let mut hash_names = item_level_bindings(file);
+        let scope_end = fndef.body.map_or(fndef.sig, |(_, close)| close);
+        hash_names.extend(hash_bindings_in(file, fndef.sig, scope_end));
+        if hash_names.is_empty() {
+            continue;
+        }
+        for (s, e) in file.own_ranges(ni) {
+            scan_range(file, s, e, &hash_names, &fndef.qual, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup();
+    out
+}
+
+/// Hash-typed bindings declared outside every function: struct fields
+/// and statics, visible to all functions in the file.
+fn item_level_bindings(file: &FileIr) -> BTreeSet<String> {
+    let mut spans: Vec<(usize, usize)> = file
+        .fns
+        .iter()
+        .map(|f| (f.sig, f.body.map_or(f.sig, |(_, close)| close)))
+        .collect();
+    spans.sort_unstable();
+    let mut out = BTreeSet::new();
+    let mut cursor = 0usize;
+    for (s, e) in spans {
+        if s > cursor {
+            out.extend(hash_bindings_in(file, cursor, s.saturating_sub(1)));
+        }
+        cursor = cursor.max(e + 1);
+    }
+    if cursor < file.tokens.len() {
+        out.extend(hash_bindings_in(file, cursor, file.tokens.len() - 1));
+    }
+    out
+}
+
+/// Names bound to hash-ordered containers within `[s, e]`: typed
+/// bindings/fields (`name: HashMap<..>`) and constructor assignments
+/// (`name = HashMap::new()`).
+pub(crate) fn hash_bindings_in(file: &FileIr, s: usize, e: usize) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut out = BTreeSet::new();
+    if toks.is_empty() {
+        return out;
+    }
+    for i in s..=e.min(toks.len() - 1) {
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        let is_type_pos = next.tok == Tok::Punct(':')
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'));
+        let is_assign = next.tok == Tok::Punct('=')
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct('='));
+        if !is_type_pos && !is_assign {
+            continue;
+        }
+        // A hash-type name within the next few tokens marks the binding.
+        let window_end = (i + 10).min(toks.len());
+        let mentions_hash = toks[i + 2..window_end].iter().any(|t| match &t.tok {
+            Tok::Ident(id) => HASH_TYPES.contains(&id.as_str()),
+            _ => false,
+        });
+        if mentions_hash {
+            out.insert(name.clone());
+        }
+    }
+    out
+}
+
+/// Scans `[s, e]` of `file` for iteration over `hash_names`.
+fn scan_range(
+    file: &FileIr,
+    s: usize,
+    e: usize,
+    hash_names: &BTreeSet<String>,
+    fn_qual: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut i = s;
+    while i <= e {
+        if file.in_test(i) {
+            i += 1;
+            continue;
+        }
+        // `recv.iter()` / `recv.keys()` / ...
+        if let Tok::Ident(m) = &toks[i].tok {
+            let is_iter_call = ITER_METHODS.contains(&m.as_str())
+                && i >= 2
+                && toks[i - 1].tok == Tok::Punct('.')
+                && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+            if is_iter_call {
+                if let Tok::Ident(recv) = &toks[i - 2].tok {
+                    if hash_names.contains(recv) && !order_safe(file, i, e) {
+                        out.push(finding(file, i, fn_qual, recv, m));
+                    }
+                }
+            }
+            // `for pat in [&][mut] [self.]recv {`
+            if m == "in" {
+                if let Some((recv, at)) = for_loop_receiver(file, i + 1) {
+                    if hash_names.contains(&recv) && !order_safe(file, at, e) {
+                        out.push(finding(file, at, fn_qual, &recv, "for-in"));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If the tokens after a `for .. in` introduce a bare (possibly
+/// `self.`-prefixed, `&`/`mut`-decorated) identifier whose next token
+/// opens the loop body, returns `(name, index)`.
+fn for_loop_receiver(file: &FileIr, mut i: usize) -> Option<(String, usize)> {
+    let toks = &file.tokens;
+    while matches!(
+        toks.get(i).map(|t| &t.tok),
+        Some(Tok::Punct('&')) | Some(Tok::Ident(_))
+    ) {
+        match &toks.get(i)?.tok {
+            Tok::Punct('&') => i += 1,
+            Tok::Ident(id) if id == "mut" => i += 1,
+            Tok::Ident(id)
+                if id == "self" && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('.')) =>
+            {
+                i += 2;
+            }
+            Tok::Ident(id) if id == "self" => return None,
+            Tok::Ident(name) => {
+                return (toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('{')))
+                    .then(|| (name.clone(), i));
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Whether the iteration at token `i` is exempt: an order-safe
+/// identifier appears by the end of the same or the immediately
+/// following statement.
+fn order_safe(file: &FileIr, i: usize, range_end: usize) -> bool {
+    let first_end = statement_end(file, i);
+    // Extend through the next statement (collect-then-sort idiom).
+    let second_end = if first_end < range_end {
+        statement_end(file, first_end + 1)
+    } else {
+        first_end
+    };
+    let end = second_end.min(range_end).min(i + 120);
+    idents_in(file, i, end)
+        .iter()
+        .any(|id| ORDER_SAFE.contains(id))
+}
+
+fn finding(file: &FileIr, i: usize, fn_qual: &str, recv: &str, method: &str) -> Finding {
+    Finding {
+        rule: HASH_ITER,
+        file: file.path.clone(),
+        line: file.tokens[i].line,
+        message: format!(
+            "hash-ordered iteration over `{recv}` ({method}) in `{fn_qual}`, which can reach \
+             an artifact sink; route through a sort or BTreeMap to keep artifacts byte-identical"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        let sources: Vec<(String, String)> = srcs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::build(&sources)
+    }
+
+    const EMIT: (&str, &str) = (
+        "crates/core/src/emit.rs",
+        "pub trait Emitter { fn emit(&self) {} }",
+    );
+
+    #[test]
+    fn hash_iter_reaching_emit_is_flagged() {
+        let w = ws(&[
+            EMIT,
+            (
+                "crates/core/src/report.rs",
+                "use std::collections::HashMap;\n\
+                 fn aggregate(m: &HashMap<u64, u64>) -> Vec<u64> {\n\
+                     let mut v = Vec::new();\n\
+                     for (k, val) in m { v.push(*val); }\n\
+                     v\n\
+                 }",
+            ),
+        ]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn sorted_iteration_is_clean() {
+        let w = ws(&[
+            EMIT,
+            (
+                "crates/core/src/report.rs",
+                "use std::collections::HashMap;\n\
+                 fn aggregate(m: &HashMap<u64, u64>) -> Vec<u64> {\n\
+                     let mut v: Vec<u64> = m.values().copied().collect();\n\
+                     v.sort_unstable();\n\
+                     v\n\
+                 }",
+            ),
+        ]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn order_insensitive_reduction_is_clean() {
+        let w = ws(&[
+            EMIT,
+            (
+                "crates/core/src/report.rs",
+                "use std::collections::HashMap;\n\
+                 fn total(m: &HashMap<u64, u64>) -> u64 { m.values().sum() }",
+            ),
+        ]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_is_never_flagged() {
+        let w = ws(&[
+            EMIT,
+            (
+                "crates/core/src/report.rs",
+                "use std::collections::BTreeMap;\n\
+                 fn rows(m: &BTreeMap<u64, u64>) -> Vec<u64> {\n\
+                     let mut v = Vec::new();\n\
+                     for (_, val) in m { v.push(*val); }\n\
+                     v\n\
+                 }",
+            ),
+        ]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_far_from_any_sink_is_clean() {
+        let w = ws(&[
+            EMIT,
+            (
+                "crates/sgx-sim/src/epcm.rs",
+                "use std::collections::HashMap;\n\
+                 fn invariants(m: &HashMap<u64, u64>) {\n\
+                     for (k, v) in m { internal_check(*k, *v); }\n\
+                 }\n\
+                 fn internal_check(_k: u64, _v: u64) {}",
+            ),
+        ]);
+        assert!(run(&w).is_empty(), "no sink reachable from invariants");
+    }
+
+    #[test]
+    fn transitive_reach_through_helper_is_flagged() {
+        let w = ws(&[
+            EMIT,
+            (
+                "crates/core/src/sweep.rs",
+                "use std::collections::HashMap;\n\
+                 fn summarize(m: &HashMap<u64, u64>) {\n\
+                     for (k, v) in m { record(*k, *v); }\n\
+                 }\n\
+                 fn record(_k: u64, _v: u64) { table.emit(); }",
+            ),
+        ]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("summarize"));
+    }
+}

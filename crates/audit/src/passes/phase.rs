@@ -1,0 +1,165 @@
+//! Rule `phase-balance`: static pairing of `Env::phase` /
+//! `Env::phase_end` spans.
+//!
+//! The trace plane's phase spans nest and must close innermost-first;
+//! a span opened and never closed (or closed twice) surfaces at run
+//! time as a `WorkloadError::Trace` — but only in *traced* runs, which
+//! is exactly how an instrumented workload ships broken and passes its
+//! untraced tests. This pass checks the invariant statically, per
+//! function body: every `.phase("name")` call must have a matching
+//! `.phase_end("name")` in the same body, and vice versa.
+//!
+//! Approximations: calls with non-literal names pair up by count (they
+//! cannot be matched by name); `with_phase(..)` is self-balancing and
+//! ignored; a function that opens a span for a *callee* to close is a
+//! design the pass rejects by default — balance locally or use
+//! `with_phase`.
+
+use super::Workspace;
+use crate::lexer::Tok;
+use crate::parser::FileIr;
+use crate::rules::PHASE_BALANCE;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Runs the pass over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for (ni, f) in file.fns.iter().enumerate() {
+            if f.in_test || f.body.is_none() {
+                continue;
+            }
+            // name -> (opens, closes); "" keys the non-literal calls.
+            let mut spans: BTreeMap<String, (i64, i64, u32)> = BTreeMap::new();
+            for (s, e) in file.own_ranges(ni) {
+                collect_spans(file, s, e, &mut spans);
+            }
+            for (name, (opens, closes, line)) in spans {
+                if opens == closes {
+                    continue;
+                }
+                let label = if name.is_empty() {
+                    "<non-literal>".to_string()
+                } else {
+                    format!("\"{name}\"")
+                };
+                out.push(Finding {
+                    rule: PHASE_BALANCE,
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "phase span {label} is unbalanced in `{}`: {opens} phase() vs {closes} \
+                         phase_end(); balance them in the same body or use with_phase",
+                        f.qual
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Collects `.phase(..)` / `.phase_end(..)` call sites in `[s, e]`.
+fn collect_spans(file: &FileIr, s: usize, e: usize, spans: &mut BTreeMap<String, (i64, i64, u32)>) {
+    let toks = &file.tokens;
+    for i in s..=e.min(toks.len() - 1) {
+        if file.in_test(i) {
+            continue;
+        }
+        let Tok::Ident(id) = &toks[i].tok else {
+            continue;
+        };
+        let is_open = id == "phase";
+        let is_close = id == "phase_end";
+        if !is_open && !is_close {
+            continue;
+        }
+        // Method-call shape only: `.phase(` / `.phase_end(`.
+        if i == 0
+            || toks[i - 1].tok != Tok::Punct('.')
+            || toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+        {
+            continue;
+        }
+        let name = match toks.get(i + 2).map(|t| &t.tok) {
+            Some(Tok::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let entry = spans.entry(name).or_insert((0, 0, toks[i].line));
+        if is_open {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(&[("crates/workloads/src/w.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn balanced_spans_are_clean() {
+        let w = ws("fn run(env: &mut Env) {\n\
+                 env.phase(\"build\");\n\
+                 work(env);\n\
+                 env.phase_end(\"build\")?;\n\
+             }");
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn unclosed_span_is_flagged() {
+        let w = ws("fn run(env: &mut Env) { env.phase(\"build\"); work(env); }");
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("\"build\""));
+        assert!(f[0].message.contains("1 phase() vs 0 phase_end()"));
+    }
+
+    #[test]
+    fn close_without_open_is_flagged() {
+        let w = ws("fn run(env: &mut Env) { env.phase_end(\"query\")?; }");
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("0 phase() vs 1 phase_end()"));
+    }
+
+    #[test]
+    fn with_phase_is_self_balancing() {
+        let w = ws("fn run(env: &mut Env) { env.with_phase(\"q\", |e| work(e))?; }");
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn distinct_names_balance_independently() {
+        let w = ws("fn run(env: &mut Env) {\n\
+                 env.phase(\"a\"); env.phase(\"b\");\n\
+                 env.phase_end(\"b\")?; env.phase_end(\"a\")?;\n\
+             }");
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn non_literal_names_pair_by_count() {
+        let balanced = ws("fn f(env: &mut Env, n: &str) { env.phase(n); env.phase_end(n)?; }");
+        assert!(run(&balanced).is_empty());
+        let unbalanced = ws("fn f(env: &mut Env, n: &str) { env.phase(n); }");
+        let f = run(&unbalanced);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("<non-literal>"));
+    }
+
+    #[test]
+    fn helper_closing_for_caller_is_flagged_in_both() {
+        let w = ws("fn opens(env: &mut Env) { env.phase(\"x\"); help(env); }\n\
+             fn help(env: &mut Env) { env.phase_end(\"x\").ok(); }");
+        let f = run(&w);
+        assert_eq!(f.len(), 2, "split responsibility is rejected per body");
+    }
+}

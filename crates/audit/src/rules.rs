@@ -38,9 +38,138 @@ pub const UNWRAP: &str = "unwrap";
 /// Rule id: direct `std::fs` use in `crates/core` outside the
 /// `ArtifactIo` real backend.
 pub const FS_WRITE: &str = "fs-write";
+/// Rule id (semantic): hash-ordered iteration in emission-reachable
+/// functions. See [`crate::passes::determinism`].
+pub const HASH_ITER: &str = "hash-iter";
+/// Rule id (semantic): counter/cycle mutations outside the checked
+/// manifest. See [`crate::passes::cycles`].
+pub const CYCLE_ROUTING: &str = "cycle-routing";
+/// Rule id (semantic): impurity reachable from the access hot path.
+/// See [`crate::passes::hotpath`].
+pub const HOT_PATH: &str = "hot-path";
+/// Rule id (semantic): unbalanced `Env::phase`/`phase_end` spans.
+/// See [`crate::passes::phase`].
+pub const PHASE_BALANCE: &str = "phase-balance";
 
-/// All rule ids, in reporting order.
-pub const ALL_RULES: &[&str] = &[COST_LITERALS, WALLCLOCK, COUNTER_CAST, UNWRAP, FS_WRITE];
+/// All rule ids, in reporting order: the five token rules, then the
+/// four semantic passes.
+pub const ALL_RULES: &[&str] = &[
+    COST_LITERALS,
+    WALLCLOCK,
+    COUNTER_CAST,
+    UNWRAP,
+    FS_WRITE,
+    HASH_ITER,
+    CYCLE_ROUTING,
+    HOT_PATH,
+    PHASE_BALANCE,
+];
+
+/// One rule's registry entry: id, one-line summary, and the long-form
+/// text `gauge-audit --explain <RULE>` prints.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The stable rule id.
+    pub id: &'static str,
+    /// One-line summary (used in SARIF `shortDescription` and `--help`).
+    pub summary: &'static str,
+    /// Long-form explanation: what fires, why it matters, how to fix
+    /// or suppress.
+    pub explain: &'static str,
+}
+
+/// The rule registry, in [`ALL_RULES`] order.
+pub const RULE_INFO: &[RuleInfo] = &[
+    RuleInfo {
+        id: COST_LITERALS,
+        summary: "canonical cycle-cost literal duplicated outside sgx-sim::costs",
+        explain: "A cycle cost the paper cites (EWB, ECALL round trip, ...) appears as an \
+integer literal outside crates/sgx-sim/src/costs.rs. Duplicated constants silently decouple \
+from recalibration: the model changes, the copy does not, and every figure built from the \
+copy is wrong without a test failing.\nFix: reference the sgx_sim::costs constant. \
+Suppress: crates/audit/allowlists/cost-literals.allow with a recorded reason.",
+    },
+    RuleInfo {
+        id: WALLCLOCK,
+        summary: "wall-clock time source inside simulator code",
+        explain: "std::time / Instant / SystemTime in the simulator, fault, trace, sweep, or \
+artifact-io planes. The model is deterministic in simulated cycles; host-clock reads make \
+runs non-reproducible and corrupt cycle-derived figures.\nFix: derive timing from simulated \
+cycle clocks. Suppress: allowlists/wallclock.allow (intentionally empty today).",
+    },
+    RuleInfo {
+        id: COUNTER_CAST,
+        summary: "perf-counter field cast to a narrower or floating type",
+        explain: "A mem_sim::counters field is cast with `as` to a truncating integer or \
+float inside the simulator crates. Counters are u64 event totals; narrowing loses events \
+exactly when workloads are large enough to matter.\nFix: keep u64 end to end; convert at \
+the presentation layer. Suppress: allowlists/counter-cast.allow.",
+    },
+    RuleInfo {
+        id: UNWRAP,
+        summary: ".unwrap()/.expect() in non-test simulator code",
+        explain: "Simulator code must surface errors as values; a panic aborts the whole \
+sweep mid-run. Justified panics (documented API contracts, unreachable-by-construction) \
+go in allowlists/unwrap.allow with the reason recorded.",
+    },
+    RuleInfo {
+        id: FS_WRITE,
+        summary: "direct std::fs access in crates/core outside core::io",
+        explain: "Artifact writes in crates/core must go through the injectable ArtifactIo \
+plane (core::io::RealFs is the single std::fs user). A direct std::fs call bypasses \
+durability (fsync + atomic rename), integrity footers, the recovery journal, and chaos \
+testing at once.\nFix: route through core::io. Suppress: allowlists/fs-write.allow.",
+    },
+    RuleInfo {
+        id: HASH_ITER,
+        summary: "hash-ordered iteration in an emission-reachable function",
+        explain: "A function from which an Emitter write, report aggregation, or checkpoint \
+serialization is reachable (workspace call graph, name-matched over-approximation) iterates \
+a HashMap/HashSet/FxHashMap/FxHashSet. Hash order varies across processes and insertion \
+histories, so the iteration can leak nondeterministic order into committed artifact bytes — \
+breaking the byte-identical-across-runs-and---jobs guarantee.\nExempt automatically: results \
+routed through sort*/BTreeMap/BTreeSet or an order-insensitive reduction (sum, count, min, \
+max, all, any, len) by the end of the same or next statement.\nFix: iterate a BTreeMap, or \
+collect-and-sort. Suppress: allowlists/hash-iter.allow or the workspace baseline.",
+    },
+    RuleInfo {
+        id: CYCLE_ROUTING,
+        summary: "counter/cycle mutation outside the checked manifest",
+        explain: "A `+=` on a counter field or cycle accumulator in crates/mem-sim or \
+crates/sgx-sim is neither routed through sgx_sim::costs (RHS references `costs` or an \
+ALL_CAPS *_CYCLES constant) nor inside a function declared in \
+crates/audit/manifests/cycle-routing.manifest. The manifest is the reviewed list of \
+functions allowed to account cycles; it is what makes the cycle-decomposition identity \
+provable from source. Stale manifest entries (functions that no longer mutate counters) \
+are also reported, so the manifest cannot rot into a blanket waiver.\nFix: route through \
+costs, or add the function to the manifest with a reason comment.",
+    },
+    RuleInfo {
+        id: HOT_PATH,
+        summary: "allocation/panic/lock/I-O reachable from the access hot path",
+        explain: "The function is transitively reachable from Machine::access/access_stream \
+(mem-sim) or SgxMachine::access/access_stream (sgx-sim) — the per-simulated-access paths \
+pinned by BENCH_hotpath.json — and contains an allocating call (Vec::new, .push, .collect, \
+.clone, format!, ...), a panicking construct (unwrap/expect/panic!/assert!), a lock, or \
+I/O. debug_assert! and #[cfg(feature = \"audit\")]-gated code are exempt (compiled out of \
+release).\nFix: hoist the work off the hot path, or declare an intended scratch buffer in \
+allowlists/hot-path.allow with the amortization argument recorded.",
+    },
+    RuleInfo {
+        id: PHASE_BALANCE,
+        summary: "Env::phase/phase_end spans unbalanced within one function body",
+        explain: "A function opens a trace phase span (.phase(\"name\")) it never closes, or \
+closes one it never opened. Unbalanced spans surface as WorkloadError::Trace only in traced \
+runs — exactly how an instrumented workload ships broken while untraced tests pass. \
+Non-literal span names pair by count; with_phase(..) is self-balancing and ignored.\nFix: \
+balance within the body or use with_phase.",
+    },
+];
+
+/// Looks up a rule's registry entry.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULE_INFO.iter().find(|r| r.id == id)
+}
 
 /// Cost literals below this value are too common to claim as canonical
 /// (e.g. the 16-page eviction batch); only the big cycle costs are.

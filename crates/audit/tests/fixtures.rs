@@ -60,10 +60,10 @@ fn seeded_cost_literal_is_caught_and_drives_nonzero_exit() {
     assert!(findings[0].message.contains("EWB_CYCLES"));
     let report = ScanReport {
         findings,
-        suppressed: 0,
         files_checked: 1,
+        ..ScanReport::default()
     };
-    assert_eq!(exit_code(&report), 1, "--check must exit nonzero");
+    assert_eq!(exit_code(&report, false), 1, "--check must exit nonzero");
 }
 
 #[test]
