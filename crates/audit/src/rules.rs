@@ -423,6 +423,7 @@ fn wallclock_scope(rel: &str) -> bool {
     sim_src_scope(rel)
         || rel.starts_with("crates/faults/src/")
         || rel.starts_with("crates/trace/src/")
+        || rel.starts_with("crates/campaign/src/")
         || rel == "crates/core/src/sweep.rs"
         || rel == "crates/core/src/io.rs"
 }
@@ -432,13 +433,16 @@ fn wallclock_scope(rel: &str) -> bool {
 /// whole point of the crash-safety model — aborting on them would turn
 /// every injected fault into a harness crash.
 fn unwrap_scope(rel: &str) -> bool {
-    sim_src_scope(rel) || rel == "crates/core/src/io.rs"
+    sim_src_scope(rel) || rel.starts_with("crates/campaign/src/") || rel == "crates/core/src/io.rs"
 }
 
 /// Whether `rel` is banned from direct `std::fs` access: everything in
-/// `crates/core/src/` except the `ArtifactIo` real backend itself.
+/// `crates/core/src/` except the `ArtifactIo` real backend itself, plus
+/// the whole campaign layer (which must route every byte through the
+/// injectable artifact plane for the soak-kill story to hold).
 fn fs_write_scope(rel: &str) -> bool {
-    rel.starts_with("crates/core/src/") && rel != "crates/core/src/io.rs"
+    (rel.starts_with("crates/core/src/") && rel != "crates/core/src/io.rs")
+        || rel.starts_with("crates/campaign/src/")
 }
 
 /// Whether `rel` lies in one of the simulator crates' `src/` trees.

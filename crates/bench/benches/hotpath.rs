@@ -703,6 +703,20 @@ fn build_real(cfg: &SgxConfig) -> (SgxMachine, mem_sim::ThreadId, EnclaveId, u64
     (m, t, e, heap)
 }
 
+/// Resolves the baseline path as given, falling back to
+/// workspace-root-relative: cargo runs bench binaries with the package
+/// as CWD, while CI (and humans) name the committed trajectory file
+/// relative to the repo root.
+fn baseline_file(path: &str) -> std::path::PathBuf {
+    let p = std::path::PathBuf::from(path);
+    if p.is_absolute() || p.exists() {
+        return p;
+    }
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(p)
+}
+
 fn main() {
     banner(
         "Hot-path throughput — perf trajectory of the access pipeline",
@@ -939,7 +953,7 @@ fn main() {
 
     // Regression gate against the committed trajectory point.
     if let Ok(baseline_path) = std::env::var("SGXGAUGE_PERF_BASELINE") {
-        let blob = std::fs::read_to_string(&baseline_path)
+        let blob = std::fs::read_to_string(baseline_file(&baseline_path))
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
         let baseline = json_number(&blob, "speedup_stream_vs_legacy")
             .unwrap_or_else(|| panic!("no speedup_stream_vs_legacy in {baseline_path}"));

@@ -1,0 +1,522 @@
+//! Campaign supervision: circuit breakers, the global retry budget,
+//! and per-stage deadlines as one pure state machine.
+//!
+//! The [`Supervisor`] never runs anything and never touches a clock or
+//! the filesystem — the stage runner asks it to *admit* each cell of a
+//! wave (in grid order) and then reports back what actually happened
+//! (also in grid order, at the wave boundary). All of its state
+//! transitions are pure functions of that observation order, which is
+//! itself a pure function of the campaign config. That is the whole
+//! determinism argument: a resumed campaign replays the same admission
+//! sequence (adopted cells are observed exactly like executed ones) and
+//! therefore makes byte-identical shed decisions.
+//!
+//! Every decision the supervisor takes is emitted as a typed
+//! [`CampaignEvent`] into the stage's [`CampaignLog`], so breaker trips
+//! and shed cells are first-class trace records, not log prose.
+
+use std::collections::BTreeMap;
+use trace::{BreakerState, CampaignEvent, CampaignLog, ShedReason};
+
+/// What the supervisor decided for one cell at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the cell. `probe` marks a half-open breaker's trial cell;
+    /// its outcome alone decides whether the breaker closes again.
+    Run {
+        /// This cell is a half-open breaker probe.
+        probe: bool,
+    },
+    /// Shed the cell without executing it, for the stated reason.
+    Shed(ShedReason),
+}
+
+/// What the runner observed for one admitted (or adopted) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The cell settled successfully.
+    pub ok: bool,
+    /// The cell's final failure was transient (retry-worthy); only
+    /// these count toward opening a breaker.
+    pub transient: bool,
+    /// Simulated backoff cycles the cell's retries accounted — charged
+    /// against the campaign's global retry budget.
+    pub backoff_cycles: u64,
+    /// Simulated runtime cycles of the cell (0 for failed cells) —
+    /// charged against the stage deadline together with backoff.
+    pub cell_cycles: u64,
+}
+
+/// Per-workload circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Healthy; counts consecutive transient failures.
+    Closed { consecutive: usize },
+    /// Tripped; sheds cells until the cooldown is spent.
+    Open { cooldown_left: usize },
+    /// Cooled down; admits exactly one probe cell.
+    HalfOpen { probe_pending: bool },
+}
+
+/// Aggregate counters for `health.json` and the campaign report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorHealth {
+    /// Simulated backoff cycles spent from the global retry budget.
+    pub retry_spent_cycles: u64,
+    /// Whether the retry budget is drained (campaign is degraded).
+    pub degraded: bool,
+    /// Breaker open transitions across the campaign.
+    pub breaker_trips: u64,
+    /// Cells shed across the campaign, by any reason.
+    pub cells_shed: u64,
+}
+
+/// The campaign-wide supervision state machine.
+///
+/// Breakers are scoped per workload and reset at every stage boundary;
+/// the retry budget and the degraded flag persist across stages.
+#[derive(Debug)]
+pub struct Supervisor {
+    /// Consecutive transient failures that open a breaker (0 = off).
+    threshold: usize,
+    /// Shed cells per open period before a half-open probe.
+    cooldown: usize,
+    /// Global retry budget in simulated backoff cycles (0 = unlimited).
+    budget_cycles: u64,
+    spent_cycles: u64,
+    degraded: bool,
+    drain_announced: bool,
+    breakers: BTreeMap<String, Breaker>,
+    stage_deadline: u64,
+    stage_spent: u64,
+    trips: u64,
+    shed: u64,
+}
+
+impl Supervisor {
+    /// A fresh supervisor with the campaign's policy knobs.
+    #[must_use]
+    pub fn new(threshold: usize, cooldown: usize, budget_cycles: u64) -> Supervisor {
+        Supervisor {
+            threshold,
+            cooldown: cooldown.max(1),
+            budget_cycles,
+            spent_cycles: 0,
+            degraded: false,
+            drain_announced: false,
+            breakers: BTreeMap::new(),
+            stage_deadline: 0,
+            stage_spent: 0,
+            trips: 0,
+            shed: 0,
+        }
+    }
+
+    /// Starts a stage: breakers reset (a new stage is a new fault
+    /// regime), the stage cycle ledger restarts against `deadline`
+    /// (0 = no deadline). The retry budget carries over.
+    pub fn begin_stage(&mut self, deadline_cycles: u64) {
+        self.breakers.clear();
+        self.stage_deadline = deadline_cycles;
+        self.stage_spent = 0;
+    }
+
+    /// Whether the global retry budget is drained.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Simulated cycles (runtime + backoff) observed in this stage.
+    #[must_use]
+    pub fn stage_spent_cycles(&self) -> u64 {
+        self.stage_spent
+    }
+
+    /// Aggregate counters for health reporting.
+    #[must_use]
+    pub fn health(&self) -> SupervisorHealth {
+        SupervisorHealth {
+            retry_spent_cycles: self.spent_cycles,
+            degraded: self.degraded,
+            breaker_trips: self.trips,
+            cells_shed: self.shed,
+        }
+    }
+
+    /// Decides one cell's fate. Called sequentially in grid order;
+    /// earlier admissions in the same wave are visible to later ones
+    /// (cooldown ticks, probe reservation), which is deterministic
+    /// because grid order is.
+    pub fn admit(
+        &mut self,
+        workload: &str,
+        cell: &str,
+        rep: usize,
+        log: &mut CampaignLog,
+    ) -> Admission {
+        // Degraded mode sheds every repetition beyond the first: the
+        // campaign keeps measuring each coordinate once but stops
+        // paying for statistical depth.
+        if self.degraded && rep > 0 {
+            return self.shed(workload, cell, ShedReason::RetryBudgetDrained, log);
+        }
+        if self.stage_deadline > 0 && self.stage_spent > self.stage_deadline {
+            return self.shed(workload, cell, ShedReason::SloExceeded, log);
+        }
+        if self.threshold == 0 {
+            return Admission::Run { probe: false };
+        }
+        let threshold = self.threshold;
+        let entry = self
+            .breakers
+            .entry(workload.to_owned())
+            .or_insert(Breaker::Closed { consecutive: 0 });
+        match *entry {
+            Breaker::Closed { .. } => Admission::Run { probe: false },
+            Breaker::Open { cooldown_left } => {
+                let left = cooldown_left.saturating_sub(1);
+                if left == 0 {
+                    *entry = Breaker::HalfOpen {
+                        probe_pending: false,
+                    };
+                    log.push(
+                        self.spent_cycles,
+                        CampaignEvent::BreakerTransition {
+                            workload: workload.to_owned(),
+                            from: BreakerState::Open,
+                            to: BreakerState::HalfOpen,
+                            consecutive_failures: threshold,
+                        },
+                    );
+                } else {
+                    *entry = Breaker::Open {
+                        cooldown_left: left,
+                    };
+                }
+                self.shed(workload, cell, ShedReason::BreakerOpen, log)
+            }
+            Breaker::HalfOpen { probe_pending } => {
+                if probe_pending {
+                    self.shed(workload, cell, ShedReason::BreakerOpen, log)
+                } else {
+                    *entry = Breaker::HalfOpen {
+                        probe_pending: true,
+                    };
+                    Admission::Run { probe: true }
+                }
+            }
+        }
+    }
+
+    fn shed(
+        &mut self,
+        workload: &str,
+        cell: &str,
+        reason: ShedReason,
+        log: &mut CampaignLog,
+    ) -> Admission {
+        self.shed += 1;
+        log.push(
+            self.spent_cycles,
+            CampaignEvent::CellShed {
+                cell: cell.to_owned(),
+                workload: workload.to_owned(),
+                reason,
+            },
+        );
+        Admission::Shed(reason)
+    }
+
+    /// Reports one admitted (or checkpoint-adopted) cell's outcome.
+    /// Called in grid order at the wave boundary. `probe` must echo the
+    /// admission decision.
+    pub fn observe(
+        &mut self,
+        workload: &str,
+        probe: bool,
+        obs: Observation,
+        log: &mut CampaignLog,
+    ) {
+        self.stage_spent = self
+            .stage_spent
+            .saturating_add(obs.cell_cycles)
+            .saturating_add(obs.backoff_cycles);
+        self.spend_backoff(obs.backoff_cycles, log);
+        if self.threshold == 0 {
+            return;
+        }
+        let threshold = self.threshold;
+        let cooldown = self.cooldown;
+        let entry = self
+            .breakers
+            .entry(workload.to_owned())
+            .or_insert(Breaker::Closed { consecutive: 0 });
+        if probe {
+            log.push(
+                self.spent_cycles,
+                CampaignEvent::ProbeResult {
+                    cell: workload.to_owned(),
+                    workload: workload.to_owned(),
+                    ok: obs.ok,
+                },
+            );
+            let (next, to) = if obs.ok {
+                (Breaker::Closed { consecutive: 0 }, BreakerState::Closed)
+            } else {
+                (
+                    Breaker::Open {
+                        cooldown_left: cooldown,
+                    },
+                    BreakerState::Open,
+                )
+            };
+            *entry = next;
+            log.push(
+                self.spent_cycles,
+                CampaignEvent::BreakerTransition {
+                    workload: workload.to_owned(),
+                    from: BreakerState::HalfOpen,
+                    to,
+                    consecutive_failures: if obs.ok { 0 } else { threshold },
+                },
+            );
+            if !obs.ok {
+                self.trips += 1;
+            }
+            return;
+        }
+        match *entry {
+            Breaker::Closed { consecutive } => {
+                if obs.ok || !obs.transient {
+                    *entry = Breaker::Closed { consecutive: 0 };
+                } else {
+                    let consecutive = consecutive + 1;
+                    if consecutive >= threshold {
+                        *entry = Breaker::Open {
+                            cooldown_left: cooldown,
+                        };
+                        self.trips += 1;
+                        log.push(
+                            self.spent_cycles,
+                            CampaignEvent::BreakerTransition {
+                                workload: workload.to_owned(),
+                                from: BreakerState::Closed,
+                                to: BreakerState::Open,
+                                consecutive_failures: consecutive,
+                            },
+                        );
+                    } else {
+                        *entry = Breaker::Closed { consecutive };
+                    }
+                }
+            }
+            // Outcomes for cells admitted while the breaker was not
+            // closed are probe outcomes (handled above) or shed cells
+            // (never observed), so nothing reaches here.
+            Breaker::Open { .. } | Breaker::HalfOpen { .. } => {}
+        }
+    }
+
+    fn spend_backoff(&mut self, backoff_cycles: u64, log: &mut CampaignLog) {
+        self.spent_cycles = self.spent_cycles.saturating_add(backoff_cycles);
+        if self.budget_cycles > 0 && self.spent_cycles > self.budget_cycles && !self.degraded {
+            self.degraded = true;
+            if !self.drain_announced {
+                self.drain_announced = true;
+                log.push(
+                    self.spent_cycles,
+                    CampaignEvent::RetryBudgetDrained {
+                        spent_cycles: self.spent_cycles,
+                        budget_cycles: self.budget_cycles,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok() -> Observation {
+        Observation {
+            ok: true,
+            transient: false,
+            backoff_cycles: 0,
+            cell_cycles: 100,
+        }
+    }
+
+    fn transient(backoff: u64) -> Observation {
+        Observation {
+            ok: false,
+            transient: true,
+            backoff_cycles: backoff,
+            cell_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_cools_probes_and_recloses() {
+        let mut sup = Supervisor::new(2, 2, 0);
+        let mut log = CampaignLog::new();
+        sup.begin_stage(0);
+        // Two consecutive transient failures open the breaker.
+        assert_eq!(
+            sup.admit("BTree", "BTree", 0, &mut log),
+            Admission::Run { probe: false }
+        );
+        sup.observe("BTree", false, transient(10), &mut log);
+        assert_eq!(
+            sup.admit("BTree", "BTree", 1, &mut log),
+            Admission::Run { probe: false }
+        );
+        sup.observe("BTree", false, transient(10), &mut log);
+        // Open: two cooldown cells are shed; the second admission
+        // transitions to half-open but is itself still shed.
+        assert_eq!(
+            sup.admit("BTree", "BTree", 2, &mut log),
+            Admission::Shed(ShedReason::BreakerOpen)
+        );
+        assert_eq!(
+            sup.admit("BTree", "BTree", 3, &mut log),
+            Admission::Shed(ShedReason::BreakerOpen)
+        );
+        // Half-open: exactly one probe runs; a sibling in the same wave
+        // is shed.
+        assert_eq!(
+            sup.admit("BTree", "BTree", 4, &mut log),
+            Admission::Run { probe: true }
+        );
+        assert_eq!(
+            sup.admit("BTree", "BTree", 5, &mut log),
+            Admission::Shed(ShedReason::BreakerOpen)
+        );
+        // Successful probe recloses the breaker.
+        sup.observe("BTree", true, ok(), &mut log);
+        assert_eq!(
+            sup.admit("BTree", "BTree", 6, &mut log),
+            Admission::Run { probe: false }
+        );
+        assert_eq!(sup.health().breaker_trips, 1);
+        assert_eq!(sup.health().cells_shed, 3);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let mut sup = Supervisor::new(1, 1, 0);
+        let mut log = CampaignLog::new();
+        sup.begin_stage(0);
+        sup.admit("Bfs", "Bfs", 0, &mut log);
+        sup.observe("Bfs", false, transient(1), &mut log);
+        // cooldown=1: the first open admission flips straight to
+        // half-open (and is shed); the next admits the probe.
+        assert_eq!(
+            sup.admit("Bfs", "Bfs", 1, &mut log),
+            Admission::Shed(ShedReason::BreakerOpen)
+        );
+        assert_eq!(
+            sup.admit("Bfs", "Bfs", 2, &mut log),
+            Admission::Run { probe: true }
+        );
+        sup.observe("Bfs", true, transient(1), &mut log);
+        // Probe failed (observe with probe=true and !ok reopens).
+        assert_eq!(
+            sup.admit("Bfs", "Bfs", 3, &mut log),
+            Admission::Shed(ShedReason::BreakerOpen)
+        );
+        assert_eq!(sup.health().breaker_trips, 2);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut sup = Supervisor::new(2, 1, 0);
+        let mut log = CampaignLog::new();
+        sup.begin_stage(0);
+        for _ in 0..4 {
+            assert_eq!(
+                sup.admit("Svm", "Svm", 0, &mut log),
+                Admission::Run { probe: false }
+            );
+            sup.observe("Svm", false, transient(1), &mut log);
+            assert_eq!(
+                sup.admit("Svm", "Svm", 0, &mut log),
+                Admission::Run { probe: false }
+            );
+            sup.observe("Svm", true, ok(), &mut log);
+        }
+        assert_eq!(sup.health().breaker_trips, 0);
+    }
+
+    #[test]
+    fn budget_drain_fires_once_and_sheds_later_reps() {
+        let mut sup = Supervisor::new(0, 1, 100);
+        let mut log = CampaignLog::new();
+        sup.begin_stage(0);
+        sup.admit("Svm", "Svm", 0, &mut log);
+        sup.observe("Svm", false, transient(101), &mut log);
+        assert!(sup.is_degraded());
+        sup.observe("Svm", false, transient(50), &mut log);
+        let drained = log
+            .events()
+            .filter(|(_, e)| matches!(e, CampaignEvent::RetryBudgetDrained { .. }))
+            .count();
+        assert_eq!(drained, 1);
+        assert_eq!(
+            sup.admit("Svm", "Svm", 0, &mut log),
+            Admission::Run { probe: false }
+        );
+        assert_eq!(
+            sup.admit("Svm", "Svm", 1, &mut log),
+            Admission::Shed(ShedReason::RetryBudgetDrained)
+        );
+    }
+
+    #[test]
+    fn stage_deadline_sheds_the_remainder_and_resets_per_stage() {
+        let mut sup = Supervisor::new(0, 1, 0);
+        let mut log = CampaignLog::new();
+        sup.begin_stage(50);
+        sup.admit("Bfs", "Bfs", 0, &mut log);
+        sup.observe(
+            "Bfs",
+            false,
+            Observation {
+                ok: true,
+                transient: false,
+                backoff_cycles: 0,
+                cell_cycles: 60,
+            },
+            &mut log,
+        );
+        assert_eq!(
+            sup.admit("Bfs", "Bfs", 1, &mut log),
+            Admission::Shed(ShedReason::SloExceeded)
+        );
+        sup.begin_stage(50);
+        assert_eq!(
+            sup.admit("Bfs", "Bfs", 0, &mut log),
+            Admission::Run { probe: false }
+        );
+    }
+
+    #[test]
+    fn breakers_reset_at_stage_boundaries() {
+        let mut sup = Supervisor::new(1, 5, 0);
+        let mut log = CampaignLog::new();
+        sup.begin_stage(0);
+        sup.admit("Svm", "Svm", 0, &mut log);
+        sup.observe("Svm", false, transient(1), &mut log);
+        assert_eq!(
+            sup.admit("Svm", "Svm", 1, &mut log),
+            Admission::Shed(ShedReason::BreakerOpen)
+        );
+        sup.begin_stage(0);
+        assert_eq!(
+            sup.admit("Svm", "Svm", 0, &mut log),
+            Admission::Run { probe: false }
+        );
+    }
+}

@@ -26,7 +26,7 @@
 //! at `<path>.corrupt`); v2 files *without* a footer still load, so
 //! pre-integrity checkpoints remain resumable.
 
-use crate::io::{self, ArtifactError, ArtifactIo, IoErrorKind, Journal, RealFs};
+use crate::io::{self, ArtifactError, ArtifactIo, Journal, RealFs};
 use crate::runner::RunReport;
 use crate::sweep::{
     AttemptFailure, CellError, CellErrorKind, CellKey, Fnv, SuiteRunner, SweepCell, SweepError,
@@ -147,8 +147,9 @@ impl SuiteRunner {
 
 /// Digest of everything that determines the sweep's shape and policy:
 /// adopting a cell from a checkpoint is only sound when all of it
-/// matches.
-fn grid_fingerprint(suite: &SuiteRunner, workloads: &[&dyn Workload]) -> u64 {
+/// matches. Public so campaign-level orchestrators can stamp their own
+/// per-stage checkpoint files with the same guard.
+pub fn grid_fingerprint(suite: &SuiteRunner, workloads: &[&dyn Workload]) -> u64 {
     let mut h = Fnv::new();
     h.u64(CHECKPOINT_VERSION);
     h.u64(workloads.len() as u64);
@@ -203,21 +204,13 @@ impl CheckpointSink<'_> {
     /// budget: torn writes and transient EIO are redone, everything
     /// else (ENOSPC, crash, corruption) surfaces immediately.
     fn publish(&self, state: &SinkState) -> Result<(), ArtifactError> {
-        let sealed = io::seal(&render(state));
-        let mut last = ArtifactError::io(
-            "publish",
+        io::publish_sealed(
+            self.io,
+            &self.journal,
             &self.path,
-            IoErrorKind::Other,
-            "publish retry budget exhausted",
-        );
-        for _ in 0..PUBLISH_ATTEMPTS {
-            match io::publish(self.io, &self.journal, &self.path, &sealed) {
-                Ok(()) => return Ok(()),
-                Err(e) if e.is_transient() => last = e,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last)
+            &render(state),
+            PUBLISH_ATTEMPTS,
+        )
     }
 
     fn flush(&self) -> Result<(), ArtifactError> {
@@ -240,13 +233,17 @@ impl CheckpointSink<'_> {
 }
 
 fn render(state: &SinkState) -> String {
+    render_document(state.grid_fp, state.cells.values().map(String::as_str))
+}
+
+fn render_document<'a>(grid_fp: u64, cells: impl Iterator<Item = &'a str>) -> String {
     let mut out = String::new();
     out.push_str("{\"version\":");
     out.push_str(&CHECKPOINT_VERSION.to_string());
     out.push_str(",\"grid_fp\":");
-    out.push_str(&state.grid_fp.to_string());
+    out.push_str(&grid_fp.to_string());
     out.push_str(",\"cells\":[");
-    for (i, cell) in state.cells.values().enumerate() {
+    for (i, cell) in cells.enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -254,6 +251,37 @@ fn render(state: &SinkState) -> String {
     }
     out.push_str("]}\n");
     out
+}
+
+/// Renders a checkpoint document (the unsealed body, v2 format) for an
+/// arbitrary set of completed cells — the building block campaign
+/// orchestrators use to persist per-stage progress in the exact format
+/// [`load_checkpoint_io`] reads back. Cells are sorted by grid index so
+/// the rendered file is stable regardless of completion order.
+pub fn render_checkpoint(grid_fp: u64, cells: &[(usize, &SweepCell)]) -> String {
+    let sorted: BTreeMap<usize, String> = cells
+        .iter()
+        .map(|&(index, cell)| (index, cell_json(index, cell)))
+        .collect();
+    render_document(grid_fp, sorted.values().map(String::as_str))
+}
+
+/// Turns a parsed [`StoredCell`] back into a live [`SweepCell`],
+/// verifying it against the enumerated grid and the live workload set —
+/// the public face of the resume path's adoption step, for orchestrators
+/// that manage their own checkpoint files.
+///
+/// # Errors
+///
+/// A human-readable message when the stored cell does not belong to
+/// this grid (index out of range, workload renamed, key mismatch) or
+/// cannot be re-hydrated.
+pub fn adopt_stored_cell(
+    stored: StoredCell,
+    grid: &[crate::sweep::CellKey],
+    workloads: &[&dyn Workload],
+) -> Result<SweepCell, String> {
+    adopt_cell(stored, grid, workloads)
 }
 
 // ---------------------------------------------------------------------

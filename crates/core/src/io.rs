@@ -768,6 +768,40 @@ pub fn publish(
     journal.commit(io, path)
 }
 
+/// [`publish`] of an integrity-sealed body with a bounded transient
+/// retry budget: torn writes and transient EIO are redone up to
+/// `attempts` times, everything else (ENOSPC, crash, corruption)
+/// surfaces immediately. The retry-bounded publish the checkpoint sink
+/// and campaign orchestrators share.
+///
+/// # Errors
+///
+/// The last transient [`ArtifactError`] when the budget is exhausted,
+/// or the first non-transient one.
+pub fn publish_sealed(
+    io: &dyn ArtifactIo,
+    journal: &Journal,
+    path: &Path,
+    body: &str,
+    attempts: usize,
+) -> Result<(), ArtifactError> {
+    let sealed = seal(body);
+    let mut last = ArtifactError::io(
+        "publish",
+        path,
+        IoErrorKind::Other,
+        "publish retry budget exhausted",
+    );
+    for _ in 0..attempts.max(1) {
+        match publish(io, journal, path, &sealed) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
 /// What startup recovery did, for the report and logs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {

@@ -129,6 +129,12 @@ pub enum CellErrorKind {
     /// requested) before this cell's turn. Skipped cells are never
     /// checkpointed, so a resume runs them.
     Skipped,
+    /// The cell was deliberately shed by campaign supervision (open
+    /// circuit breaker, drained retry budget, blown stage deadline)
+    /// rather than executed. Degraded cells are a *decision*, not a
+    /// failure: they are deterministic run-to-run and recomputed on
+    /// resume instead of being checkpointed.
+    Degraded,
 }
 
 impl std::fmt::Display for CellErrorKind {
@@ -139,6 +145,7 @@ impl std::fmt::Display for CellErrorKind {
             CellErrorKind::TimedOut => "timed-out",
             CellErrorKind::Panicked => "panicked",
             CellErrorKind::Skipped => "skipped",
+            CellErrorKind::Degraded => "degraded",
         })
     }
 }
@@ -153,6 +160,7 @@ impl std::str::FromStr for CellErrorKind {
             "timed-out" => Ok(CellErrorKind::TimedOut),
             "panicked" => Ok(CellErrorKind::Panicked),
             "skipped" => Ok(CellErrorKind::Skipped),
+            "degraded" => Ok(CellErrorKind::Degraded),
             other => Err(format!("unknown cell error kind `{other}`")),
         }
     }
@@ -254,6 +262,10 @@ pub enum SweepError {
         quarantined: usize,
         /// The configured tolerance.
         max: usize,
+        /// The quarantined cells themselves, in grid order, so
+        /// operators can see *which* cells poisoned the run rather
+        /// than just how many.
+        cells: Vec<CellKey>,
     },
 }
 
@@ -261,11 +273,22 @@ impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SweepError::Artifact(e) => write!(f, "artifact plane failure: {e}"),
-            SweepError::QuarantineExceeded { quarantined, max } => write!(
-                f,
-                "sweep is globally sick: {quarantined} cells quarantined \
-                 (tolerance {max}); completed cells are checkpointed"
-            ),
+            SweepError::QuarantineExceeded {
+                quarantined,
+                max,
+                cells,
+            } => {
+                write!(
+                    f,
+                    "sweep is globally sick: {quarantined} cells quarantined \
+                     (tolerance {max}); completed cells are checkpointed"
+                )?;
+                if !cells.is_empty() {
+                    let list: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+                    write!(f, " [{}]", list.join(", "))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -577,9 +600,14 @@ impl SuiteRunner {
     /// Checks a finished report against the quarantine tolerance.
     pub(crate) fn enforce_quarantine(&self, report: &SweepReport) -> Result<(), SweepError> {
         if let Some(max) = self.max_quarantine {
-            let quarantined = report.quarantined().count();
+            let cells: Vec<CellKey> = report.quarantined().map(|(c, _)| c.cell).collect();
+            let quarantined = cells.len();
             if quarantined > max {
-                return Err(SweepError::QuarantineExceeded { quarantined, max });
+                return Err(SweepError::QuarantineExceeded {
+                    quarantined,
+                    max,
+                    cells,
+                });
             }
         }
         Ok(())
@@ -592,6 +620,43 @@ impl SuiteRunner {
         } else {
             self.threads
         }
+    }
+
+    /// Runs an explicit subset of cells across the configured worker
+    /// threads, outcomes in the order the cells were given.
+    ///
+    /// This is the building block campaign orchestrators schedule waves
+    /// with: every cell outcome is a pure function of its (cell,
+    /// attempt) fault salt, so the returned vector is byte-identical to
+    /// a sequential run of the same cells no matter how workers
+    /// interleaved. No quarantine/stop supervision is applied here —
+    /// the caller owns cell-level policy.
+    pub fn run_cells(&self, workloads: &[&dyn Workload], cells: &[CellKey]) -> Vec<SweepCell> {
+        let n = cells.len();
+        let threads = self.thread_count().clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let done = self.run_cell(workloads, cells[i]);
+                    slots
+                        .lock()
+                        .expect("no worker holds the lock across a panic")[i] = Some(done);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers finished cleanly")
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| skipped_cell(workloads, cells[i])))
+            .collect()
     }
 
     /// Runs the grid on the calling thread, no pool involved — the
@@ -717,7 +782,15 @@ impl SuiteRunner {
             if err.kind == CellErrorKind::Transient && attempts < max_attempts {
                 // Deterministic exponential backoff, accounted in
                 // simulated cycles — the sweep never sleeps on the host.
-                backoff_cycles += RETRY_BACKOFF_BASE_CYCLES << (attempts - 1);
+                // The doubling saturates: past attempt 64 the shift alone
+                // would be UB, and the ledger must pin at u64::MAX rather
+                // than wrap the cycle clock back toward zero.
+                let step = 1u64
+                    .checked_shl((attempts - 1).min(64) as u32)
+                    .map_or(u64::MAX, |exp| {
+                        RETRY_BACKOFF_BASE_CYCLES.saturating_mul(exp)
+                    });
+                backoff_cycles = backoff_cycles.saturating_add(step);
                 trail.push(AttemptFailure {
                     attempt: attempts,
                     kind: err.kind,
@@ -1049,6 +1122,30 @@ mod tests {
         assert_eq!(cell.backoff_cycles, RETRY_BACKOFF_BASE_CYCLES);
     }
 
+    #[test]
+    fn backoff_accounting_saturates_at_the_doubling_boundary() {
+        // 80 retries push the doubling well past both overflow points:
+        // base * 2^k exceeds u64::MAX around k = 50, and the shift
+        // itself would be UB at k = 64. The ledger must pin at
+        // u64::MAX instead of wrapping (or aborting) the cycle clock.
+        let w = Flaky::failing(usize::MAX);
+        let sweep = tiny_suite().retries(80).run_sequential(&[&w]);
+        let cell = &sweep.cells[0];
+        assert_eq!(cell.attempts, 81);
+        assert_eq!(cell.backoff_cycles, u64::MAX, "saturated, not wrapped");
+
+        // Just below the base*2^k overflow boundary the exact doubling
+        // sum still holds: sum_{k=0}^{attempts-2} base << k.
+        let w = Flaky::failing(usize::MAX);
+        let sweep = tiny_suite().retries(10).run_sequential(&[&w]);
+        let cell = &sweep.cells[0];
+        assert_eq!(
+            cell.backoff_cycles,
+            RETRY_BACKOFF_BASE_CYCLES * ((1u64 << 10) - 1),
+            "exact geometric sum below the saturation boundary"
+        );
+    }
+
     /// Always fails deterministically.
     struct Broken;
 
@@ -1100,6 +1197,7 @@ mod tests {
             CellErrorKind::TimedOut,
             CellErrorKind::Panicked,
             CellErrorKind::Skipped,
+            CellErrorKind::Degraded,
         ] {
             let shown = kind.to_string();
             assert_eq!(shown.parse::<CellErrorKind>().unwrap(), kind);
@@ -1140,9 +1238,15 @@ mod tests {
         let s = broken_suite(4).max_quarantine(0);
         let err = s.try_run(&[&Broken]).unwrap_err();
         match err {
-            SweepError::QuarantineExceeded { quarantined, max } => {
+            SweepError::QuarantineExceeded {
+                quarantined,
+                max,
+                cells,
+            } => {
                 assert_eq!(quarantined, 1);
                 assert_eq!(max, 0);
+                assert_eq!(cells.len(), 1, "the poisoned cell is enumerated");
+                assert_eq!(cells[0].to_string(), "0/Vanilla/Low/0");
             }
             other => panic!("expected QuarantineExceeded, got {other:?}"),
         }

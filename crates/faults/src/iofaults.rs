@@ -84,6 +84,18 @@ impl IoFaultPlan {
             && self.crash_rename.is_none()
     }
 
+    /// The same plan with its seed deterministically re-derived from
+    /// `salt` — the host-I/O twin of [`crate::FaultPlan::salted`], so a
+    /// campaign stage's artifact chaos stream is as reproducible and
+    /// stage-local as its simulated faults. `crash_rename` is *not*
+    /// salted: kill points are scheduled by the soak driver, not drawn.
+    #[must_use]
+    pub fn salted(&self, salt: u64) -> IoFaultPlan {
+        let mut plan = self.clone();
+        plan.seed = crate::prng::splitmix64(self.seed ^ salt.rotate_left(32));
+        plan
+    }
+
     /// An order-sensitive FNV-1a digest of the plan (for logs and
     /// provenance records).
     pub fn digest(&self) -> u64 {

@@ -123,6 +123,18 @@ impl FaultPlan {
             && self.bitflip_permille == 0
     }
 
+    /// The same plan with its seed deterministically re-derived from
+    /// `salt`: campaign runners call this once per stage so every stage
+    /// of one campaign seed faces an unrelated — but exactly
+    /// reproducible — fault stream. One splitmix64 round decorrelates
+    /// adjacent stage ordinals.
+    #[must_use]
+    pub fn salted(&self, salt: u64) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.seed = crate::prng::splitmix64(self.seed ^ salt.rotate_left(32));
+        plan
+    }
+
     /// Compiles the plan into a per-run hook. `salt` distinguishes runs
     /// that must see *different* fault outcomes — the sweep executor
     /// derives it from the grid coordinate and the attempt number, so a

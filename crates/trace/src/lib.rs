@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod campaign;
 mod event;
 mod json;
 mod sink;
 mod timeline;
 
+pub use campaign::{BreakerState, CampaignEvent, CampaignLog, ShedReason};
 pub use event::{CounterSnapshot, InjectedKind, PhaseId, TraceEvent, TraceRecord};
 pub use sink::{TraceError, TraceSink, DEFAULT_CAPACITY, DEFAULT_SAMPLE_INTERVAL};
 pub use timeline::{timeline, PhaseAttribution, TimelinePoint};

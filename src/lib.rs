@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub use campaign;
 pub use faults;
 pub use gauge_stats as stats;
 pub use libos_sim as libos;

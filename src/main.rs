@@ -7,6 +7,7 @@
 //! sgxgauge suite [--setting low] [--scale 16] [--modes vanilla,libos]
 //! ```
 
+use sgxgauge::campaign::{run_campaign, run_soak, CampaignConfig};
 use sgxgauge::core::emit::{Emitter, Format, TraceJsonl};
 use sgxgauge::core::io as artifact_io;
 use sgxgauge::core::report::{
@@ -39,6 +40,10 @@ fn usage() -> ExitCode {
                    [--scale <divisor>] [--out <file.jsonl|file.csv>] [--jobs <n>]
                    [--sample <cycles>] [--capacity <records>] [--switchless <workers>]
                    [--pf] [--faults <spec>] [--cell-budget <cycles>] [--io-faults <spec>]
+  sgxgauge campaign <config.toml> [--out <dir>] [--soak <kills>]
+                   runs a declarative chaos campaign (stages, breakers, retry
+                   budgets, degraded mode); --soak adds <kills> seeded
+                   kill/resume cycles and verifies byte-identical convergence
 
 fault spec (comma-separated, e.g. \"seed=7,aex=3@50000,syscall=20\"):
   seed=<u64>                   PRNG seed (default 1)
@@ -552,17 +557,105 @@ fn timeline_table(r: &RunReport) -> ReportTable {
     table
 }
 
+fn cmd_campaign(config_path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let text = RealFs
+        .read(std::path::Path::new(config_path))
+        .map_err(|e| e.to_string())?;
+    let cfg = CampaignConfig::parse(&text)?;
+    let out = flags
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("campaign-{}", cfg.name)));
+    if let Some(soak) = flags.get("soak") {
+        let kills: usize = soak.parse().map_err(|_| "bad --soak")?;
+        let outcome = run_soak(&cfg, &out, kills).map_err(|e| e.to_string())?;
+        println!(
+            "soak     : {} kill/resume cycles fired (requested {kills})",
+            outcome.kills_fired
+        );
+        println!(
+            "cycles   : golden {} | storm {}",
+            humanize(outcome.golden_cycles),
+            humanize(outcome.storm_cycles)
+        );
+        if outcome.converged {
+            println!("converged: every compared artifact is byte-identical to golden");
+        } else {
+            for m in &outcome.mismatches {
+                eprintln!("mismatch : {m}");
+            }
+            return Err(format!(
+                "soak did not converge: {} artifacts diverged",
+                outcome.mismatches.len()
+            ));
+        }
+        if outcome.kills_fired < kills {
+            return Err(format!(
+                "only {} of {kills} scheduled kills fired — enlarge the campaign",
+                outcome.kills_fired
+            ));
+        }
+        return Ok(());
+    }
+    let report = run_campaign(&cfg, &out, true, None).map_err(|e| e.to_string())?;
+    let mut table = ReportTable::new(
+        &format!("campaign {}", cfg.name),
+        &[
+            "stage",
+            "executed",
+            "adopted",
+            "shed",
+            "quarantined",
+            "runtime_cycles",
+            "backoff_cycles",
+        ],
+    );
+    for s in &report.stages {
+        table.push_row(vec![
+            if s.skipped {
+                format!("{} (skipped)", s.name)
+            } else {
+                s.name.clone()
+            },
+            s.executed.to_string(),
+            s.adopted.to_string(),
+            s.shed.to_string(),
+            s.quarantined.to_string(),
+            humanize(s.runtime_cycles),
+            humanize(s.backoff_cycles),
+        ]);
+    }
+    println!("{table}");
+    let h = report.health;
+    println!(
+        "health   : retry spend {} cycles | degraded {} | breaker trips {} | cells shed {}",
+        humanize(h.retry_spent_cycles),
+        h.degraded,
+        h.breaker_trips,
+        h.cells_shed
+    );
+    println!("artifacts: {}", out.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
-    // `trace` takes its workload as a positional argument before the flags.
-    let (positional, flag_args) = if cmd == "trace" {
+    // `trace` and `campaign` take a positional argument before the flags.
+    let (positional, flag_args) = if cmd == "trace" || cmd == "campaign" {
         match args.get(1).filter(|a| !a.starts_with("--")) {
             Some(name) => (Some(name.clone()), &args[2..]),
             None => {
-                eprintln!("error: trace needs a workload name");
+                eprintln!(
+                    "error: {cmd} needs a {}",
+                    if cmd == "trace" {
+                        "workload name"
+                    } else {
+                        "config file path"
+                    }
+                );
                 return usage();
             }
         }
@@ -582,6 +675,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "suite" => cmd_suite(&flags),
         "trace" => cmd_trace(positional.as_deref().unwrap_or_default(), &flags),
+        "campaign" => cmd_campaign(positional.as_deref().unwrap_or_default(), &flags),
         _ => {
             return usage();
         }
