@@ -107,6 +107,13 @@ fn seeded_wallclock_read_is_caught_in_sim_crates_only() {
             .iter()
             .any(|f| f.rule == rules::WALLCLOCK)
     );
+    // The co-tenant host scheduler interleaves in simulated cycles; a
+    // wall-clock read there would break the `--jobs` byte-identity.
+    assert!(
+        rules::check_source("crates/sgx-sim/src/host.rs", src, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::WALLCLOCK)
+    );
     // Checkpoint IO is host-side harness code, out of scope.
     assert!(
         rules::check_source("crates/core/src/checkpoint.rs", src, &ctx())
@@ -147,6 +154,13 @@ mod tests {
     // unwrap_or / unwrap_or_default are error handling, not panics.
     let ok = "fn f(x: Option<u64>) -> u64 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
     assert!(rules::check_source("crates/libos-sim/src/process.rs", ok, &ctx()).is_empty());
+    // The co-tenant host surfaces scheduler errors as `HostError`
+    // values; a panic there would kill a whole multi-tenant run.
+    assert!(
+        rules::check_source("crates/sgx-sim/src/host.rs", src, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::UNWRAP)
+    );
 }
 
 #[test]

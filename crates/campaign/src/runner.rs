@@ -26,7 +26,7 @@ use sgxgauge_core::sweep::{CellError, CellErrorKind, SweepCell};
 use sgxgauge_core::workload::Workload;
 use sgxgauge_core::{
     checkpoint, io, ArtifactError, ArtifactIo, CellKey, ChaosFs, Emitter, IoErrorKind, RealFs,
-    ReportTable, RunnerConfig, SuiteRunner,
+    ReportTable, RunnerConfig, SuiteRunner, TenantDim,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -468,13 +468,27 @@ fn run_stage(
     quarantined_cells: &mut Vec<CellKey>,
 ) -> Result<StageReport, CampaignError> {
     let workloads = stage_workloads(stage, suite)?;
-    let base = base_runner_config(cfg);
+    let mut base = base_runner_config(cfg);
+    if stage.tenants > 1 {
+        // Co-tenancy: `tenants` enclaves share one machine's EPC, so
+        // each cell runs against its per-tenant share of the pool. The
+        // floor keeps a degenerate config (tiny EPC, many tenants) a
+        // slow stage instead of an unbootable one.
+        let share = base.env.sgx.epc_bytes / stage.tenants;
+        base.env.sgx.epc_bytes = share.max(base.env.sgx.epc_reserved_bytes + (64 << 12));
+    }
     let make_runner = |retries: usize| {
         let mut runner = SuiteRunner::new(base.clone())
             .modes(&stage.modes)
             .settings(&stage.settings)
             .threads(cfg.jobs)
             .retries(retries);
+        if stage.tenants > 0 {
+            runner = runner.tenant(TenantDim {
+                tenants: u8::try_from(stage.tenants).unwrap_or(u8::MAX),
+                antagonists: u8::try_from(stage.antagonists).unwrap_or(u8::MAX),
+            });
+        }
         if let Some(plan) = &stage.faults {
             runner = runner.faults(plan.salted(stage_salt));
         }

@@ -49,7 +49,24 @@ const PUBLISH_ATTEMPTS: usize = 4;
 /// Version 2: cells are keyed by the typed [`CellKey`] display form
 /// (`"key":"workload/mode/setting/rep"`) instead of four numeric
 /// discriminants, and the counter arrays include `mee_cycles`.
-pub const CHECKPOINT_VERSION: u64 = 2;
+///
+/// Version 3: keys may carry the optional co-tenancy dimension
+/// (`"workload/mode/setting/rep/tNaM"`). Version-2 files — which by
+/// construction describe grids without the dimension — still load; see
+/// [`OLDEST_LOADABLE_VERSION`].
+pub const CHECKPOINT_VERSION: u64 = 3;
+
+/// Oldest checkpoint version [`load_checkpoint`] still accepts. The v3
+/// key grammar is a strict superset of v2 (the tenant field is optional
+/// in both the type and the display form), so v2 files parse unchanged.
+pub const OLDEST_LOADABLE_VERSION: u64 = 2;
+
+/// Pinned input to [`grid_fingerprint`]. Deliberately *not*
+/// [`CHECKPOINT_VERSION`]: the fingerprint guards the sweep's *shape*,
+/// not the file layout, and tenant-free grids render identical keys
+/// under v2 and v3 — so v2 checkpoints stay resumable across the bump.
+/// Bump this only when old fingerprints must be invalidated.
+const FINGERPRINT_EPOCH: u64 = 2;
 
 impl SuiteRunner {
     /// Runs the grid like [`SuiteRunner::run`], persisting every
@@ -151,7 +168,7 @@ impl SuiteRunner {
 /// per-stage checkpoint files with the same guard.
 pub fn grid_fingerprint(suite: &SuiteRunner, workloads: &[&dyn Workload]) -> u64 {
     let mut h = Fnv::new();
-    h.u64(CHECKPOINT_VERSION);
+    h.u64(FINGERPRINT_EPOCH);
     h.u64(workloads.len() as u64);
     for w in workloads {
         h.str(w.name());
@@ -402,7 +419,8 @@ fn json_string(out: &mut String, s: &str) {
 /// A parsed checkpoint file.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
-    /// Format version (must equal [`CHECKPOINT_VERSION`]).
+    /// Format version (within
+    /// [`OLDEST_LOADABLE_VERSION`]`..=`[`CHECKPOINT_VERSION`]).
     pub version: u64,
     /// Digest of the sweep the file belongs to.
     pub grid_fp: u64,
@@ -502,9 +520,10 @@ fn parse_checkpoint_body(body: &str) -> Result<Checkpoint, String> {
     let root = parse_json(body)?;
     let obj = root.as_obj("checkpoint")?;
     let version = get(obj, "version")?.as_u64("version")?;
-    if version != CHECKPOINT_VERSION {
+    if !(OLDEST_LOADABLE_VERSION..=CHECKPOINT_VERSION).contains(&version) {
         return Err(format!(
-            "checkpoint version {version} unsupported (expected {CHECKPOINT_VERSION})"
+            "checkpoint version {version} unsupported \
+             (expected {OLDEST_LOADABLE_VERSION}..={CHECKPOINT_VERSION})"
         ));
     }
     let grid_fp = get(obj, "grid_fp")?.as_u64("grid_fp")?;
@@ -1051,6 +1070,63 @@ mod tests {
             .run_with_checkpoint(&[&Tick], &path, true)
             .expect_err("must refuse to resume");
         assert!(err.to_string().contains("different sweep"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A v2 checkpoint — written before the co-tenancy key dimension
+    /// existed — still loads and resumes to the identical report: the
+    /// version gate accepts 2, the 4-field keys parse (`tenant: None`),
+    /// and the grid fingerprint is unchanged by the format bump.
+    #[test]
+    fn v2_checkpoint_without_tenant_dimension_still_resumes() {
+        let path = scratch("v2-compat");
+        let full = suite()
+            .run_with_checkpoint(&[&Tick], &path, false)
+            .expect("run succeeds");
+        // Rewrite the sealed file as an unsealed v2 document with the
+        // same cells: exactly what a pre-bump build left on disk (v2
+        // predates the integrity footer, so no seal).
+        let stored = load_checkpoint(&path).expect("parses");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let body = text
+            .replace(
+                &format!("\"version\":{CHECKPOINT_VERSION}"),
+                "\"version\":2",
+            )
+            .lines()
+            .next()
+            .expect("has body")
+            .to_owned();
+        assert!(
+            !body.contains("/t"),
+            "a tenant-free grid must render v2-identical keys"
+        );
+        std::fs::write(&path, format!("{body}\n")).expect("writable");
+        let reloaded = load_checkpoint(&path).expect("v2 file loads");
+        assert_eq!(reloaded.version, 2);
+        assert_eq!(reloaded.cells.len(), stored.cells.len());
+        assert!(reloaded.cells.iter().all(|c| c.key.tenant.is_none()));
+        let resumed = suite()
+            .run_with_checkpoint(&[&Tick], &path, true)
+            .expect("v2 resume succeeds");
+        assert_eq!(full.fingerprint(), resumed.fingerprint());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Versions outside the loadable window are rejected with a
+    /// descriptive message, not mis-parsed.
+    #[test]
+    fn out_of_window_versions_are_rejected() {
+        let path = scratch("v1-reject");
+        for bad in [1, CHECKPOINT_VERSION + 1] {
+            std::fs::write(
+                &path,
+                format!("{{\"version\":{bad},\"grid_fp\":0,\"cells\":[]}}\n"),
+            )
+            .expect("writable");
+            let err = load_checkpoint(&path).expect_err("must reject");
+            assert!(err.to_string().contains("unsupported"), "{err}");
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -236,7 +236,10 @@ impl Env {
         if let Some(m) = &manifest {
             sgx.tcs_per_enclave = m.threads() + 2;
         }
-        let mut machine = SgxMachine::new(sgx);
+        // Single-enclave envs are the degenerate co-tenant host: build
+        // through the same `HostBuilder` front door (see CHANGELOG.md on
+        // the positional `SgxMachine::new` deprecation).
+        let mut machine = sgx_sim::Host::builder().sgx(sgx).build_machine();
         let main = machine.add_thread();
         let mut native_enclave = None;
         let mut libos = None;

@@ -42,13 +42,58 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// The optional co-tenancy coordinate of a grid cell: how many tenants
+/// shared the EPC while the cell ran, and how many of them were
+/// antagonists. Its [`Display`](std::fmt::Display) form `t{N}a{M}`
+/// round-trips through [`FromStr`](std::str::FromStr) and appends as a
+/// fifth `/`-separated [`CellKey`] field; cells without the dimension
+/// keep the legacy four-field form, so v2 checkpoint and report files
+/// parse unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantDim {
+    /// Total tenants on the shared host (at least 1).
+    pub tenants: u8,
+    /// Antagonist tenants among them (at most `tenants - 1`).
+    pub antagonists: u8,
+}
+
+impl std::fmt::Display for TenantDim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}a{}", self.tenants, self.antagonists)
+    }
+}
+
+impl std::str::FromStr for TenantDim {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix('t')
+            .ok_or_else(|| format!("tenant dimension `{s}` must start with `t`"))?;
+        let (tenants, antagonists) = rest
+            .split_once('a')
+            .ok_or_else(|| format!("tenant dimension `{s}` is missing its `a` separator"))?;
+        let tenants = tenants
+            .parse::<u8>()
+            .map_err(|e| format!("bad tenant count in `{s}`: {e}"))?;
+        let antagonists = antagonists
+            .parse::<u8>()
+            .map_err(|e| format!("bad antagonist count in `{s}`: {e}"))?;
+        Ok(TenantDim {
+            tenants,
+            antagonists,
+        })
+    }
+}
+
 /// The typed key of one benchmark-grid cell.
 ///
 /// Every layer that used to thread `(workload, mode, setting, rep)`
 /// tuples — the sweep queue, checkpoint fingerprints and lookups, report
 /// grouping — now passes this one type. Its [`Display`](std::fmt::Display)
 /// form `workload/mode/setting/rep` round-trips through
-/// [`FromStr`](std::str::FromStr).
+/// [`FromStr`](std::str::FromStr); co-tenant cells append a fifth
+/// [`TenantDim`] field (`workload/mode/setting/rep/tNaM`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellKey {
     /// Index into the workload slice passed to [`SuiteRunner::run`].
@@ -59,6 +104,8 @@ pub struct CellKey {
     pub setting: InputSetting,
     /// Repetition number, `0..repetitions`.
     pub rep: usize,
+    /// Co-tenancy coordinate, absent for classic single-enclave cells.
+    pub tenant: Option<TenantDim>,
 }
 
 impl CellKey {
@@ -77,7 +124,11 @@ impl std::fmt::Display for CellKey {
             f,
             "{}/{}/{}/{}",
             self.workload, self.mode, self.setting, self.rep
-        )
+        )?;
+        if let Some(t) = self.tenant {
+            write!(f, "/{t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -99,6 +150,10 @@ impl std::str::FromStr for CellKey {
         let rep = next("repetition")?
             .parse::<usize>()
             .map_err(|e| format!("bad repetition in `{s}`: {e}"))?;
+        let tenant = match parts.next() {
+            Some(t) => Some(t.parse::<TenantDim>()?),
+            None => None,
+        };
         if parts.next().is_some() {
             return Err(format!("trailing fields in cell key `{s}`"));
         }
@@ -107,6 +162,7 @@ impl std::str::FromStr for CellKey {
             mode,
             setting,
             rep,
+            tenant,
         })
     }
 }
@@ -361,6 +417,13 @@ impl SweepReport {
             h.u64(c.cell.mode as u64);
             h.u64(c.cell.setting as u64);
             h.u64(c.cell.rep as u64);
+            // Hashed only when present, so classic sweeps (and their v2
+            // checkpoints) fingerprint identically to before the
+            // dimension existed.
+            if let Some(t) = c.cell.tenant {
+                h.u64(u64::from(t.tenants));
+                h.u64(u64::from(t.antagonists));
+            }
             h.u64(c.attempts as u64);
             h.u64(c.backoff_cycles);
             match &c.result {
@@ -438,6 +501,7 @@ pub struct SuiteRunner {
     retries: usize,
     max_quarantine: Option<usize>,
     stop: Option<Arc<AtomicBool>>,
+    tenant: Option<TenantDim>,
 }
 
 impl SuiteRunner {
@@ -452,7 +516,18 @@ impl SuiteRunner {
             retries: 0,
             max_quarantine: None,
             stop: None,
+            tenant: None,
         }
+    }
+
+    /// Stamps every grid cell with a co-tenancy coordinate: the sweep
+    /// itself still runs one workload per cell, but its keys, salts and
+    /// fingerprints carry the dimension so co-tenant campaigns checkpoint
+    /// and report distinctly from classic runs of the same grid.
+    #[must_use]
+    pub fn tenant(mut self, dim: TenantDim) -> Self {
+        self.tenant = Some(dim);
+        self
     }
 
     /// Restricts the sweep to `modes` (kept in the given order).
@@ -565,6 +640,7 @@ impl SuiteRunner {
                             mode,
                             setting,
                             rep,
+                            tenant: self.tenant,
                         });
                     }
                 }
@@ -838,6 +914,12 @@ fn attempt_salt(name: &str, cell: &CellKey, attempt: usize) -> u64 {
     h.u64(cell.mode as u64);
     h.u64(cell.setting as u64);
     h.u64(cell.rep as u64);
+    // Only co-tenant cells fold the dimension in, so classic cells keep
+    // their historical fault streams.
+    if let Some(t) = cell.tenant {
+        h.u64(u64::from(t.tenants));
+        h.u64(u64::from(t.antagonists));
+    }
     h.u64(attempt as u64);
     h.finish()
 }
@@ -968,7 +1050,8 @@ mod tests {
                 workload: 0,
                 mode: ExecMode::Vanilla,
                 setting: InputSetting::Low,
-                rep: 0
+                rep: 0,
+                tenant: None,
             }
         );
         assert_eq!(grid[1].rep, 1);

@@ -57,6 +57,25 @@ struct FrameMeta {
     victim: bool,
 }
 
+/// Per-enclave EPC attribution counters, maintained incrementally on the
+/// residency and eviction paths so a co-tenant host can attribute
+/// shared-pool behaviour to individual tenants without sweeping the frame
+/// vector. Cumulative fields survive [`Epc::remove_enclave`] (teardown
+/// ends residency, not history); only `resident_frames` is zeroed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpcEnclaveStats {
+    /// Frames of this enclave currently resident.
+    pub resident_frames: u64,
+    /// First-touch frame allocations (`sgx_alloc_page`) for this enclave.
+    pub allocs: u64,
+    /// Pages of this enclave loaded back after eviction (ELDU).
+    pub loadbacks: u64,
+    /// Frames of this enclave chosen as clock-hand victims (EWB),
+    /// regardless of which tenant's fault forced the sweep — the
+    /// "noisy neighbour" signal.
+    pub victimizations: u64,
+}
+
 /// The EPC frame pool with a clock (second-chance) replacement policy.
 ///
 /// ```
@@ -91,6 +110,9 @@ pub struct Epc {
     /// Lookups into the residency map, for asserting probe budgets in
     /// tests (the resident fast path must cost exactly one).
     probes: u64,
+    /// Per-enclave attribution counters, indexed by [`EnclaveId`] (dense
+    /// from zero per machine). Grows once per enclave, never per access.
+    stats: Vec<EpcEnclaveStats>,
 }
 
 impl Epc {
@@ -118,7 +140,24 @@ impl Epc {
             evicted_set: PageSet::default(),
             clock_hand: 0,
             probes: 0,
+            stats: Vec::new(),
         }
+    }
+
+    /// Per-enclave attribution counters for `enclave` (zeros when the
+    /// enclave never touched the EPC).
+    pub fn enclave_stats(&self, enclave: EnclaveId) -> EpcEnclaveStats {
+        self.stats.get(enclave.0).copied().unwrap_or_default()
+    }
+
+    /// Mutable attribution slot for `enclave`, growing the dense index on
+    /// first sight. The growth is O(max enclave id), once per enclave —
+    /// an enclave-lifecycle cost, not a per-access one.
+    fn stat_mut(&mut self, enclave: EnclaveId) -> &mut EpcEnclaveStats {
+        if enclave.0 >= self.stats.len() {
+            self.stats.resize(enclave.0 + 1, EpcEnclaveStats::default());
+        }
+        &mut self.stats[enclave.0]
     }
 
     /// EPC size in frames.
@@ -260,6 +299,26 @@ impl Epc {
                 self.frames.len()
             ));
         }
+        // Attribution consistency: the incremental per-enclave live-frame
+        // counters must agree with a sweep of the frame vector.
+        let mut owned = vec![0u64; self.stats.len()];
+        for f in &self.frames {
+            if f.key.enclave.0 >= owned.len() {
+                return Err(format!(
+                    "frame owner {:?} has no attribution slot",
+                    f.key.enclave
+                ));
+            }
+            owned[f.key.enclave.0] += 1;
+        }
+        for (id, (stat, actual)) in self.stats.iter().zip(owned.iter()).enumerate() {
+            if stat.resident_frames != *actual {
+                return Err(format!(
+                    "enclave {id} attribution says {} resident frames, found {actual}",
+                    stat.resident_frames
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -308,6 +367,12 @@ impl Epc {
         } else {
             EpcFaultKind::Alloc
         };
+        let stat = self.stat_mut(key.enclave);
+        stat.resident_frames += 1;
+        match kind {
+            EpcFaultKind::LoadBack => stat.loadbacks += 1,
+            _ => stat.allocs += 1,
+        }
         let meta = FrameMeta {
             key,
             referenced: true,
@@ -344,7 +409,14 @@ impl Epc {
     /// down does not perturb the replacement order of its neighbours.
     pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
         self.evicted_set.remove_enclave(enclave);
+        // Teardown ends residency, not history: cumulative attribution
+        // counters survive so a co-tenant report can still name the
+        // departed tenant's evictions; only the live-frame count resets.
+        if let Some(stat) = self.stats.get_mut(enclave.0) {
+            stat.resident_frames = 0;
+        }
         if !self.frames.iter().any(|f| f.key.enclave == enclave) {
+            self.audit();
             return 0;
         }
         // The hand should next sweep the same surviving frame it would
@@ -412,6 +484,9 @@ impl Epc {
             let meta = self.frames.swap_remove(idx);
             self.resident.remove(meta.key);
             self.evicted_set.insert(meta.key);
+            let stat = self.stat_mut(meta.key.enclave);
+            stat.resident_frames = stat.resident_frames.saturating_sub(1);
+            stat.victimizations += 1;
             // swap_remove moved the tail frame into `idx`.
             if idx < self.frames.len() {
                 let moved = self.frames[idx].key;
@@ -663,5 +738,100 @@ mod tests {
         let ev = epc.ensure_resident(k(5));
         assert_eq!(ev.evicted, vec![k(1)]);
         assert!(epc.is_resident(k(2)));
+    }
+
+    /// Multi-tenant extension of the hand-preservation guarantee: three
+    /// tenants interleaved in the frame vector, one torn down while the
+    /// clock hand is mid-rotation (pointing at one of its frames). The
+    /// hand must advance to the same surviving frame it would have swept
+    /// next, and the departed tenant's swapped-out pages must leave the
+    /// evicted set.
+    #[test]
+    fn remove_enclave_preserves_hand_with_interleaved_tenants() {
+        let key = |e: usize, p: u64| PageKey {
+            enclave: EnclaveId(e),
+            page: p,
+        };
+        let mut epc = Epc::new(6, 1);
+        // Interleave three tenants: [e0p0, e1p0, e2p0, e0p1, e1p1, e2p1].
+        for p in 0..2 {
+            for e in 0..3 {
+                assert_eq!(epc.ensure_resident(key(e, p)).kind, EpcFaultKind::Alloc);
+            }
+        }
+        // Force one eviction so the hand is mid-rotation. All frames are
+        // referenced, so the sweep clears every bit and takes the frame
+        // under the hand (e0p0); the hand lands on e1p0.
+        let ev = epc.ensure_resident(key(0, 2));
+        assert_eq!(ev.evicted, vec![key(0, 0)]);
+        // Give the departed tenant a swapped-out page too.
+        epc.mark_evicted(key(1, 9));
+        assert!(epc.is_evicted(key(1, 9)));
+        // Tear down tenant 1 mid-rotation (the hand points at e1p0).
+        assert_eq!(epc.remove_enclave(EnclaveId(1)), 2);
+        assert!(epc.check_invariants().is_ok());
+        assert!(!epc.is_evicted(key(1, 9)), "evicted set must be purged");
+        assert_eq!(epc.enclave_stats(EnclaveId(1)).resident_frames, 0);
+        // Refill the freed frames without evicting, then overflow: the
+        // next victim must be the surviving frame the hand was about to
+        // consider after the torn-down tenant's (e2p0), not the frame a
+        // reset-to-zero hand would have taken.
+        assert!(epc.ensure_resident(key(0, 3)).evicted.is_empty());
+        assert!(epc.ensure_resident(key(0, 4)).evicted.is_empty());
+        let ev = epc.ensure_resident(key(0, 5));
+        assert_eq!(ev.evicted, vec![key(2, 0)]);
+        assert!(epc.check_invariants().is_ok());
+    }
+
+    /// Per-enclave attribution: allocations, load-backs and clock-hand
+    /// victimizations land on the owning tenant, survive teardown as
+    /// history, and only the live-frame count resets.
+    #[test]
+    fn enclave_stats_attribute_allocs_loadbacks_and_victims() {
+        let ka = |p| PageKey {
+            enclave: EnclaveId(0),
+            page: p,
+        };
+        let kb = |p| PageKey {
+            enclave: EnclaveId(1),
+            page: p,
+        };
+        let mut epc = Epc::new(4, 2);
+        epc.ensure_resident(ka(0));
+        epc.ensure_resident(ka(1));
+        epc.ensure_resident(kb(0));
+        epc.ensure_resident(kb(1));
+        let sa = epc.enclave_stats(EnclaveId(0));
+        assert_eq!(sa.resident_frames, 2);
+        assert_eq!(sa.allocs, 2);
+        assert_eq!(sa.victimizations, 0);
+        // The antagonist overflows the pool; the sweep starts at tenant
+        // 0's frames, so both victims are charged to tenant 0 even though
+        // tenant 1 caused the fault — the noisy-neighbour signal.
+        let ev = epc.ensure_resident(kb(2));
+        assert_eq!(ev.evicted, vec![ka(0), ka(1)]);
+        let sa = epc.enclave_stats(EnclaveId(0));
+        assert_eq!(sa.resident_frames, 0);
+        assert_eq!(sa.victimizations, 2);
+        // The victim tenant pulls one page back in: an ELDU on its ledger.
+        let back = epc.ensure_resident(ka(0));
+        assert_eq!(back.kind, EpcFaultKind::LoadBack);
+        let sa = epc.enclave_stats(EnclaveId(0));
+        assert_eq!(sa.resident_frames, 1);
+        assert_eq!(sa.loadbacks, 1);
+        let sb = epc.enclave_stats(EnclaveId(1));
+        assert_eq!(sb.resident_frames, 3);
+        assert_eq!(sb.allocs, 3);
+        assert_eq!(sb.loadbacks, 0);
+        assert!(epc.check_invariants().is_ok());
+        // Teardown zeroes residency but keeps the cumulative history.
+        epc.remove_enclave(EnclaveId(0));
+        let sa = epc.enclave_stats(EnclaveId(0));
+        assert_eq!(sa.resident_frames, 0);
+        assert_eq!(sa.allocs, 2);
+        assert_eq!(sa.loadbacks, 1);
+        assert_eq!(sa.victimizations, 2);
+        // An enclave that never touched the EPC reads as all zeros.
+        assert_eq!(epc.enclave_stats(EnclaveId(7)), EpcEnclaveStats::default());
     }
 }

@@ -47,6 +47,7 @@ pub mod driver;
 pub mod enclave;
 pub mod epc;
 pub mod epcm;
+pub mod host;
 pub mod machine;
 mod pagedir;
 pub mod switchless;
@@ -54,7 +55,8 @@ pub mod switchless;
 pub use attest::{ereport, verify_report, Report};
 pub use driver::{DriverOp, DriverStats};
 pub use enclave::{Enclave, EnclaveId};
-pub use epc::{Epc, EpcFaultKind, PageKey};
+pub use epc::{Epc, EpcEnclaveStats, EpcFaultKind, PageKey};
 pub use epcm::{Epcm, EpcmEntry};
+pub use host::{Host, HostBuilder, HostError, TenantId, TenantOp, TenantReport, TenantSpec};
 pub use machine::{CounterField, InitStats, SgxConfig, SgxCounters, SgxError, SgxMachine};
 pub use switchless::SwitchlessPool;

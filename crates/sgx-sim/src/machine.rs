@@ -345,7 +345,18 @@ pub struct SgxMachine {
 
 impl SgxMachine {
     /// Builds the platform from a configuration.
+    ///
+    /// Kept as a thin shim over the co-tenant host's zero-tenant path
+    /// (`Host::builder().sgx(cfg).build_machine()`), which is the
+    /// preferred spelling going forward — see CHANGELOG. Both routes run
+    /// the same constructor and produce bit-identical machines.
     pub fn new(cfg: SgxConfig) -> Self {
+        crate::host::Host::builder().sgx(cfg).build_machine()
+    }
+
+    /// The one real constructor, shared by [`SgxMachine::new`] and the
+    /// [`crate::host::HostBuilder`].
+    pub(crate) fn from_config(cfg: SgxConfig) -> Self {
         let frames = (cfg.epc_bytes.saturating_sub(cfg.epc_reserved_bytes) >> PAGE_SHIFT) as usize;
         let epc = Epc::new(frames.max(1), cfg.evict_batch.max(1));
         let switchless = if cfg.switchless_workers > 0 {
@@ -559,7 +570,21 @@ impl SgxMachine {
     }
 
     /// Tears down an enclave, EREMOVing its pages.
+    ///
+    /// Threads still executing inside `id` are forced out (the
+    /// asynchronous analogue of EREMOVE'ing a live TCS): their in-enclave
+    /// state clears and their TLBs flush, since stale ELRANGE mappings
+    /// must not survive the enclave. The enclave's TCS accounting resets
+    /// with them, so a mid-rotation co-tenant teardown cannot leak slots
+    /// or leave a neighbour's thread pinned to a destroyed enclave.
     pub fn destroy_enclave(&mut self, id: EnclaveId) {
+        for tid in 0..self.in_enclave.len() {
+            if self.in_enclave[tid] == Some(id) {
+                self.in_enclave[tid] = None;
+                self.mem.flush_tlb(ThreadId(tid));
+            }
+        }
+        self.active_tcs[id.0] = 0;
         self.epc.remove_enclave(id);
         self.epcm.remove_enclave(id);
         self.enclaves[id.0].destroy();

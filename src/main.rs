@@ -14,10 +14,12 @@ use sgxgauge::core::report::{
     cycle_breakdown, humanize, quarantine_table, sweep_table, RatioRow, ReportTable,
 };
 use sgxgauge::core::{
-    ArtifactIo, ChaosFs, EnvConfig, ExecMode, InputSetting, RealFs, RunReport, Runner,
-    RunnerConfig, SuiteRunner, TraceConfig, Workload,
+    ArtifactIo, CellKey, ChaosFs, EnvConfig, ExecMode, InputSetting, RealFs, RunReport, Runner,
+    RunnerConfig, SuiteRunner, TenantDim, TraceConfig, Workload,
 };
 use sgxgauge::faults::{FaultPlan, IoFaultPlan};
+use sgxgauge::mem::PAGE_SIZE;
+use sgxgauge::sgx::{Host, SgxConfig, TenantId, TenantOp, TenantReport, TenantSpec};
 use sgxgauge::stats::BarChart;
 use sgxgauge::workloads::{suite, suite_scaled};
 use std::collections::HashMap;
@@ -44,6 +46,12 @@ fn usage() -> ExitCode {
                    runs a declarative chaos campaign (stages, breakers, retry
                    budgets, degraded mode); --soak adds <kills> seeded
                    kill/resume cycles and verifies byte-identical convergence
+  sgxgauge cotenancy [--tenants <n>] [--wave <cycles>] [--epc-pages <n>] [--ops <n>]
+                   [--jobs <n>] [--out <file.csv>] [--timeline <file.jsonl>]
+                   sweeps antagonist count 0..n-1 against one all-resident victim
+                   on a shared-EPC co-tenant host, emitting noisy-neighbor curves
+                   (victim slowdown, per-tenant fault rates); output is
+                   byte-identical across --jobs
 
 fault spec (comma-separated, e.g. \"seed=7,aex=3@50000,syscall=20\"):
   seed=<u64>                   PRNG seed (default 1)
@@ -557,6 +565,237 @@ fn timeline_table(r: &RunReport) -> ReportTable {
     table
 }
 
+/// One completed cell of the co-tenancy sweep: the per-tenant reports
+/// plus the cell's rendered JSONL trace (empty when untraced).
+struct CotenancyCell {
+    key: CellKey,
+    reports: Vec<TenantReport>,
+    jsonl: String,
+}
+
+/// Runs one co-tenancy cell: an all-resident victim plus `antagonists`
+/// EPC-thrashing neighbors on one shared host. Pure function of its
+/// arguments — the sweep fans cells across threads and aggregates in
+/// grid order, so `--jobs` provably cannot change a byte of output.
+fn run_cotenancy_cell(
+    antagonists: u8,
+    wave: u64,
+    epc_pages: u64,
+    ops: u64,
+    traced: bool,
+) -> Result<CotenancyCell, String> {
+    let key = CellKey {
+        workload: 0,
+        mode: ExecMode::Native,
+        setting: InputSetting::High,
+        rep: 0,
+        tenant: Some(TenantDim {
+            tenants: antagonists + 1,
+            antagonists,
+        }),
+    };
+    let thrash_pages = epc_pages * 2;
+    let mut b = Host::builder()
+        .sgx(SgxConfig::with_tiny_epc(
+            usize::try_from(epc_pages).map_err(|_| "bad --epc-pages")?,
+            4,
+        ))
+        .wave_cycles(wave)
+        .tenant(TenantSpec {
+            name: "victim".to_owned(),
+            enclave_bytes: 32 * PAGE_SIZE,
+            content_bytes: 0,
+            heap_bytes: 8 * PAGE_SIZE,
+        });
+    for i in 0..antagonists {
+        b = b.tenant(TenantSpec {
+            name: format!("antagonist{i}"),
+            enclave_bytes: (thrash_pages + 16) * PAGE_SIZE,
+            content_bytes: 0,
+            heap_bytes: thrash_pages * PAGE_SIZE,
+        });
+    }
+    let mut host = b.build().map_err(|e| e.to_string())?;
+    if traced {
+        host.machine_mut()
+            .mem_mut()
+            .set_trace_sink(sgxgauge::trace::TraceSink::with_config(1 << 14, 0));
+    }
+    let victim_ops: Vec<TenantOp> = (0..ops)
+        .flat_map(|i| {
+            [
+                TenantOp::Access {
+                    offset: (i % 8) * PAGE_SIZE,
+                    len: 64,
+                    write: false,
+                },
+                TenantOp::Compute { cycles: 500 },
+            ]
+        })
+        .collect();
+    host.push_ops(TenantId(0), victim_ops);
+    for t in 0..antagonists {
+        // Offset each antagonist's stream so they sweep different parts
+        // of the shared pool in the same wave.
+        let phase = u64::from(t) * 17;
+        let antagonist_ops: Vec<TenantOp> = (0..ops)
+            .map(|i| TenantOp::Access {
+                offset: ((i + phase) % thrash_pages) * PAGE_SIZE,
+                len: 64,
+                write: true,
+            })
+            .collect();
+        host.push_ops(TenantId(usize::from(t) + 1), antagonist_ops);
+    }
+    host.run().map_err(|e| e.to_string())?;
+    host.machine()
+        .check_invariants()
+        .map_err(|e| format!("cell {key}: {e}"))?;
+    let jsonl = host
+        .machine_mut()
+        .mem_mut()
+        .take_trace_sink()
+        .map(|sink| sink.render_jsonl())
+        .unwrap_or_default();
+    Ok(CotenancyCell {
+        key,
+        reports: host.tenant_reports(),
+        jsonl,
+    })
+}
+
+fn cmd_cotenancy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tenants: u8 = flags
+        .get("tenants")
+        .map_or(Ok(4), |s| s.parse())
+        .map_err(|_| "bad --tenants (1..=255)")?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1 (the victim)".to_owned());
+    }
+    let wave: u64 = flags
+        .get("wave")
+        .map_or(Ok(5_000), |s| s.parse())
+        .map_err(|_| "bad --wave")?;
+    let epc_pages: u64 = flags
+        .get("epc-pages")
+        .map_or(Ok(64), |s| s.parse())
+        .map_err(|_| "bad --epc-pages")?;
+    if epc_pages < 16 {
+        return Err("--epc-pages must be at least 16".to_owned());
+    }
+    let ops: u64 = flags
+        .get("ops")
+        .map_or(Ok(1_000), |s| s.parse())
+        .map_err(|_| "bad --ops")?;
+    let jobs: usize = flags
+        .get("jobs")
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|_| "bad --jobs")?;
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    };
+    let traced = flags.contains_key("timeline");
+
+    // Fan the cells (antagonist counts 0..tenants) across workers;
+    // aggregate strictly in grid order.
+    let n = usize::from(tenants);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<CotenancyCell, String>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = run_cotenancy_cell(i as u8, wave, epc_pages, ops, traced);
+                *slots[i].lock().expect("cell slot lock") = Some(out);
+            });
+        }
+    });
+    let mut cells = Vec::with_capacity(n);
+    for slot in slots {
+        cells.push(
+            slot.into_inner()
+                .expect("cell slot lock")
+                .ok_or("cell never ran (internal error)")??,
+        );
+    }
+
+    // Noisy-neighbor curve: victim slowdown is relative to the
+    // antagonist-free cell, which is always grid index 0.
+    let quiet = cells[0].reports[0].cycles.max(1);
+    let mut table = ReportTable::new(
+        &format!(
+            "Co-tenancy noisy-neighbor sweep (epc {epc_pages} pages, wave {wave} cycles, \
+             {ops} ops/tenant)"
+        ),
+        &[
+            "cell",
+            "tenant",
+            "cycles",
+            "waves",
+            "slowdown",
+            "resident",
+            "allocs",
+            "loadbacks",
+            "victimizations",
+            "charged_faults",
+            "charged_evictions",
+            "fault_rate",
+        ],
+    );
+    for cell in &cells {
+        for r in &cell.reports {
+            let slowdown = if r.tenant == TenantId(0) {
+                format!("{:.4}", r.cycles as f64 / quiet as f64)
+            } else {
+                "-".to_owned()
+            };
+            table.push_row(vec![
+                cell.key.to_string(),
+                r.name.clone(),
+                r.cycles.to_string(),
+                r.waves.to_string(),
+                slowdown,
+                r.epc.resident_frames.to_string(),
+                r.epc.allocs.to_string(),
+                r.epc.loadbacks.to_string(),
+                r.epc.victimizations.to_string(),
+                r.charged.epc_faults.to_string(),
+                r.charged.epc_evictions.to_string(),
+                format!("{:.4}", r.charged.epc_faults as f64 / ops as f64),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let io = artifact_backend(flags)?;
+    if let Some(out) = flags.get("out") {
+        let path = PathBuf::from(out);
+        table
+            .emit_sealed_with(io.as_ref(), &path)
+            .map_err(|e| e.to_string())?;
+        println!("[report] {}", path.display());
+    }
+    if let Some(out) = flags.get("timeline") {
+        let path = PathBuf::from(out);
+        // Concatenated per-cell streams, each preceded by a meta line
+        // naming the cell the records belong to.
+        let mut body = String::new();
+        for cell in &cells {
+            body.push_str(&format!("{{\"cell\":\"{}\"}}\n", cell.key));
+            body.push_str(&cell.jsonl);
+        }
+        artifact_io::write_atomic_with(io.as_ref(), &path, &body).map_err(|e| e.to_string())?;
+        println!("[timeline] {}", path.display());
+    }
+    Ok(())
+}
+
 fn cmd_campaign(config_path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let text = RealFs
         .read(std::path::Path::new(config_path))
@@ -676,6 +915,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(&flags),
         "trace" => cmd_trace(positional.as_deref().unwrap_or_default(), &flags),
         "campaign" => cmd_campaign(positional.as_deref().unwrap_or_default(), &flags),
+        "cotenancy" => cmd_cotenancy(&flags),
         _ => {
             return usage();
         }

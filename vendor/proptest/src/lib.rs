@@ -4,8 +4,9 @@
 //! vendors a miniature property-testing engine with the same surface
 //! syntax: the [`proptest!`] macro (including `#![proptest_config(..)]`),
 //! [`Strategy`] over integer ranges / tuples / [`Just`] /
-//! [`prop_oneof!`] unions / `prop::collection::vec`, [`any`], and the
-//! `prop_assert*` / [`prop_assume!`] macros.
+//! [`prop_oneof!`] unions / `prop::collection::vec` / `prop_map`
+//! combinators, [`any`], and the `prop_assert*` / [`prop_assume!`]
+//! macros.
 //!
 //! Differences from real proptest, deliberately accepted:
 //! * no shrinking — a failing case reports its values and panics;
@@ -90,6 +91,32 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms sampled values with `f` (real proptest's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.sample(rng))
+    }
 }
 
 macro_rules! impl_uint_range_strategy {
@@ -199,6 +226,12 @@ macro_rules! impl_arbitrary_uint {
 }
 
 impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
 
 impl<const N: usize> Arbitrary for [u8; N] {
     fn arbitrary(rng: &mut TestRng) -> Self {
