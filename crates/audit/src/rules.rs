@@ -418,12 +418,15 @@ fn cost_literal_scope(rel: &str) -> bool {
 /// backoff must be pure simulated cycles), the trace plane (records are
 /// keyed on simulated thread clocks; a wall-clock stamp would break
 /// byte-determinism across runs and `--jobs`), and the sweep executor
-/// (which aggregates their cycle outputs).
+/// (which aggregates their cycle outputs). The cross-enclave relay is
+/// in scope too: its delivery queue, failure detector, and fault
+/// schedules are all keyed on simulated cycles.
 fn wallclock_scope(rel: &str) -> bool {
     sim_src_scope(rel)
         || rel.starts_with("crates/faults/src/")
         || rel.starts_with("crates/trace/src/")
         || rel.starts_with("crates/campaign/src/")
+        || rel.starts_with("crates/relay/src/")
         || rel == "crates/core/src/sweep.rs"
         || rel == "crates/core/src/io.rs"
 }
@@ -433,7 +436,10 @@ fn wallclock_scope(rel: &str) -> bool {
 /// whole point of the crash-safety model — aborting on them would turn
 /// every injected fault into a harness crash.
 fn unwrap_scope(rel: &str) -> bool {
-    sim_src_scope(rel) || rel.starts_with("crates/campaign/src/") || rel == "crates/core/src/io.rs"
+    sim_src_scope(rel)
+        || rel.starts_with("crates/campaign/src/")
+        || rel.starts_with("crates/relay/src/")
+        || rel == "crates/core/src/io.rs"
 }
 
 /// Whether `rel` is banned from direct `std::fs` access: everything in
@@ -443,6 +449,7 @@ fn unwrap_scope(rel: &str) -> bool {
 fn fs_write_scope(rel: &str) -> bool {
     (rel.starts_with("crates/core/src/") && rel != "crates/core/src/io.rs")
         || rel.starts_with("crates/campaign/src/")
+        || rel.starts_with("crates/relay/src/")
 }
 
 /// Whether `rel` lies in one of the simulator crates' `src/` trees.

@@ -122,6 +122,38 @@ fn seeded_wallclock_read_is_caught_in_sim_crates_only() {
     );
 }
 
+/// The cross-enclave relay is simulation-time code on all three axes: a
+/// wall-clock read, a panic path, or a direct filesystem write in
+/// `crates/relay/src` must each be caught.
+#[test]
+fn relay_sources_are_in_wallclock_unwrap_and_fs_scopes() {
+    let clock = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+    assert!(
+        rules::check_source("crates/relay/src/net.rs", clock, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::WALLCLOCK),
+        "the delivery queue must stay on simulated cycles"
+    );
+    let panicky = "fn f(x: Option<u64>) -> u64 { x.unwrap() }";
+    assert!(
+        rules::check_source("crates/relay/src/mpc.rs", panicky, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::UNWRAP),
+        "quorum loss must be a value, not a panic"
+    );
+    let fs = "fn f() { std::fs::write(\"x\", \"y\").ok(); }";
+    assert!(
+        rules::check_source("crates/relay/src/detector.rs", fs, &ctx())
+            .iter()
+            .any(|f| f.rule == rules::FS_WRITE),
+        "relay artifacts must go through ArtifactIo"
+    );
+    // Relay test trees stay free to do all three.
+    for bad in [clock, panicky, fs] {
+        assert!(rules::check_source("crates/relay/tests/x.rs", bad, &ctx()).is_empty());
+    }
+}
+
 #[test]
 fn seeded_counter_cast_is_caught() {
     let src = "fn f(c: &Counters) -> u32 { c.walk_cycles as u32 }";

@@ -54,11 +54,17 @@ const PUBLISH_ATTEMPTS: usize = 4;
 /// (`"workload/mode/setting/rep/tNaM"`). Version-2 files — which by
 /// construction describe grids without the dimension — still load; see
 /// [`OLDEST_LOADABLE_VERSION`].
-pub const CHECKPOINT_VERSION: u64 = 3;
+///
+/// Version 4: keys may additionally carry the optional
+/// distributed-protocol dimension (`…/pNqT`, after the tenant field when
+/// both are present). Another strict grammar superset, so v2 and v3
+/// files load unchanged.
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// Oldest checkpoint version [`load_checkpoint`] still accepts. The v3
-/// key grammar is a strict superset of v2 (the tenant field is optional
-/// in both the type and the display form), so v2 files parse unchanged.
+/// and v4 key grammars are strict supersets of v2 (the tenant and party
+/// fields are optional in both the type and the display form), so older
+/// files parse unchanged.
 pub const OLDEST_LOADABLE_VERSION: u64 = 2;
 
 /// Pinned input to [`grid_fingerprint`]. Deliberately *not*

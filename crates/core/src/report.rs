@@ -466,6 +466,7 @@ mod tests {
                         setting: InputSetting::Low,
                         rep: rep as usize,
                         tenant: None,
+                        party: None,
                     },
                     attempts: 1,
                     backoff_cycles: 0,

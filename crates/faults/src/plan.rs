@@ -2,6 +2,60 @@
 
 use crate::hook::FaultHook;
 
+/// One `key=value` item of a comma-separated spec, with the 1-based
+/// column at which the key starts (specs are single-line, so positioned
+/// errors report `line 1, column C`).
+pub(crate) struct SpecItem<'a> {
+    /// The trimmed key.
+    pub key: &'a str,
+    /// The trimmed value.
+    pub val: &'a str,
+    /// 1-based column of the key's first character.
+    pub col: usize,
+}
+
+/// Splits a comma-separated spec into `key=value` items with the same
+/// error discipline as the campaign TOML parser: empty items (a
+/// trailing, leading, or doubled comma) and duplicate keys are
+/// positioned errors, never silent tolerance. A whole-empty spec is
+/// legal and yields no items.
+pub(crate) fn split_spec(spec: &str) -> Result<Vec<SpecItem<'_>>, String> {
+    let mut items: Vec<SpecItem<'_>> = Vec::new();
+    if spec.trim().is_empty() {
+        return Ok(items);
+    }
+    let mut col = 1usize;
+    for raw in spec.split(',') {
+        let item_col = col;
+        col += raw.chars().count() + 1;
+        let key_col = item_col + raw.chars().count() - raw.trim_start().chars().count();
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Err(format!(
+                "line 1, column {item_col}: empty fault item \
+                 (trailing or doubled comma)"
+            ));
+        }
+        let (key, val) = trimmed.split_once('=').ok_or_else(|| {
+            format!("line 1, column {key_col}: fault item `{trimmed}` is not key=value")
+        })?;
+        let key = key.trim();
+        let val = val.trim();
+        if items.iter().any(|it| it.key == key) {
+            return Err(format!(
+                "line 1, column {key_col}: duplicate fault item `{key}` \
+                 (the earlier value would be silently overridden)"
+            ));
+        }
+        items.push(SpecItem {
+            key,
+            val,
+            col: key_col,
+        });
+    }
+    Ok(items)
+}
+
 /// A scheduled burst of asynchronous enclave exits: every
 /// `period_cycles`, the victim thread takes `exits` extra AEX round trips
 /// (AEX + ERESUME with the mandatory TLB flush, §2.3) if it is inside an
@@ -65,17 +119,18 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the offending item.
+    /// Returns a positioned (`line 1, column C`) message naming the
+    /// offending item. Duplicate keys and trailing/doubled commas are
+    /// rejected rather than silently tolerated, matching the campaign
+    /// TOML parser's error discipline.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan {
             seed: 1,
             ..FaultPlan::default()
         };
-        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
-            let (key, val) = item
-                .split_once('=')
-                .ok_or_else(|| format!("fault item `{item}` is not key=value"))?;
-            match key.trim() {
+        for item in split_spec(spec)? {
+            let (key, val, col) = (item.key, item.val, item.col);
+            match key {
                 "seed" => plan.seed = parse_u64("seed", val)?,
                 "aex" => {
                     let (exits, period) = val
@@ -109,7 +164,11 @@ impl FaultPlan {
                 }
                 "syscall" => plan.syscall_fail_permille = parse_permille("syscall", val)?,
                 "bitflip" => plan.bitflip_permille = parse_permille("bitflip", val)?,
-                other => return Err(format!("unknown fault item `{other}`")),
+                other => {
+                    return Err(format!(
+                        "line 1, column {col}: unknown fault item `{other}`"
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -240,6 +299,33 @@ mod tests {
         assert!(FaultPlan::parse("syscall=1001").is_err());
         assert!(FaultPlan::parse("volcano=7").is_err());
         assert!(FaultPlan::parse("seed=notanumber").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_with_position() {
+        let err = FaultPlan::parse("seed=1,aex=2@1000,seed=9").unwrap_err();
+        assert!(err.contains("line 1, column 19"), "got: {err}");
+        assert!(err.contains("duplicate fault item `seed`"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_trailing_and_doubled_commas_with_position() {
+        let err = FaultPlan::parse("seed=1,").unwrap_err();
+        assert!(err.contains("line 1, column 8"), "got: {err}");
+        assert!(err.contains("empty fault item"), "got: {err}");
+
+        let err = FaultPlan::parse("seed=1,,bitflip=3").unwrap_err();
+        assert!(err.contains("line 1, column 8"), "got: {err}");
+
+        let err = FaultPlan::parse(",seed=1").unwrap_err();
+        assert!(err.contains("line 1, column 1"), "got: {err}");
+    }
+
+    #[test]
+    fn positions_account_for_leading_whitespace() {
+        let err = FaultPlan::parse("seed=1,  volcano=7").unwrap_err();
+        assert!(err.contains("line 1, column 10"), "got: {err}");
+        assert!(err.contains("unknown fault item `volcano`"), "got: {err}");
     }
 
     #[test]

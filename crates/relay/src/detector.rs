@@ -1,0 +1,159 @@
+//! A deterministic cycle-based failure detector.
+//!
+//! No heartbeats and no wall clock: a party is *heard* whenever one of
+//! its messages is delivered, and *suspected* once the simulated clock
+//! has advanced a full suspicion window past its last delivery. The
+//! detector is driven by the protocol driver, so its verdicts are a
+//! pure function of the delivery stream — identical across runs and
+//! `--jobs`, which is what lets suspect/recover events live in the
+//! byte-compared supervision trace.
+
+use crate::PartyId;
+
+/// What the detector concluded about one party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorEventKind {
+    /// Nothing was heard from the party for the suspicion window.
+    Suspected {
+        /// Cycles of silence at the moment of suspicion.
+        silent_cycles: u64,
+    },
+    /// A suspected party was heard again.
+    Recovered,
+}
+
+/// One detector verdict, stamped with the cycle it was reached at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorEvent {
+    /// The party the verdict is about.
+    pub party: PartyId,
+    /// Cycle the verdict was reached at.
+    pub at_cycles: u64,
+    /// The verdict.
+    pub kind: DetectorEventKind,
+}
+
+/// Cycle-based suspicion state over `n` parties.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    timeout_cycles: u64,
+    last_heard: Vec<u64>,
+    suspected: Vec<bool>,
+}
+
+impl FailureDetector {
+    /// A detector over `n` parties, all considered heard at `now`, that
+    /// suspects after `timeout_cycles` of silence.
+    pub fn new(n: usize, timeout_cycles: u64, now: u64) -> FailureDetector {
+        FailureDetector {
+            timeout_cycles: timeout_cycles.max(1),
+            last_heard: vec![now; n],
+            suspected: vec![false; n],
+        }
+    }
+
+    /// The configured suspicion window.
+    pub fn timeout_cycles(&self) -> u64 {
+        self.timeout_cycles
+    }
+
+    /// Records that `party` was heard at `now` (a delivery carrying its
+    /// message surfaced). Returns a [`DetectorEventKind::Recovered`]
+    /// event if the party was suspected.
+    pub fn heard(&mut self, party: PartyId, now: u64) -> Option<DetectorEvent> {
+        let i = party as usize;
+        if i >= self.last_heard.len() {
+            return None;
+        }
+        self.last_heard[i] = self.last_heard[i].max(now);
+        if self.suspected[i] {
+            self.suspected[i] = false;
+            return Some(DetectorEvent {
+                party,
+                at_cycles: now,
+                kind: DetectorEventKind::Recovered,
+            });
+        }
+        None
+    }
+
+    /// Advances the detector to `now`, returning newly raised
+    /// suspicions in party order.
+    pub fn tick(&mut self, now: u64) -> Vec<DetectorEvent> {
+        let mut out = Vec::new();
+        for i in 0..self.last_heard.len() {
+            if self.suspected[i] {
+                continue;
+            }
+            let silent = now.saturating_sub(self.last_heard[i]);
+            if silent >= self.timeout_cycles {
+                self.suspected[i] = true;
+                out.push(DetectorEvent {
+                    party: i as PartyId,
+                    at_cycles: now,
+                    kind: DetectorEventKind::Suspected {
+                        silent_cycles: silent,
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether `party` is currently suspected.
+    pub fn is_suspected(&self, party: PartyId) -> bool {
+        self.suspected.get(party as usize).copied().unwrap_or(false)
+    }
+
+    /// Parties not currently suspected.
+    pub fn live_count(&self) -> usize {
+        self.suspected.iter().filter(|s| !**s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_raises_suspicion_and_delivery_recovers() {
+        let mut d = FailureDetector::new(3, 1_000, 0);
+        assert!(d.tick(999).is_empty());
+        d.heard(0, 500);
+        d.heard(1, 500);
+        let events = d.tick(1_400);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].party, 2);
+        assert_eq!(
+            events[0].kind,
+            DetectorEventKind::Suspected {
+                silent_cycles: 1_400
+            }
+        );
+        assert!(d.is_suspected(2));
+        assert_eq!(d.live_count(), 2);
+        // Suspicion is raised once, not re-raised every tick.
+        d.heard(0, 1_500);
+        d.heard(1, 1_500);
+        assert!(d.tick(2_000).is_empty());
+        let rec = d.heard(2, 2_100).expect("recovery event");
+        assert_eq!(rec.kind, DetectorEventKind::Recovered);
+        assert_eq!(d.live_count(), 3);
+    }
+
+    #[test]
+    fn heard_never_moves_the_clock_backwards() {
+        let mut d = FailureDetector::new(1, 1_000, 0);
+        d.heard(0, 900);
+        d.heard(0, 100);
+        assert!(d.tick(1_899).is_empty());
+        assert_eq!(d.tick(1_900).len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_parties_are_ignored() {
+        let mut d = FailureDetector::new(2, 1_000, 0);
+        assert!(d.heard(9, 50).is_none());
+        assert!(!d.is_suspected(9));
+    }
+}

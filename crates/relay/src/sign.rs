@@ -1,0 +1,215 @@
+//! Substrate-free bookkeeping for one t-of-n threshold-signing round.
+//!
+//! [`SignRound`] tracks who broadcast a share, who holds which shares,
+//! and the per-party retry deadlines of the protocol-resilience layer
+//! (doubling backoff, bounded attempts). It knows nothing about hosts,
+//! relays or environments — the same engine drives both the
+//! [`crate::run_mpc`] host-backed driver and the `ThresholdSign`
+//! workload, so the two stay semantically identical.
+
+use sgx_sim::costs;
+use std::collections::BTreeSet;
+
+use crate::{PartyId, MAX_SEND_ATTEMPTS};
+
+/// State of one signing round over `n` parties with threshold `t`.
+///
+/// A party is *ready* once it holds `t` distinct shares counting its
+/// own; the round is *complete* once at least `t` parties are ready (a
+/// quorum certifies the aggregate signature).
+#[derive(Debug, Clone)]
+pub struct SignRound {
+    round: u32,
+    n: u32,
+    t: u32,
+    started_at: u64,
+    broadcast: Vec<bool>,
+    received: Vec<BTreeSet<PartyId>>,
+    deadline: Vec<u64>,
+    attempts: Vec<u32>,
+    retries: u32,
+}
+
+impl SignRound {
+    /// Starts round `round` over `n` parties with threshold `t` at
+    /// cycle `now`. Every party's first retry deadline is one base send
+    /// timeout out.
+    pub fn new(round: u32, n: u32, t: u32, now: u64) -> SignRound {
+        SignRound {
+            round,
+            n,
+            t,
+            started_at: now,
+            broadcast: vec![false; n as usize],
+            received: vec![BTreeSet::new(); n as usize],
+            deadline: vec![now + costs::RELAY_SEND_TIMEOUT_CYCLES; n as usize],
+            attempts: vec![0; n as usize],
+            retries: 0,
+        }
+    }
+
+    /// The round ordinal.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The cycle the round started at.
+    pub fn started_at(&self) -> u64 {
+        self.started_at
+    }
+
+    /// Retries issued so far this round.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Records that `party` generated and broadcast its share.
+    pub fn note_broadcast(&mut self, party: PartyId) {
+        if let Some(b) = self.broadcast.get_mut(party as usize) {
+            *b = true;
+        }
+    }
+
+    /// Whether `party` broadcast its share this round.
+    pub fn has_broadcast(&self, party: PartyId) -> bool {
+        self.broadcast.get(party as usize).copied().unwrap_or(false)
+    }
+
+    /// Records that `to` received `from`'s share. Returns `true` on
+    /// first receipt (duplicates are absorbed silently).
+    pub fn on_share(&mut self, to: PartyId, from: PartyId) -> bool {
+        match self.received.get_mut(to as usize) {
+            Some(set) => set.insert(from),
+            None => false,
+        }
+    }
+
+    /// Whether `party` holds a full quorum of shares (its own plus
+    /// `t - 1` received).
+    pub fn ready(&self, party: PartyId) -> bool {
+        self.received
+            .get(party as usize)
+            .is_some_and(|set| set.len() as u32 + 1 >= self.t)
+    }
+
+    /// Parties currently ready, in id order.
+    pub fn signers(&self) -> Vec<PartyId> {
+        (0..self.n).filter(|p| self.ready(*p)).collect()
+    }
+
+    /// Whether a quorum of parties is ready.
+    pub fn complete(&self) -> bool {
+        self.signers().len() as u32 >= self.t
+    }
+
+    /// Broadcasting parties whose share `party` still lacks, in id
+    /// order.
+    pub fn missing(&self, party: PartyId) -> Vec<PartyId> {
+        let received = match self.received.get(party as usize) {
+            Some(set) => set,
+            None => return Vec::new(),
+        };
+        (0..self.n)
+            .filter(|q| *q != party && self.has_broadcast(*q) && !received.contains(q))
+            .collect()
+    }
+
+    /// If `party`'s retry deadline has passed and it is still not
+    /// ready, consumes one attempt and returns the attempt ordinal
+    /// (1-based). The next deadline doubles per attempt
+    /// (`RELAY_SEND_TIMEOUT_CYCLES << attempt`); after
+    /// [`MAX_SEND_ATTEMPTS`] the party stops retrying and waits for the
+    /// round watchdog.
+    pub fn due_retry(&mut self, party: PartyId, now: u64) -> Option<u32> {
+        let i = party as usize;
+        if i >= self.deadline.len() || self.ready(party) {
+            return None;
+        }
+        if self.attempts[i] >= MAX_SEND_ATTEMPTS || now < self.deadline[i] {
+            return None;
+        }
+        self.attempts[i] += 1;
+        self.retries += 1;
+        let backoff = costs::RELAY_SEND_TIMEOUT_CYCLES
+            .saturating_mul(1u64.checked_shl(self.attempts[i]).unwrap_or(u64::MAX));
+        self.deadline[i] = now.saturating_add(backoff);
+        Some(self.attempts[i])
+    }
+
+    /// The earliest pending retry deadline over parties that are not
+    /// ready and still have attempts left, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        (0..self.n)
+            .filter(|p| !self.ready(*p) && self.attempts[*p as usize] < MAX_SEND_ATTEMPTS)
+            .map(|p| self.deadline[p as usize])
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readiness_counts_own_share() {
+        let mut sr = SignRound::new(0, 5, 3, 0);
+        for p in 0..5 {
+            sr.note_broadcast(p);
+        }
+        assert!(!sr.ready(0));
+        sr.on_share(0, 1);
+        assert!(!sr.ready(0));
+        sr.on_share(0, 2);
+        assert!(sr.ready(0));
+        assert!(!sr.complete());
+        for to in 1..3 {
+            sr.on_share(to, 3);
+            sr.on_share(to, 4);
+        }
+        assert!(sr.complete());
+        assert_eq!(sr.signers(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_absorbed_once() {
+        let mut sr = SignRound::new(0, 3, 3, 0);
+        assert!(sr.on_share(0, 1));
+        assert!(!sr.on_share(0, 1));
+        assert!(!sr.ready(0));
+    }
+
+    #[test]
+    fn missing_tracks_only_broadcasters() {
+        let mut sr = SignRound::new(0, 4, 3, 0);
+        sr.note_broadcast(1);
+        sr.note_broadcast(3);
+        assert_eq!(sr.missing(0), vec![1, 3]);
+        sr.on_share(0, 3);
+        assert_eq!(sr.missing(0), vec![1]);
+    }
+
+    #[test]
+    fn retries_double_and_are_bounded() {
+        let mut sr = SignRound::new(0, 2, 2, 0);
+        sr.note_broadcast(0);
+        sr.note_broadcast(1);
+        let base = costs::RELAY_SEND_TIMEOUT_CYCLES;
+        assert_eq!(sr.due_retry(0, base - 1), None);
+        assert_eq!(sr.due_retry(0, base), Some(1));
+        // Party 1 still sits on its initial deadline; party 0's doubled.
+        assert_eq!(sr.next_deadline(), Some(base));
+        assert_eq!(sr.due_retry(1, base), Some(1));
+        assert_eq!(sr.next_deadline(), Some(base * 3));
+        // Not due again until the doubled deadline.
+        assert_eq!(sr.due_retry(0, base + 1), None);
+        assert_eq!(sr.due_retry(0, base * 3), Some(2));
+        assert_eq!(sr.due_retry(0, base * 7), Some(3));
+        assert_eq!(sr.due_retry(0, base * 15), Some(4));
+        assert_eq!(sr.due_retry(0, base * 31), None, "attempts bounded");
+        assert_eq!(sr.retries(), 5, "four attempts by party 0, one by party 1");
+        // A ready party never retries.
+        sr.on_share(1, 0);
+        assert_eq!(sr.due_retry(1, base * 31), None);
+        assert_eq!(sr.next_deadline(), None);
+    }
+}

@@ -430,6 +430,52 @@ impl Host {
         }
     }
 
+    /// Runs one scheduler wave for tenant `id` alone, returning whether
+    /// any work ran (`false` when the tenant's queue was empty).
+    ///
+    /// This is the interleaving point for drivers that multiplex the
+    /// wave scheduler with another event source — the cross-enclave
+    /// relay alternates `run_wave_for` turns with message deliveries so
+    /// a delivery can enqueue ops *between* waves at a deterministic
+    /// cycle boundary. The wave is identical to one [`Host::run`] turn:
+    /// same trace phase, same charged-ledger fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`HostError`] from an op or a phase close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn run_wave_for(&mut self, id: TenantId) -> Result<bool, HostError> {
+        if self.tenants[id.0].queue.is_empty() {
+            return Ok(false);
+        }
+        self.run_wave(id.0)?;
+        Ok(true)
+    }
+
+    /// The absolute simulated thread clock of tenant `id` — the time
+    /// base relay deliveries are scheduled against. (Unlike
+    /// [`TenantReport::cycles`] this is *not* rebased to the end of the
+    /// enclave build.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn tenant_cycles(&self, id: TenantId) -> u64 {
+        self.machine.mem().cycles_of(self.tenants[id.0].tid)
+    }
+
+    /// Ops currently queued on tenant `id`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn tenant_queue_len(&self, id: TenantId) -> usize {
+        self.tenants[id.0].queue.len()
+    }
+
     /// Runs one wave of tenant `i`: ops until the wave width elapses on
     /// the tenant's thread clock or its queue drains, with the counter
     /// delta folded into the tenant's `charged` ledger.

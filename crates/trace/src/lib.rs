@@ -38,10 +38,12 @@
 pub mod campaign;
 mod event;
 mod json;
+pub mod relay;
 mod sink;
 mod timeline;
 
 pub use campaign::{BreakerState, CampaignEvent, CampaignLog, ShedReason};
 pub use event::{CounterSnapshot, InjectedKind, PhaseId, TraceEvent, TraceRecord};
+pub use relay::{NetDropReason, NetEvent, NetLog};
 pub use sink::{TraceError, TraceSink, DEFAULT_CAPACITY, DEFAULT_SAMPLE_INTERVAL};
 pub use timeline::{timeline, PhaseAttribution, TimelinePoint};

@@ -1,0 +1,375 @@
+//! ThresholdSign workload — t-of-n threshold signing over the
+//! cross-enclave relay, as an [`Env`]-based suite workload.
+//!
+//! This is the same protocol the host-backed [`relay::run_mpc`] driver
+//! runs, rebuilt on the single-enclave measurement environment so it
+//! composes with modes, sweeps and campaigns like any other workload:
+//! the *protocol transcript* (who sends what when, which messages the
+//! fault plane eats, which rounds reach quorum) is driven by virtual
+//! per-party protocol clocks and is therefore identical across
+//! Vanilla/Native/LibOS, while the *work* (share generation, share
+//! verification, send marshalling) is charged through the environment —
+//! so ECALL/OCALL counts and paging emerge organically per mode.
+//!
+//! Losing quorum is the typed [`WorkloadError::QuorumLost`], classified
+//! fatal: the loss is a property of the fault plan, not weather.
+
+use faults::NetFaultPlan;
+use relay::{FailureDetector, Relay, SignRound};
+use sgx_sim::costs;
+use sgxgauge_core::env::Placement;
+use sgxgauge_core::{
+    Env, ExecMode, InputSetting, Workload, WorkloadError, WorkloadOutput, WorkloadSpec,
+};
+
+use crate::util::{fold, SplitMix64};
+
+/// Protocol-clock cost of marshalling one send out of the enclave: the
+/// OCALL round trip the host-backed driver charges per message.
+const SEND_MARSHALL_CYCLES: u64 =
+    costs::EEXIT_CYCLES + costs::HOST_SYSCALL_CYCLES + costs::EENTER_CYCLES;
+
+/// The ThresholdSign workload. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ThresholdSign {
+    divisor: u64,
+    parties: u32,
+    threshold: u32,
+    net: NetFaultPlan,
+}
+
+impl ThresholdSign {
+    /// Paper-scale instance: 5 parties, threshold 3, clean network.
+    pub fn new() -> Self {
+        ThresholdSign {
+            divisor: 1,
+            parties: 5,
+            threshold: 3,
+            net: NetFaultPlan::default(),
+        }
+    }
+
+    /// Instance with round counts divided by `divisor` (for tests).
+    pub fn scaled(divisor: u64) -> Self {
+        ThresholdSign {
+            divisor: divisor.max(1),
+            ..ThresholdSign::new()
+        }
+    }
+
+    /// Sets the party count and signing threshold.
+    #[must_use]
+    pub fn with_shape(mut self, parties: u32, threshold: u32) -> Self {
+        self.parties = parties;
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the network fault plan (salt it upstream, per cell/attempt).
+    #[must_use]
+    pub fn with_net(mut self, net: NetFaultPlan) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Signing rounds for `setting` (4 / 8 / 16 at paper scale).
+    pub fn rounds(&self, setting: InputSetting) -> u32 {
+        let base = match setting {
+            InputSetting::Low => 4,
+            InputSetting::Medium => 8,
+            InputSetting::High => 16,
+        };
+        (base / self.divisor.min(u64::from(u32::MAX)) as u32).max(1)
+    }
+}
+
+impl Default for ThresholdSign {
+    fn default() -> Self {
+        ThresholdSign::new()
+    }
+}
+
+impl Workload for ThresholdSign {
+    fn name(&self) -> &'static str {
+        "ThresholdSign"
+    }
+
+    fn property(&self) -> &'static str {
+        "Network/OCALL-intensive"
+    }
+
+    fn supported_modes(&self) -> &'static [ExecMode] {
+        &[ExecMode::Vanilla, ExecMode::Native, ExecMode::LibOs]
+    }
+
+    fn spec(&self, setting: InputSetting) -> WorkloadSpec {
+        // One protected share page per party plus protocol state.
+        WorkloadSpec::new(
+            u64::from(self.parties) * 4096 + (64 << 10),
+            format!(
+                "Parties {}, t {}, Rounds {}",
+                self.parties,
+                self.threshold,
+                self.rounds(setting)
+            ),
+        )
+    }
+
+    fn setup(&self, _env: &mut Env, _setting: InputSetting) -> Result<(), WorkloadError> {
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        env: &mut Env,
+        setting: InputSetting,
+    ) -> Result<WorkloadOutput, WorkloadError> {
+        let n = self.parties;
+        let t = self.threshold;
+        if !(2..=64).contains(&n) || t < 1 || t > n {
+            return Err(WorkloadError::Validation(format!("bad shape: {t}-of-{n}")));
+        }
+        let rounds = self.rounds(setting);
+
+        // One protected page of signing state per party.
+        let state = env.alloc(u64::from(n) * 4096, Placement::Protected)?;
+        let threads: Vec<_> = (0..n)
+            .map(|_| env.spawn_app_thread())
+            .collect::<Result<_, _>>()?;
+
+        // The virtual protocol clocks: these drive the relay and the
+        // fault schedule, so the transcript is mode-independent.
+        let mut vclock = vec![0u64; n as usize];
+        let mut relay = Relay::new(&self.net, 0);
+        let mut detector = FailureDetector::new(n as usize, costs::RELAY_SUSPECT_CYCLES, 0);
+        let share_base = SplitMix64::new(self.net.seed ^ 0x7453_1676).next_u64();
+        let share = |round: u32, party: u32| {
+            let mut rng = SplitMix64::new(share_base ^ (u64::from(round) << 32) ^ u64::from(party));
+            rng.next_u64()
+        };
+
+        let frontier = |vclock: &[u64]| -> u64 { vclock.iter().copied().max().unwrap_or(0) };
+        let mut checksum = 0u64;
+        let mut completed = 0u32;
+        let mut suspects = 0u64;
+        let mut total_retries = 0u64;
+        let mut latency_sum = 0u64;
+
+        for round in 0..rounds {
+            let round_start = frontier(&vclock);
+            let deadline = round_start.saturating_add(costs::RELAY_ROUND_BUDGET_CYCLES);
+            let mut sr = SignRound::new(round, n, t, round_start);
+
+            // Rejoin: revived parties pick up at the current protocol
+            // time rather than the clock they froze at when killed.
+            for (p, vc) in vclock.iter_mut().enumerate().take(n as usize) {
+                if !relay.hook().party_dead(p as u32, round_start) {
+                    *vc = (*vc).max(round_start);
+                }
+            }
+
+            // Broadcast phase.
+            for p in 0..n {
+                if relay.hook().party_dead(p, round_start) {
+                    continue;
+                }
+                let th = threads[p as usize];
+                env.with_thread(th, |env| {
+                    env.secure_call(|env| {
+                        env.write_u64(state, u64::from(p) * 4096, share(round, p));
+                        env.compute(costs::SIGN_SHARE_CYCLES);
+                    })
+                })?;
+                vclock[p as usize] += costs::SIGN_SHARE_CYCLES;
+                sr.note_broadcast(p);
+                for q in 0..n {
+                    if q == p {
+                        continue;
+                    }
+                    env.with_thread(th, |env| env.host_syscall())?;
+                    vclock[p as usize] += SEND_MARSHALL_CYCLES;
+                    relay.send(vclock[p as usize], p, q, round, share(round, p));
+                }
+            }
+
+            // Event loop: deliveries, suspicion, retries, watchdog.
+            let stat_completed = loop {
+                let now = frontier(&vclock);
+                for d in relay.due(now) {
+                    let env_msg = d.envelope;
+                    if relay.hook().party_dead(env_msg.to, d.at_cycles) {
+                        relay.discard(&d, relay::NetDropReason::ReceiverDead);
+                        continue;
+                    }
+                    detector.heard(env_msg.from, d.at_cycles);
+                    if env_msg.round == sr.round() && sr.on_share(env_msg.to, env_msg.from) {
+                        let th = threads[env_msg.to as usize];
+                        env.with_thread(th, |env| {
+                            env.secure_call(|env| {
+                                env.touch(state, u64::from(env_msg.to) * 4096, 64, true);
+                                env.compute(costs::SIGN_VERIFY_CYCLES);
+                            })
+                        })?;
+                        vclock[env_msg.to as usize] += costs::SIGN_VERIFY_CYCLES;
+                    }
+                }
+                suspects += detector.tick(now).len() as u64;
+
+                if sr.complete() {
+                    break true;
+                }
+
+                let live = (0..n).filter(|p| !relay.hook().party_dead(*p, now)).count() as u32;
+                if live < t {
+                    return Err(WorkloadError::QuorumLost { live, threshold: t });
+                }
+                if now >= deadline {
+                    break false;
+                }
+
+                // Pull-retry: live broadcasters resend missing shares.
+                for p in 0..n {
+                    if relay.hook().party_dead(p, now) || sr.due_retry(p, now).is_none() {
+                        continue;
+                    }
+                    total_retries += 1;
+                    env.with_thread(threads[p as usize], |env| env.host_syscall())?;
+                    vclock[p as usize] += SEND_MARSHALL_CYCLES;
+                    for q in sr.missing(p) {
+                        if relay.hook().party_dead(q, now) {
+                            continue;
+                        }
+                        env.with_thread(threads[q as usize], |env| env.host_syscall())?;
+                        vclock[q as usize] += SEND_MARSHALL_CYCLES;
+                        relay.send(vclock[q as usize], q, p, round, share(round, q));
+                    }
+                }
+
+                // Jump to the next event, bounded by the round deadline.
+                let mut next = deadline;
+                if let Some(at) = relay.next_due() {
+                    next = next.min(at);
+                }
+                if let Some(at) = sr.next_deadline() {
+                    next = next.min(at);
+                }
+                if let Some(at) = relay.hook().next_schedule_edge(now) {
+                    next = next.min(at);
+                }
+                let next = next.max(now + 1);
+                for (p, vc) in vclock.iter_mut().enumerate().take(n as usize) {
+                    if !relay.hook().party_dead(p as u32, next) && *vc < next {
+                        *vc = next;
+                    }
+                }
+            };
+
+            if stat_completed {
+                completed += 1;
+                latency_sum += frontier(&vclock).saturating_sub(round_start);
+                let mut agg = 0u64;
+                for p in sr.signers().into_iter().take(t as usize) {
+                    agg ^= share(round, p);
+                }
+                checksum = fold(checksum, agg);
+            }
+        }
+
+        // Settle the last in-flight deliveries so the ledgers quiesce.
+        for d in relay.due(u64::MAX) {
+            if relay.hook().party_dead(d.envelope.to, d.at_cycles) {
+                relay.discard(&d, relay::NetDropReason::ReceiverDead);
+            }
+        }
+
+        let stats = relay.stats();
+        Ok(WorkloadOutput {
+            ops: stats.delivered,
+            checksum,
+            metrics: vec![
+                (
+                    "survival_permille".into(),
+                    f64::from(completed) * 1000.0 / f64::from(rounds),
+                ),
+                (
+                    "mean_round_latency_cycles".into(),
+                    if completed == 0 {
+                        0.0
+                    } else {
+                        latency_sum as f64 / f64::from(completed)
+                    },
+                ),
+                ("dropped_msgs".into(), stats.dropped as f64),
+                ("suspect_events".into(), suspects as f64),
+                ("retries".into(), total_retries as f64),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxgauge_core::{Runner, RunnerConfig};
+
+    #[test]
+    fn runs_and_validates_in_all_modes() {
+        let wl = ThresholdSign::scaled(4);
+        let runner = Runner::new(RunnerConfig::quick_test());
+        let mut checksums = Vec::new();
+        for mode in ExecMode::ALL {
+            let r = runner.run_once(&wl, mode, InputSetting::Low).unwrap();
+            assert!(r.output.ops > 0);
+            assert_eq!(r.output.metric("survival_permille"), Some(1000.0));
+            checksums.push(r.output.checksum);
+        }
+        // The protocol transcript is mode-independent.
+        assert!(checksums.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn degrades_gracefully_under_a_kill_window() {
+        let wl = ThresholdSign::new()
+            .with_net(NetFaultPlan::parse("drop=50,partykill=2@100000:500000").unwrap());
+        let runner = Runner::new(RunnerConfig::quick_test());
+        let r = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Medium)
+            .unwrap();
+        assert_eq!(r.output.metric("survival_permille"), Some(1000.0));
+        assert_eq!(r.output.metric("suspect_events"), Some(1.0));
+        assert!(r.output.metric("dropped_msgs").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn quorum_loss_is_the_typed_fatal_error() {
+        let wl = ThresholdSign::scaled(4)
+            .with_shape(3, 3)
+            .with_net(NetFaultPlan::parse("partykill=1@0:100000000").unwrap());
+        let runner = Runner::new(RunnerConfig::quick_test());
+        let err = runner
+            .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+            .unwrap_err();
+        match err {
+            WorkloadError::QuorumLost { live, threshold } => {
+                assert_eq!((live, threshold), (2, 3));
+            }
+            other => panic!("expected QuorumLost, got {other}"),
+        }
+        assert_eq!(
+            err.class(),
+            sgxgauge_core::ErrorClass::Fatal,
+            "quorum loss must not be retried"
+        );
+    }
+
+    #[test]
+    fn native_mode_pays_transitions_for_the_message_plane() {
+        let wl = ThresholdSign::scaled(4);
+        let runner = Runner::new(RunnerConfig::quick_test());
+        let native = runner
+            .run_once(&wl, ExecMode::Native, InputSetting::Low)
+            .unwrap();
+        // Every share generation and verification is an ECALL.
+        assert!(native.sgx.ecalls > 0);
+    }
+}

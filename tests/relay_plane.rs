@@ -1,0 +1,167 @@
+//! Integration: the cross-enclave relay plane. A fault-free relay must
+//! be indistinguishable from direct in-order delivery (property-tested
+//! over arbitrary send schedules); the acceptance scenario — five
+//! parties under `drop=50,partykill=2@100000:500000` — must complete
+//! with a t=3 quorum, surface typed suspect/recover supervision events,
+//! and reproduce byte-identically; a partitioned sweep must be
+//! byte-identical across worker counts; and losing quorum must be the
+//! typed fatal error, never a panic or a hang.
+
+use proptest::prelude::*;
+use sgxgauge::core::{
+    ExecMode, InputSetting, PartyDim, Runner, RunnerConfig, SuiteRunner, Workload, WorkloadError,
+};
+use sgxgauge::faults::NetFaultPlan;
+use sgxgauge::relay::{run_mpc, MpcConfig, MpcError, Relay, SendOutcome};
+use sgxgauge::sgx::costs::RELAY_LINK_CYCLES;
+use sgxgauge::workloads::ThresholdSign;
+
+proptest! {
+    /// With an empty fault plan the relay is a pure pipeline: every send
+    /// is queued exactly `RELAY_LINK_CYCLES` out, surfaces exactly once,
+    /// in (deliver_at, seq) order, with untouched payloads and zeroed
+    /// fault counters.
+    #[test]
+    fn clean_relay_is_direct_in_order_delivery(
+        sends in prop::collection::vec(
+            (0u64..1_000_000, 0u32..5, 1u32..5, 0u64..1_000_000_000),
+            0..48,
+        )
+    ) {
+        let mut relay = Relay::new(&NetFaultPlan::default(), 7);
+        let mut expected = Vec::new();
+        for (i, &(at, from, hop, payload)) in sends.iter().enumerate() {
+            let to = (from + hop) % 5; // hop in 1..5 keeps to != from
+            match relay.send(at, from, to, 0, payload) {
+                SendOutcome::Queued { deliver_at } => {
+                    prop_assert_eq!(deliver_at, at + RELAY_LINK_CYCLES);
+                    expected.push((deliver_at, i as u64, from, to, payload));
+                }
+                SendOutcome::Dropped { reason } => {
+                    prop_assert!(false, "clean plan dropped a message: {reason:?}");
+                }
+            }
+        }
+        expected.sort_unstable();
+        let got = relay.due(u64::MAX);
+        prop_assert_eq!(got.len(), expected.len());
+        for (d, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(d.at_cycles, e.0);
+            prop_assert_eq!(d.envelope.seq, e.1);
+            prop_assert_eq!(d.envelope.from, e.2);
+            prop_assert_eq!(d.envelope.to, e.3);
+            prop_assert_eq!(d.envelope.payload, e.4);
+            prop_assert!(!d.duplicate);
+        }
+        let stats = relay.stats();
+        prop_assert_eq!(stats.sent, sends.len() as u64);
+        prop_assert_eq!(stats.delivered, sends.len() as u64);
+        prop_assert_eq!(stats.dropped, 0);
+        prop_assert_eq!(stats.duplicated, 0);
+        prop_assert_eq!(stats.delayed, 0);
+        prop_assert_eq!(stats.reordered, 0);
+    }
+}
+
+/// The acceptance scenario: five parties, t=3, half-percent message
+/// loss, and party 2 dead for a 500k-cycle window. Every round must
+/// complete, the failure detector must suspect and then recover exactly
+/// party 2, and two runs must agree byte-for-byte on the supervision
+/// stream.
+#[test]
+fn acceptance_scenario_completes_suspects_and_recovers() {
+    let net = NetFaultPlan::parse("drop=50,partykill=2@100000:500000").expect("plan parses");
+    let run =
+        || run_mpc(&MpcConfig::new(5, 3).net(net.clone()).rounds(8), 9).expect("quorum holds");
+    let a = run();
+    assert_eq!(a.completed_rounds(), 8, "every round must reach quorum");
+    assert_eq!(a.survival_permille(), 1000);
+    assert_eq!(a.suspect_events(), 1, "exactly the killed party");
+    assert_eq!(a.recover_events(), 1, "and it must rejoin");
+    let jsonl = a.supervision.render_jsonl();
+    assert!(
+        jsonl.contains("\"event\":\"party_suspected\",\"party\":2"),
+        "typed suspicion event:\n{jsonl}"
+    );
+    assert!(
+        jsonl.contains("\"event\":\"party_recovered\",\"party\":2"),
+        "typed recovery event:\n{jsonl}"
+    );
+    let b = run();
+    assert_eq!(jsonl, b.supervision.render_jsonl(), "run-to-run drift");
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.total_cycles, b.total_cycles);
+}
+
+/// Renders a partitioned 5-party ThresholdSign sweep to a comparable
+/// string, executed with `jobs` worker threads.
+fn partitioned_sweep(jobs: usize) -> String {
+    let net = NetFaultPlan::parse("drop=30,partition=0-1@50000:300000").expect("plan parses");
+    let wl = ThresholdSign::scaled(2).with_net(net);
+    let refs: Vec<&dyn Workload> = vec![&wl];
+    let sweep = SuiteRunner::new(RunnerConfig::quick_test())
+        .modes(&[ExecMode::Vanilla, ExecMode::Native, ExecMode::LibOs])
+        .settings(&[InputSetting::Low, InputSetting::Medium])
+        .threads(jobs)
+        .party(PartyDim {
+            parties: 5,
+            threshold: 3,
+        })
+        .run(&refs);
+    let mut out = String::new();
+    for cell in &sweep.cells {
+        let r = cell.result.as_ref().expect("partitioned cell completes");
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            cell.cell, r.runtime_cycles, r.output.ops, r.output.checksum
+        ));
+    }
+    assert!(!out.is_empty());
+    out
+}
+
+/// The partitioned sweep is byte-identical across `--jobs 1` and
+/// `--jobs 4`, and its cell keys carry the party dimension.
+#[test]
+fn partitioned_sweep_is_byte_identical_across_jobs() {
+    let sequential = partitioned_sweep(1);
+    assert!(
+        sequential.contains("/p5q3 "),
+        "keys carry pNqT:\n{sequential}"
+    );
+    assert_eq!(sequential, partitioned_sweep(1), "run-to-run drift");
+    assert_eq!(sequential, partitioned_sweep(4), "parallelism drift");
+}
+
+/// Below-threshold liveness is the typed loss at both layers: the
+/// host-backed driver returns `MpcError::QuorumLost` with a partial
+/// report, and the Env workload surfaces `WorkloadError::QuorumLost` —
+/// fatal, deterministic, never a panic or a hang.
+#[test]
+fn quorum_loss_is_typed_at_both_layers() {
+    let net = NetFaultPlan::parse("partykill=1@0:999999999999").expect("plan parses");
+    match run_mpc(&MpcConfig::new(3, 3).net(net.clone()).rounds(4), 1) {
+        Err(MpcError::QuorumLost {
+            live,
+            threshold,
+            partial,
+            ..
+        }) => {
+            assert_eq!((live, threshold), (2, 3));
+            assert_eq!(partial.completed_rounds(), 0);
+        }
+        other => panic!("expected QuorumLost, got {other:?}"),
+    }
+    let wl = ThresholdSign::scaled(4).with_shape(3, 3).with_net(net);
+    let err = Runner::new(RunnerConfig::quick_test())
+        .run_once(&wl, ExecMode::Vanilla, InputSetting::Low)
+        .expect_err("quorum cannot form");
+    assert_eq!(
+        err,
+        WorkloadError::QuorumLost {
+            live: 2,
+            threshold: 3
+        }
+    );
+    assert_eq!(err.class(), sgxgauge::core::ErrorClass::Fatal);
+}
